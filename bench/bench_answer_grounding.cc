@@ -1,0 +1,104 @@
+// Experiment E8 (retrieval-augmented answer grounding): answers generated
+// with retrieval cite actual knowledge-base objects; answers generated
+// without retrieval hallucinate plausible-but-unverifiable content. The
+// groundedness proxy: does the answer name the user's target concept with
+// a knowledge-base citation?
+//
+// Paper claim: "The introduction of retrieval-augmented LLMs offers a
+// promising solution ... thereby promoting factually consistent and
+// reliable responses."
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/coordinator.h"
+
+namespace mqa {
+namespace {
+
+struct GroundingScore {
+  double mentions_target = 0;  ///< answer names the target concept
+  double cites_objects = 0;    ///< answer cites "object #" entries
+  double admits_unverified = 0;
+};
+
+Result<GroundingScore> Evaluate(bool enable_kb, float temperature) {
+  MqaConfig config;
+  config.world.num_concepts = 24;
+  config.world.seed = 53;
+  config.corpus_size = 3000;
+  config.enable_knowledge_base = enable_kb;
+  config.temperature = temperature;
+  config.search.k = 5;
+  MQA_ASSIGN_OR_RETURN(std::unique_ptr<Coordinator> coordinator,
+                       Coordinator::Create(config));
+
+  // The no-KB coordinator owns no corpus, so concept names come from a
+  // matching world built the same way.
+  MQA_ASSIGN_OR_RETURN(World world, World::Create(config.world));
+
+  GroundingScore score;
+  const size_t kQuestions = 60;
+  Rng rng(59);
+  for (size_t i = 0; i < kQuestions; ++i) {
+    const uint32_t c = static_cast<uint32_t>(i % world.num_concepts());
+    UserQuery query;
+    query.text = world.MakeTextQuery(c, &rng).text;
+    MQA_ASSIGN_OR_RETURN(AnswerTurn turn, coordinator->Ask(query));
+    if (ContainsIgnoreCase(turn.answer, world.ConceptName(c))) {
+      score.mentions_target += 1;
+    }
+    if (turn.answer.find("object #") != std::string::npos) {
+      score.cites_objects += 1;
+    }
+    if (turn.answer.find("cannot verify") != std::string::npos) {
+      score.admits_unverified += 1;
+    }
+    coordinator->ResetDialogue();
+  }
+  score.mentions_target /= kQuestions;
+  score.cites_objects /= kQuestions;
+  score.admits_unverified /= kQuestions;
+  return score;
+}
+
+int Run() {
+  bench::Banner(
+      "E8: answer grounding with vs without retrieval augmentation "
+      "(sim-llm, 60 questions)");
+  bench::Table table({"configuration", "names target concept",
+                      "cites KB objects", "admits unverifiable"});
+  struct Setting {
+    const char* label;
+    bool kb;
+    float temperature;
+  };
+  for (const Setting& s :
+       {Setting{"retrieval ON, temp 0.2", true, 0.2f},
+        Setting{"retrieval ON, temp 1.0", true, 1.0f},
+        Setting{"retrieval OFF (LLM only), temp 0.2", false, 0.2f},
+        Setting{"retrieval OFF (LLM only), temp 1.0", false, 1.0f}}) {
+    auto score = Evaluate(s.kb, s.temperature);
+    if (!score.ok()) {
+      std::fprintf(stderr, "%s\n", score.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow({s.label, FormatDouble(score->mentions_target, 3),
+                  FormatDouble(score->cites_objects, 3),
+                  FormatDouble(score->admits_unverified, 3)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: with retrieval the answer names the target concept\n"
+      "and cites knowledge-base objects nearly always; without retrieval\n"
+      "the LLM rarely lands on the right concept and flags its answers as\n"
+      "unverifiable — the hallucination problem retrieval augmentation\n"
+      "exists to fix. Temperature changes phrasing, not grounding.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mqa
+
+int main() { return mqa::Run(); }

@@ -1,0 +1,150 @@
+// Experiment Fig-5: two-round comparative analysis of retrieval frameworks
+// (MUST vs MR vs JE vs the generative baseline) under identical queries.
+//
+// Paper claim (Figure 5): "MUST consistently delivers optimal results in
+// both rounds. JE underperforms... MR initially matches MUST's results for
+// text-only input, [but] fails to maintain alignment with the multi-modal
+// inputs in the subsequent round. GPT-4 (DALL-E 2)... generates synthetic
+// images that miss a touch of realism" (zero knowledge-base membership).
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/experiment.h"
+#include "llm/sim_image_generator.h"
+#include "retrieval/factory.h"
+#include "vector/distance.h"
+
+namespace mqa {
+namespace {
+
+int Run() {
+  bench::Banner(
+      "Figure 5 reproduction: two-round comparison of retrieval frameworks");
+
+  WorldConfig wc;
+  wc.num_concepts = 48;
+  wc.latent_dim = 32;
+  wc.raw_image_dim = 64;
+  wc.seed = 17;
+  auto corpus = MakeExperimentCorpus(wc, 6000);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "corpus: %s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("corpus: %llu objects, %u concepts; learned weights ["
+              "image %.3f, text %.3f]\n",
+              static_cast<unsigned long long>(corpus->kb->size()),
+              wc.num_concepts, corpus->represented.weights[0],
+              corpus->represented.weights[1]);
+
+  IndexConfig index;
+  index.algorithm = "mqa-hybrid";
+  index.graph.max_degree = 24;
+  SearchParams params;
+  params.k = 10;
+  params.beam_width = 96;
+  const size_t kDialogues = 120;
+
+  bench::Table table({"framework", "R1 concept-prec", "R1 gt-hit",
+                      "R2 concept-prec", "R2 gt-hit", "R1 ms", "R2 ms",
+                      "in-KB"});
+
+  for (const std::string& name : {"must", "mr", "je"}) {
+    auto fw = CreateRetrievalFramework(name, corpus->represented.store,
+                                       corpus->represented.weights, index);
+    if (!fw.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   fw.status().ToString().c_str());
+      return 1;
+    }
+    auto outcome = RunDialogueSuite(*corpus, fw->get(), kDialogues, 555,
+                                    params);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   outcome.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow({name, FormatDouble(outcome->round1_precision, 3),
+                  FormatDouble(outcome->round1_hit, 3),
+                  FormatDouble(outcome->round2_precision, 3),
+                  FormatDouble(outcome->round2_hit, 3),
+                  FormatDouble(outcome->round1_ms, 2),
+                  FormatDouble(outcome->round2_ms, 2), "100%"});
+  }
+
+  // Ablation: MQA's query-point weight adjustment — the user boosts the
+  // text modality for the attribute-modification round. Only MUST (and MR)
+  // can act on per-query weights; JE's fusion is fixed.
+  {
+    auto fw = CreateRetrievalFramework("must", corpus->represented.store,
+                                       corpus->represented.weights, index);
+    if (!fw.ok()) return 1;
+    auto outcome = RunDialogueSuite(*corpus, fw->get(), kDialogues, 555,
+                                    params, /*round2_weights=*/{0.5f, 1.5f});
+    if (!outcome.ok()) return 1;
+    table.AddRow({"must + R2 text boost",
+                  FormatDouble(outcome->round1_precision, 3),
+                  FormatDouble(outcome->round1_hit, 3),
+                  FormatDouble(outcome->round2_precision, 3),
+                  FormatDouble(outcome->round2_hit, 3),
+                  FormatDouble(outcome->round1_ms, 2),
+                  FormatDouble(outcome->round2_ms, 2), "100%"});
+  }
+
+  // Generative baseline (DALL-E 2 stand-in): on-topic synthetic images,
+  // but zero knowledge-base membership by construction.
+  {
+    SimImageGenerator gen(corpus->world.get(), 9);
+    Rng rng(555);
+    double on_topic = 0;
+    size_t trials = 0;
+    for (size_t d = 0; d < kDialogues; ++d) {
+      const uint32_t c =
+          static_cast<uint32_t>(d % corpus->world->num_concepts());
+      const TextQuery tq = corpus->world->MakeTextQuery(c, &rng);
+      auto imgs = gen.GenerateBatch(tq.text, params.k);
+      if (!imgs.ok()) continue;
+      for (const GeneratedImage& img : *imgs) {
+        // On-topic if the generated latent lands nearest this concept's
+        // prototype among all prototypes.
+        float best = 1e30f;
+        uint32_t best_c = 0;
+        for (uint32_t p = 0; p < corpus->world->num_concepts(); ++p) {
+          const float dd =
+              L2Sq(img.latent.data(),
+                   corpus->world->ConceptPrototype(p).data(), wc.latent_dim);
+          if (dd < best) {
+            best = dd;
+            best_c = p;
+          }
+        }
+        on_topic += best_c == c ? 1.0 : 0.0;
+        ++trials;
+      }
+    }
+    table.AddRow({"generative (sim-dalle)",
+                  FormatDouble(on_topic / trials, 3) + " (on-topic)", "0.000",
+                  "-", "0.000", "-", "-", "0%"});
+  }
+
+  table.Print();
+  std::printf(
+      "\nExpected shape (gt-hit = fraction of the true nearest objects\n"
+      "retrieved, the metric behind 'images that align with the user's\n"
+      "selection'): must matches mr and beats je on round 1, and beats both\n"
+      "clearly on round 2; je's fixed fusion keeps coarse concept precision\n"
+      "but loses fine-grained alignment, mr collapses on the attribute\n"
+      "switch, and the query-point text boost (a weight adjustment only\n"
+      "must/mr support) lifts must's round-2 concept precision above every\n"
+      "baseline. Generative results are on-topic but never knowledge-base\n"
+      "members.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mqa
+
+int main() { return mqa::Run(); }

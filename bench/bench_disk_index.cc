@@ -1,0 +1,135 @@
+// Experiment Starling-E6: the disk-resident graph index. Block layout
+// (BFS packing vs id order), block-aware search, and page-cache size
+// determine the number of 4KB page reads per query — the quantity that
+// dominates latency on SSDs.
+//
+// Paper claim (via Starling [9]): an I/O-efficient disk-resident graph
+// index with a block-level layout reduces page reads per query, enabling
+// scalability past memory.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/experiment.h"
+#include "diskindex/disk_index.h"
+#include "graph/pipeline.h"
+
+namespace mqa {
+namespace {
+
+int Run() {
+  bench::Banner(
+      "Starling-E6: disk-resident index I/O (N = 20000, page = 4KB, "
+      "k = 10, beam = 64)");
+
+  WorldConfig wc;
+  wc.num_concepts = 40;
+  wc.latent_dim = 32;
+  wc.raw_image_dim = 64;
+  wc.seed = 37;
+  auto corpus = MakeExperimentCorpus(wc, 20000);
+  if (!corpus.ok()) return 1;
+  const VectorStore& store = *corpus->represented.store;
+
+  // Build the in-memory source graph once.
+  auto wd = WeightedMultiDistance::Create(store.schema(),
+                                          corpus->represented.weights);
+  if (!wd.ok()) return 1;
+  GraphBuildConfig graph_config;
+  graph_config.algorithm = "mqa-hybrid";
+  graph_config.max_degree = 24;
+  auto mem_index = BuildGraphIndex(
+      graph_config, &store,
+      std::make_unique<MultiVectorDistanceComputer>(&store, *wd, true));
+  if (!mem_index.ok()) return 1;
+
+  const size_t kQueries = 100;
+  std::vector<Vector> queries;
+  Rng rng(41);
+  for (size_t i = 0; i < kQueries; ++i) {
+    const uint32_t c =
+        static_cast<uint32_t>(i % corpus->world->num_concepts());
+    auto q = EncodeTextQuery(*corpus,
+                             corpus->world->MakeTextQuery(c, &rng).text);
+    if (!q.ok()) return 1;
+    auto flat = FlattenMultiVector(store.schema(), q->modalities);
+    if (!flat.ok()) return 1;
+    queries.push_back(std::move(flat).Value());
+  }
+
+  bench::Table table({"layout", "block-aware", "cache pages", "mem pivots",
+                      "page reads/query", "cache hits/query",
+                      "modeled ms/query (100us reads)", "recall vs memory"});
+
+  // Memory-index reference results.
+  SearchParams params;
+  params.k = 10;
+  params.beam_width = 64;
+  std::vector<std::vector<uint32_t>> mem_results(kQueries);
+  for (size_t i = 0; i < kQueries; ++i) {
+    auto r = (*mem_index)->Search(queries[i].data(), params, nullptr);
+    if (!r.ok()) return 1;
+    for (const Neighbor& n : *r) mem_results[i].push_back(n.id);
+  }
+
+  struct Setting {
+    const char* layout;
+    bool aware;
+    size_t cache;
+    uint32_t pivots;
+  };
+  const Setting settings[] = {
+      {"id", false, 64, 0},   {"id", true, 64, 0},
+      {"bfs", false, 64, 0},  {"bfs", true, 64, 0},
+      {"bfs", true, 16, 0},   {"bfs", true, 256, 0},
+      {"bfs", true, 1024, 0}, {"bfs", true, 64, 256},
+      {"bfs", true, 64, 1024},
+  };
+
+  for (const Setting& s : settings) {
+    DiskIndexConfig config;
+    config.layout = s.layout;
+    config.block_aware_search = s.aware;
+    config.cache_pages = s.cache;
+    config.memory_pivots = s.pivots;
+    auto disk = DiskGraphIndex::Create(config, **mem_index, store, *wd);
+    if (!disk.ok()) {
+      std::fprintf(stderr, "disk: %s\n", disk.status().ToString().c_str());
+      return 1;
+    }
+    double recall = 0;
+    for (size_t i = 0; i < kQueries; ++i) {
+      (*disk)->ClearCache();  // cold per query: worst case
+      auto r = (*disk)->Search(queries[i].data(), params, nullptr);
+      if (!r.ok()) return 1;
+      recall += GroundTruthHitRate(*r, mem_results[i]);
+    }
+    const DiskIoStats& io = (*disk)->io_stats();
+    const double reads = static_cast<double>(io.page_reads) / kQueries;
+    table.AddRow({s.layout, s.aware ? "yes" : "no", std::to_string(s.cache),
+                  std::to_string(s.pivots), FormatDouble(reads, 1),
+                  FormatDouble(static_cast<double>(io.cache_hits) / kQueries,
+                               1),
+                  FormatDouble(DiskGraphIndex::ModeledLatencyMs(
+                                   static_cast<uint64_t>(reads)),
+                               2),
+                  FormatDouble(recall / kQueries, 3)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: the BFS block layout needs ~2-3x fewer page reads\n"
+      "than id order (neighborhoods share pages), and bigger caches help\n"
+      "further — the two Starling effects. Block-aware scoring keeps reads\n"
+      "flat while scoring page-mates for free; it can terminate the beam\n"
+      "slightly earlier (marginally lower recall). The in-memory pivot\n"
+      "sample (Starling's RAM navigation layer) seeds the traversal near\n"
+      "the answer and cuts cold-cache reads further. Recall stays close to\n"
+      "the in-memory index throughout.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mqa
+
+int main() { return mqa::Run(); }

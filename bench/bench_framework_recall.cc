@@ -1,0 +1,71 @@
+// Experiment MUST-E1 (accuracy): retrieval accuracy of MUST vs MR vs JE at
+// matched search effort, across corpus sizes.
+//
+// Underlying paper claim (Section 1, backed by the MUST paper): "both
+// baselines exhibit limitations in efficiency and accuracy due to their
+// inability to consider the varying importance of fusing information
+// across modalities and the absence of a dedicated indexing and search
+// method for multi-modal data."
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/experiment.h"
+#include "retrieval/factory.h"
+
+namespace mqa {
+namespace {
+
+int Run() {
+  bench::Banner(
+      "MUST-E1: framework accuracy across corpus sizes (k = 10, beam = 96)");
+  bench::Table table({"N", "framework", "R1 concept-prec", "R2 concept-prec",
+                      "R1 gt-hit", "R2 gt-hit", "avg ms/query"});
+
+  for (uint64_t n : {2000, 8000, 20000}) {
+    WorldConfig wc;
+    wc.num_concepts = 48;
+    wc.latent_dim = 32;
+    wc.raw_image_dim = 64;
+    wc.seed = 7;
+    auto corpus = MakeExperimentCorpus(wc, n);
+    if (!corpus.ok()) return 1;
+    IndexConfig index;
+    index.algorithm = "mqa-hybrid";
+    index.graph.max_degree = 24;
+    SearchParams params;
+    params.k = 10;
+    params.beam_width = 96;
+
+    for (const std::string& name : {"must", "mr", "je"}) {
+      auto fw = CreateRetrievalFramework(name, corpus->represented.store,
+                                         corpus->represented.weights, index);
+      if (!fw.ok()) return 1;
+      auto outcome = RunDialogueSuite(*corpus, fw->get(), 80, 99, params);
+      if (!outcome.ok()) return 1;
+      table.AddRow({std::to_string(n), name,
+                    FormatDouble(outcome->round1_precision, 3),
+                    FormatDouble(outcome->round2_precision, 3),
+                    FormatDouble(outcome->round1_hit, 3),
+                    FormatDouble(outcome->round2_hit, 3),
+                    FormatDouble((outcome->round1_ms + outcome->round2_ms) / 2,
+                                 3)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: round 1 ties across frameworks (text-only is\n"
+      "easy); on round 2 must beats mr at every N, and beats je on\n"
+      "fine-grained alignment (gt-hit) at small/medium N — je's fixed\n"
+      "fusion holds coarse concept precision but loses instance-level\n"
+      "alignment. At the largest N the exact-top-10 hit rates of all\n"
+      "frameworks approach zero (500 objects per concept) and differences\n"
+      "fall within noise.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mqa
+
+int main() { return mqa::Run(); }

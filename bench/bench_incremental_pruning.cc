@@ -1,0 +1,126 @@
+// Experiment MUST-E4 (computational pruning): the incremental-scanning
+// multi-vector distance abandons computations against the current beam
+// bound, cutting scanned dimensions without changing results. Abandonment
+// fires when a prefix of modalities already exceeds the bound, so its
+// effectiveness grows with (a) the number of modalities and (b) the skew
+// of the modality weights — both are swept here.
+//
+// Paper claim: "distances are calculated via incremental scanning,
+// enhancing efficiency by circumventing unnecessary calculations" and the
+// index is "refined using computational pruning techniques".
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/experiment.h"
+#include "retrieval/must.h"
+
+namespace mqa {
+namespace {
+
+struct Setting {
+  const char* label;
+  uint32_t extra_modalities;
+  std::vector<float> weights;  // empty = learned
+};
+
+int Run() {
+  bench::Banner(
+      "MUST-E4: incremental-scanning pruning ablation (N = 12000, k = 10, "
+      "beam = 96)");
+  bench::Table table({"modalities", "weights", "pruning",
+                      "dims scanned/query", "early-abandon frac", "QPS",
+                      "recall vs unpruned"});
+
+  const Setting settings[] = {
+      {"learned", 0, {}},
+      {"skewed 1.6/0.4", 0, {1.6f, 0.4f}},
+      {"learned", 2, {}},
+      {"skewed 2/1/.6/.4", 2, {2.0f, 1.0f, 0.6f, 0.4f}},
+  };
+
+  for (const Setting& setting : settings) {
+    WorldConfig wc;
+    wc.num_concepts = 32;
+    wc.latent_dim = 32;
+    wc.raw_image_dim = 64;
+    wc.seed = 19;
+    wc.num_extra_modalities = setting.extra_modalities;
+    auto corpus = MakeExperimentCorpus(wc, 12000);
+    if (!corpus.ok()) return 1;
+    const size_t num_m = 2 + setting.extra_modalities;
+    const std::vector<float> weights =
+        setting.weights.empty() ? corpus->represented.weights
+                                : setting.weights;
+
+    IndexConfig index;
+    index.algorithm = "mqa-hybrid";
+    index.graph.max_degree = 24;
+
+    const size_t kQueries = 200;
+    std::vector<RetrievalQuery> queries;
+    Rng rng(23);
+    for (size_t i = 0; i < kQueries; ++i) {
+      const uint32_t c =
+          static_cast<uint32_t>(i % corpus->world->num_concepts());
+      auto q = EncodeTextQuery(
+          *corpus, corpus->world->MakeTextQuery(c, &rng).text);
+      if (!q.ok()) return 1;
+      queries.push_back(std::move(q).Value());
+    }
+    SearchParams params;
+    params.k = 10;
+    params.beam_width = 96;
+
+    std::vector<std::vector<Neighbor>> unpruned_results;
+    for (bool pruning : {false, true}) {
+      auto fw = MustFramework::Create(corpus->represented.store, weights,
+                                      index, pruning);
+      if (!fw.ok()) return 1;
+      (*fw)->ResetDistanceStats();
+      double recall = 0;
+      Timer timer;
+      for (size_t i = 0; i < kQueries; ++i) {
+        auto r = (*fw)->Retrieve(queries[i], params);
+        if (!r.ok()) return 1;
+        if (!pruning) {
+          unpruned_results.push_back(r->neighbors);
+        } else {
+          std::vector<uint32_t> gt;
+          for (const Neighbor& e : unpruned_results[i]) gt.push_back(e.id);
+          recall += GroundTruthHitRate(r->neighbors, gt);
+        }
+      }
+      const double elapsed = timer.ElapsedSeconds();
+      const DistanceStats& stats = (*fw)->distance_stats();
+      const double pruned_frac =
+          stats.TotalComputations() == 0
+              ? 0.0
+              : static_cast<double>(stats.pruned_computations) /
+                    stats.TotalComputations();
+      table.AddRow({std::to_string(num_m), setting.label,
+                    pruning ? "on" : "off",
+                    std::to_string(stats.dims_scanned / kQueries),
+                    FormatDouble(pruned_frac, 3),
+                    FormatDouble(kQueries / elapsed, 0),
+                    pruning ? FormatDouble(recall / kQueries, 3) : "1.000"});
+      unpruned_results.resize(kQueries);
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: early abandonment and scanned-dimension savings\n"
+      "grow with modality count and with weight skew (heaviest-first scan\n"
+      "order crosses the bound sooner when one modality dominates); with\n"
+      "near-balanced weights a prefix rarely exceeds the full-distance\n"
+      "bound and pruning is neutral. Recall against the unpruned run stays\n"
+      "~1.0 — pruning is lossless for the beam search.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mqa
+
+int main() { return mqa::Run(); }

@@ -1,0 +1,126 @@
+// Experiment Pipeline-E5: the unified five-stage construction pipeline
+// instantiating different navigation-graph algorithms (KGraph, NSG,
+// Vamana, the composed "mqa-hybrid", HNSW) — build time, memory, stage
+// breakdown, and the recall/QPS operating points of each.
+//
+// Paper claim: "a general pipeline for constructing fine-grained
+// navigation graphs on CGraph ... allowing any current navigation graph to
+// be decomposed and smoothly integrated into MQA. Furthermore, we
+// incorporate components from several state-of-the-art algorithms ...
+// resulting in a novel indexing algorithm."
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/experiment.h"
+#include "graph/index_factory.h"
+
+namespace mqa {
+namespace {
+
+int Run() {
+  bench::Banner(
+      "Pipeline-E5: index algorithms in the unified pipeline (N = 20000, "
+      "weighted multi-vector space)");
+
+  WorldConfig wc;
+  wc.num_concepts = 40;
+  wc.latent_dim = 32;
+  wc.raw_image_dim = 64;
+  wc.seed = 29;
+  auto corpus = MakeExperimentCorpus(wc, 20000);
+  if (!corpus.ok()) return 1;
+  const VectorStore& store = *corpus->represented.store;
+
+  // Query bank + exact ground truth under the learned weighted distance.
+  const size_t kQueries = 80;
+  std::vector<Vector> queries;
+  std::vector<std::vector<uint32_t>> exact(kQueries);
+  {
+    auto wd = WeightedMultiDistance::Create(store.schema(),
+                                            corpus->represented.weights);
+    if (!wd.ok()) return 1;
+    Rng rng(31);
+    for (size_t i = 0; i < kQueries; ++i) {
+      const uint32_t c =
+          static_cast<uint32_t>(i % corpus->world->num_concepts());
+      auto q = EncodeTextQuery(
+          *corpus, corpus->world->MakeTextQuery(c, &rng).text);
+      if (!q.ok()) return 1;
+      auto flat = FlattenMultiVector(store.schema(), q->modalities);
+      if (!flat.ok()) return 1;
+      queries.push_back(std::move(flat).Value());
+      TopK topk(10);
+      for (uint32_t id = 0; id < store.size(); ++id) {
+        topk.Push(wd->Exact(queries.back().data(), store.data(id)), id);
+      }
+      for (const Neighbor& n : topk.TakeSorted()) exact[i].push_back(n.id);
+    }
+  }
+
+  bench::Table table({"algorithm", "build s", "index MB", "avg degree",
+                      "connected", "recall@10", "QPS", "stage breakdown"});
+
+  for (const std::string& algo : AllIndexAlgorithms()) {
+    IndexConfig config;
+    config.algorithm = algo;
+    config.graph.max_degree = 24;
+    config.graph.build_beam = 64;
+    config.hnsw.m = 12;
+    auto wd = WeightedMultiDistance::Create(store.schema(),
+                                            corpus->represented.weights);
+    if (!wd.ok()) return 1;
+    auto dist = std::make_unique<MultiVectorDistanceComputer>(
+        &store, std::move(wd).Value(), /*enable_pruning=*/true);
+    BuildReport report;
+    Timer build_timer;
+    auto index = CreateIndex(config, &store, std::move(dist), &report);
+    if (!index.ok()) {
+      std::fprintf(stderr, "%s: %s\n", algo.c_str(),
+                   index.status().ToString().c_str());
+      return 1;
+    }
+    const double build_s = build_timer.ElapsedSeconds();
+
+    SearchParams params;
+    params.k = 10;
+    params.beam_width = 96;
+    double recall = 0;
+    Timer timer;
+    for (size_t i = 0; i < kQueries; ++i) {
+      auto r = (*index)->Search(queries[i].data(), params, nullptr);
+      if (!r.ok()) return 1;
+      recall += GroundTruthHitRate(*r, exact[i]);
+    }
+    const double elapsed = timer.ElapsedSeconds();
+
+    std::string stages;
+    for (const auto& s : report.stages) {
+      if (!stages.empty()) stages += ", ";
+      stages += s.name.substr(0, 4) + "=" +
+                FormatDouble(s.elapsed_ms / 1000.0, 1) + "s";
+    }
+    if (stages.empty()) stages = "-";
+    table.AddRow(
+        {algo, FormatDouble(build_s, 2),
+         FormatDouble((*index)->MemoryBytes() / 1048576.0, 2),
+         FormatDouble(report.avg_degree, 1), report.connected ? "yes" : "-",
+         FormatDouble(recall / kQueries, 3),
+         FormatDouble(kQueries / elapsed, 0), stages});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: every refined graph (nsg, vamana, mqa-hybrid,\n"
+      "hnsw) reaches ~0.93+ recall at several times the QPS of bruteforce\n"
+      "(the gap widens with N: graph search cost grows ~log N, scans grow\n"
+      "linearly); kgraph (no refinement, random restarts) trails in\n"
+      "recall; build cost is dominated by the refinement stage.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mqa
+
+int main() { return mqa::Run(); }

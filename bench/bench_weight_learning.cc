@@ -1,0 +1,125 @@
+// Experiment MUST-E3 (vector weight learning): the contrastive weight
+// learner tracks the true modality informativeness, and the learned
+// weights beat fixed uniform (and inverted) weights on retrieval accuracy.
+//
+// Paper claim: "a vector weight learning model to discern the importances
+// of different modalities for similarity measurement ... capturing
+// individual modality importance through contrastive learning for better
+// similarity evaluations."
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/experiment.h"
+#include "learning/weight_learner.h"
+#include "retrieval/factory.h"
+
+namespace mqa {
+namespace {
+
+struct NoiseSetting {
+  const char* label;
+  float image_noise;
+  float text_noise;
+};
+
+int Run() {
+  bench::Banner(
+      "MUST-E3: contrastive weight learning vs fixed weights "
+      "(N = 6000, 32 concepts)");
+  bench::Table table({"world (noise img/txt)", "learned w_img", "learned w_txt",
+                      "triplet acc", "hit@10 learned", "hit@10 uniform",
+                      "hit@10 inverted"});
+
+  const NoiseSetting settings[] = {
+      {"balanced (0.10/0.10)", 0.10f, 0.10f},
+      {"text noisy (0.05/0.35)", 0.05f, 0.35f},
+      {"image noisy (0.35/0.05)", 0.35f, 0.05f},
+      {"text useless (0.05/0.80)", 0.05f, 0.80f},
+  };
+
+  for (const NoiseSetting& setting : settings) {
+    WorldConfig wc;
+    wc.num_concepts = 32;
+    wc.latent_dim = 32;
+    wc.raw_image_dim = 64;
+    wc.seed = 11;
+    wc.modality_noise = {setting.image_noise, setting.text_noise};
+    auto corpus = MakeExperimentCorpus(wc, 6000);
+    if (!corpus.ok()) return 1;
+
+    IndexConfig index;
+    index.algorithm = "mqa-hybrid";
+    index.graph.max_degree = 24;
+    SearchParams params;
+    params.k = 10;
+    params.beam_width = 96;
+
+    // Evaluation task matching the learning objective: a fresh observation
+    // of a known object (re-rendered image + re-worded caption) queries
+    // for the latent-space nearest objects; better modality weighting =
+    // better hit rate.
+    auto eval = [&](std::vector<float> weights) -> double {
+      auto fw = CreateRetrievalFramework("must", corpus->represented.store,
+                                         std::move(weights), index);
+      if (!fw.ok()) return -1.0;
+      Rng rng(13);
+      double hits = 0;
+      const size_t kQueries = 100;
+      for (size_t i = 0; i < kQueries; ++i) {
+        const Object& target = corpus->kb->at(
+            rng.NextUint64(corpus->kb->size()));
+        const Object observed = corpus->world->ReobserveObject(target, &rng);
+        auto q = EncodeImageTextQuery(*corpus, observed,
+                                      observed.modalities[1].text);
+        if (!q.ok()) return -1.0;
+        auto r = (*fw)->Retrieve(*q, params);
+        if (!r.ok()) return -1.0;
+        hits += GroundTruthHitRate(
+            r->neighbors,
+            corpus->world->GroundTruth(*corpus->kb, target.latent,
+                                       params.k));
+      }
+      return hits / kQueries;
+    };
+
+    // Instance-level weight learning: triplets from true latent
+    // neighborhoods (the relevance signal of the similar-item task).
+    std::vector<std::vector<float>> positions;
+    positions.reserve(corpus->kb->size());
+    for (const Object& obj : corpus->kb->objects()) {
+      positions.push_back(obj.latent);
+    }
+    Rng triplet_rng(3);
+    auto triplets = SampleTripletsByNeighborhood(
+        *corpus->represented.store, positions, 1500, 10, &triplet_rng);
+    if (!triplets.ok()) return 1;
+    WeightLearner learner(WeightLearnerConfig{}, 2);
+    auto report = learner.Fit(*triplets);
+    if (!report.ok()) return 1;
+
+    const std::vector<float>& learned = report->weights;
+    const std::vector<float> inverted = {learned[1], learned[0]};
+    table.AddRow({setting.label, FormatDouble(learned[0], 3),
+                  FormatDouble(learned[1], 3),
+                  FormatDouble(report->triplet_accuracy, 3),
+                  FormatDouble(eval(learned), 3),
+                  FormatDouble(eval({1.0f, 1.0f}), 3),
+                  FormatDouble(eval(inverted), 3)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: the learner tracks modality informativeness (w_txt\n"
+      "falls as text noise rises, w_img falls as image noise rises);\n"
+      "learned weights match or beat uniform and clearly beat inverted\n"
+      "whenever noise is skewed. In the image-noisy world, instance-level\n"
+      "detail only lives in the (drowned) image channel, so every setting\n"
+      "collapses toward chance and differences are within noise there.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mqa
+
+int main() { return mqa::Run(); }

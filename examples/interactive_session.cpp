@@ -1,0 +1,112 @@
+// A REPL frontend over the Coordinator — the terminal equivalent of the
+// paper's QA panel. Commands:
+//
+//   ask <text>            submit a query (uses the current selection)
+//   select <rank>         click result <rank> (1-based) as feedback
+//   weights <img> <txt>   adjust modality weights
+//   framework <name>      switch retrieval framework (must | mr | je)
+//   status                print the status-monitoring panel
+//   concepts              list a few concept names to ask about
+//   reset                 start a fresh dialogue
+//   quit                  exit
+//
+// Reads stdin; exits cleanly on EOF, so it can be scripted:
+//   printf 'concepts\nask show me moldy cheese\nselect 1\nquit\n' |
+//     ./interactive_session
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "core/coordinator.h"
+#include "core/session.h"
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands: ask <text> | select <rank> | weights <img> <txt> |\n"
+      "          framework <must|mr|je> | status | concepts | reset | "
+      "quit\n");
+}
+
+}  // namespace
+
+int main() {
+  mqa::MqaConfig config;
+  config.world.num_concepts = 48;
+  config.world.seed = 7;
+  config.corpus_size = 6000;
+  config.search.k = 5;
+  std::printf("starting MQA (6000 objects, 48 concepts)...\n");
+  auto coordinator_or = mqa::Coordinator::Create(config);
+  if (!coordinator_or.ok()) {
+    std::fprintf(stderr, "startup failed: %s\n",
+                 coordinator_or.status().ToString().c_str());
+    return 1;
+  }
+  auto coordinator = std::move(coordinator_or).Value();
+  mqa::Session session(coordinator.get());
+  std::printf("%s\n", coordinator->monitor().Render().c_str());
+  PrintHelp();
+
+  std::string line;
+  while (std::printf("mqa> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string command;
+    in >> command;
+    if (command.empty()) continue;
+    if (command == "quit" || command == "exit") break;
+
+    if (command == "ask") {
+      std::string text;
+      std::getline(in, text);
+      auto turn = session.Ask(mqa::Trim(text));
+      if (!turn.ok()) {
+        std::printf("error: %s\n", turn.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s\n", turn->answer.c_str());
+    } else if (command == "select") {
+      size_t rank = 0;
+      in >> rank;
+      if (rank == 0 || !session.Select(rank - 1).ok()) {
+        std::printf("no result at rank %zu\n", rank);
+      } else {
+        std::printf("selected result %zu (object #%llu); it will augment "
+                    "your next query\n",
+                    rank,
+                    static_cast<unsigned long long>(*session.selection()));
+      }
+    } else if (command == "weights") {
+      float img = 1.0f, txt = 1.0f;
+      in >> img >> txt;
+      const auto st = coordinator->SetWeights({img, txt});
+      std::printf("%s\n", st.ok() ? "weights updated"
+                                  : st.ToString().c_str());
+    } else if (command == "framework") {
+      std::string name;
+      in >> name;
+      const auto st = coordinator->SetFramework(name);
+      std::printf("%s\n", st.ok() ? ("switched to " + name).c_str()
+                                  : st.ToString().c_str());
+    } else if (command == "status") {
+      std::printf("%s", coordinator->monitor().Render().c_str());
+    } else if (command == "concepts") {
+      const mqa::World& world = coordinator->world();
+      for (uint32_t c = 0; c < std::min(8u, world.num_concepts()); ++c) {
+        std::printf("  %s\n", world.ConceptName(c).c_str());
+      }
+    } else if (command == "reset") {
+      session.Reset();
+      std::printf("dialogue reset\n");
+    } else {
+      PrintHelp();
+    }
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Quickstart: build an MQA system over a synthetic multi-modal knowledge
+// base, run a two-round interactive dialogue (text query -> select a result
+// -> refine), and print the status-monitoring timeline.
+//
+// This is the minimal end-to-end tour of the public API:
+//   MqaConfig -> Coordinator::Create -> Session::Ask/Select/Ask.
+
+#include <cstdio>
+
+#include "core/coordinator.h"
+#include "core/session.h"
+
+int main() {
+  mqa::MqaConfig config;
+  config.world.num_concepts = 40;
+  config.world.seed = 7;
+  config.corpus_size = 4000;
+  config.search.k = 5;
+  config.index.algorithm = "mqa-hybrid";
+
+  // Mirror the status-monitoring panel on stdout as milestones complete.
+  auto coordinator_or = mqa::Coordinator::Create(config);
+  if (!coordinator_or.ok()) {
+    std::fprintf(stderr, "failed to start MQA: %s\n",
+                 coordinator_or.status().ToString().c_str());
+    return 1;
+  }
+  auto coordinator = std::move(coordinator_or).Value();
+  std::printf("=== status panel ===\n%s\n",
+              coordinator->monitor().Render().c_str());
+
+  mqa::Session session(coordinator.get());
+
+  // Round 1: text-only query (Figure 4a).
+  const mqa::World& world = coordinator->world();
+  const std::string concept_name = world.ConceptName(0);
+  std::printf("=== round 1 ===\nuser: i would like some images of %s\n",
+              concept_name.c_str());
+  auto turn1 = session.Ask("i would like some images of " + concept_name);
+  if (!turn1.ok()) {
+    std::fprintf(stderr, "round 1 failed: %s\n",
+                 turn1.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("assistant:\n%s\n", turn1->answer.c_str());
+
+  // The user clicks the first result and refines.
+  if (auto st = session.Select(0); !st.ok()) {
+    std::fprintf(stderr, "select failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("\n=== round 2 (selected result #1) ===\n");
+  auto turn2 = session.Ask(
+      "i like this one, could you locate more " + concept_name +
+      " similar to it?");
+  if (!turn2.ok()) {
+    std::fprintf(stderr, "round 2 failed: %s\n",
+                 turn2.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("assistant:\n%s\n", turn2->answer.c_str());
+
+  // Show retrieval telemetry for the curious.
+  std::printf("\nround-2 retrieval: %zu results, %.2f ms, %llu distance "
+              "computations\n",
+              turn2->items.size(), turn2->retrieval.latency_ms,
+              static_cast<unsigned long long>(
+                  turn2->retrieval.stats.dist_comps));
+  return 0;
+}

@@ -1,0 +1,89 @@
+// The paper's Figure 1 scenario: a shopping assistant over a multi-modal
+// product knowledge base. The user searches in text, uploads a reference
+// image ("image-assisted input", Figure 4b), refines with attribute
+// feedback, and adjusts modality weights at the query point.
+
+#include <cstdio>
+
+#include "core/coordinator.h"
+#include "core/session.h"
+
+namespace {
+
+void PrintTurn(const char* user_line, const mqa::AnswerTurn& turn) {
+  std::printf("user: %s\nassistant:\n%s\n\n", user_line, turn.answer.c_str());
+}
+
+}  // namespace
+
+int main() {
+  mqa::MqaConfig config;
+  config.world.num_concepts = 48;
+  config.world.seed = 2024;
+  config.corpus_size = 8000;
+  config.kb_name = "product-catalog";
+  config.search.k = 5;
+
+  auto coordinator_or = mqa::Coordinator::Create(config);
+  if (!coordinator_or.ok()) {
+    std::fprintf(stderr, "startup failed: %s\n",
+                 coordinator_or.status().ToString().c_str());
+    return 1;
+  }
+  auto coordinator = std::move(coordinator_or).Value();
+  const mqa::World& world = coordinator->world();
+  mqa::Session session(coordinator.get());
+
+  // Pick a "product" the user is shopping for: a concept with siblings so
+  // an attribute change is possible.
+  const uint32_t concept_id = 0;
+  const std::string concept_name = world.ConceptName(concept_id);
+
+  // --- Round 1: text-only search (Figure 4a). ---
+  const std::string ask1 = "i am looking for " + concept_name;
+  auto turn1 = session.Ask(ask1);
+  if (!turn1.ok()) {
+    std::fprintf(stderr, "%s\n", turn1.status().ToString().c_str());
+    return 1;
+  }
+  PrintTurn(ask1.c_str(), *turn1);
+
+  // --- Round 2: the user clicks the second result and refines. ---
+  if (auto st = session.Select(1); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  const std::string ask2 =
+      "i like this one, could you locate more " + concept_name +
+      " similar to it?";
+  auto turn2 = session.Ask(ask2);
+  if (!turn2.ok()) return 1;
+  PrintTurn(ask2.c_str(), *turn2);
+
+  // --- Round 3: image-assisted input (Figure 4b): the user uploads a
+  // reference photo (here: an image payload of some catalog object) and
+  // asks for similar material. ---
+  mqa::Rng rng(99);
+  const mqa::Object reference = world.MakeObject(5, &rng);
+  const std::string ask3 =
+      "could you find more items made of similar material to the one i "
+      "have provided?";
+  auto turn3 = session.AskWithImage(ask3, reference.modalities[0]);
+  if (!turn3.ok()) return 1;
+  PrintTurn(ask3.c_str(), *turn3);
+
+  // --- Round 4: the user boosts the text modality before an attribute
+  // request (the configuration panel's weight control). ---
+  if (auto st = coordinator->SetWeights({0.6f, 1.4f}); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  const mqa::ModificationSpec mod = world.MakeModification(5, &rng);
+  auto turn4 = session.Ask(mod.text);
+  if (!turn4.ok()) return 1;
+  PrintTurn(mod.text.c_str(), *turn4);
+
+  std::printf("=== session summary ===\nrounds: %zu, status timeline:\n%s",
+              session.rounds(), coordinator->monitor().Render().c_str());
+  return 0;
+}

@@ -1,0 +1,47 @@
+#ifndef MQA_COMMON_LOGGING_H_
+#define MQA_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace mqa {
+
+/// Severity levels for the process-wide logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum severity; messages below it are dropped.
+/// Defaults to kInfo. Thread-safe (atomic underneath).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction. Used via the MQA_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define MQA_LOG(level)                                                  \
+  ::mqa::internal::LogMessage(::mqa::LogLevel::k##level, __FILE__, __LINE__)
+
+}  // namespace mqa
+
+#endif  // MQA_COMMON_LOGGING_H_

@@ -1,0 +1,56 @@
+#ifndef MQA_COMMON_RANDOM_H_
+#define MQA_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mqa {
+
+/// Deterministic PRNG used everywhere in MQA so that experiments are exactly
+/// reproducible from a seed. Core generator is xoshiro256**, seeded via
+/// SplitMix64.
+class Rng {
+ public:
+  /// Seeds the generator. The same seed always yields the same stream.
+  explicit Rng(uint64_t seed = 42);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, n). Precondition: n > 0.
+  uint64_t NextUint64(uint64_t n);
+
+  /// Uniform integer in [lo, hi]. Precondition: lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal via Box–Muller (cached pair).
+  double Gaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  /// A random permutation of [0, n).
+  std::vector<uint32_t> Permutation(uint32_t n);
+
+  /// Samples k distinct values from [0, n) (Floyd's algorithm). When k >= n
+  /// returns all of [0, n) shuffled.
+  std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k);
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_COMMON_RANDOM_H_

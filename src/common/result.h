@@ -1,0 +1,89 @@
+#ifndef MQA_COMMON_RESULT_H_
+#define MQA_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace mqa {
+
+/// Holds either a value of type `T` or an error `Status`. Analogous to
+/// `arrow::Result<T>` / `absl::StatusOr<T>`.
+///
+/// Usage:
+///   Result<Index> r = BuildIndex(...);
+///   if (!r.ok()) return r.status();
+///   Index idx = std::move(r).Value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (error). Constructing from
+  /// an OK status is a programming error and degrades to Internal.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; `Status::OK()` when a value is held.
+  const Status& status() const { return status_; }
+
+  /// Accessors. Precondition: ok().
+  const T& Value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& Value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& Value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return Value(); }
+  T& operator*() & { return Value(); }
+  const T* operator->() const { return &Value(); }
+  T* operator->() { return &Value(); }
+
+  /// Returns the value, or `fallback` when this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK when value_ is engaged.
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the status, otherwise
+/// move-assigns the value into `lhs` (which must be declared by the caller,
+/// e.g. `MQA_ASSIGN_OR_RETURN(auto v, Foo());`).
+#define MQA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).Value()
+
+#define MQA_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define MQA_ASSIGN_OR_RETURN_NAME(a, b) MQA_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define MQA_ASSIGN_OR_RETURN(lhs, rexpr) \
+  MQA_ASSIGN_OR_RETURN_IMPL(             \
+      MQA_ASSIGN_OR_RETURN_NAME(_mqa_result_, __LINE__), lhs, rexpr)
+
+}  // namespace mqa
+
+#endif  // MQA_COMMON_RESULT_H_

@@ -1,0 +1,35 @@
+#ifndef MQA_COMMON_STRING_UTIL_H_
+#define MQA_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mqa {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins with a separator string.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string Trim(std::string_view s);
+
+/// Lower-cases and splits into alphanumeric word tokens; punctuation is a
+/// separator. The unit of text used by the simulated encoders and SimLLM.
+std::vector<std::string> Tokenize(std::string_view s);
+
+/// True if `haystack` contains `needle` case-insensitively.
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// Renders a double with the given number of decimals (benchmark tables).
+std::string FormatDouble(double v, int decimals);
+
+}  // namespace mqa
+
+#endif  // MQA_COMMON_STRING_UTIL_H_

@@ -1,0 +1,59 @@
+#ifndef MQA_COMMON_THREAD_POOL_H_
+#define MQA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mqa {
+
+/// A fixed-size worker pool. Tasks are `std::function<void()>`; `Submit`
+/// returns a future for completion/exception propagation. Used by the DAG
+/// engine and by parallel index construction.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains and joins. Pending tasks are still executed before shutdown.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns a future resolved on completion.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [0, n) across the pool and blocks until all
+  /// iterations finish. Iterations are chunked to limit queue overhead.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    std::promise<void> done;
+  };
+
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::unique_ptr<Task>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+};
+
+/// A process-wide default pool sized to the hardware concurrency.
+ThreadPool& DefaultThreadPool();
+
+}  // namespace mqa
+
+#endif  // MQA_COMMON_THREAD_POOL_H_

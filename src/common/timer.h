@@ -1,0 +1,34 @@
+#ifndef MQA_COMMON_TIMER_H_
+#define MQA_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace mqa {
+
+/// Monotonic wall-clock stopwatch used by benchmarks and the status monitor.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_COMMON_TIMER_H_

@@ -1,0 +1,73 @@
+#ifndef MQA_COMMON_TOPK_H_
+#define MQA_COMMON_TOPK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace mqa {
+
+/// A (distance, id) pair as produced by vector search. Smaller distance is
+/// better everywhere in MQA (similarities are negated upstream).
+struct Neighbor {
+  float distance = 0.0f;
+  uint32_t id = 0;
+
+  bool operator==(const Neighbor&) const = default;
+};
+
+/// Orders by distance, breaking ties by id for determinism.
+inline bool NeighborLess(const Neighbor& a, const Neighbor& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.id < b.id;
+}
+
+/// Keeps the k smallest-distance neighbors seen so far. Implemented as a
+/// bounded binary max-heap: the root is the current worst member, so
+/// `WorstDistance()` gives the early-abandon threshold for pruned distance
+/// computation in O(1).
+class TopK {
+ public:
+  /// Creates a collector for the k best results. Precondition: k > 0.
+  explicit TopK(size_t k) : k_(k) { heap_.reserve(k + 1); }
+
+  /// Offers a candidate; returns true when it entered the top-k.
+  bool Push(Neighbor n) {
+    if (heap_.size() < k_) {
+      heap_.push_back(n);
+      std::push_heap(heap_.begin(), heap_.end(), NeighborLess);
+      return true;
+    }
+    if (!NeighborLess(n, heap_.front())) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), NeighborLess);
+    heap_.back() = n;
+    std::push_heap(heap_.begin(), heap_.end(), NeighborLess);
+    return true;
+  }
+
+  bool Push(float distance, uint32_t id) { return Push({distance, id}); }
+
+  /// Whether the collector already holds k entries.
+  bool Full() const { return heap_.size() >= k_; }
+
+  size_t Size() const { return heap_.size(); }
+  size_t Capacity() const { return k_; }
+
+  /// Distance of the current worst kept entry. Only meaningful when
+  /// `Full()`; callers use it as the pruning bound.
+  float WorstDistance() const { return heap_.front().distance; }
+
+  /// Extracts results in ascending distance order (destructive).
+  std::vector<Neighbor> TakeSorted() {
+    std::sort(heap_.begin(), heap_.end(), NeighborLess);
+    return std::move(heap_);
+  }
+
+ private:
+  size_t k_;
+  std::vector<Neighbor> heap_;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_COMMON_TOPK_H_

@@ -1,0 +1,32 @@
+#include "core/answer_generator.h"
+
+namespace mqa {
+
+Result<std::string> AnswerGenerator::Generate(
+    const std::string& query_text,
+    const std::vector<RetrievedItem>& context) {
+  std::string answer;
+  if (llm_ != nullptr) {
+    last_prompt_ = builder_.Build(query_text, context);
+    LlmRequest request;
+    request.prompt = last_prompt_;
+    request.temperature = temperature_;
+    MQA_ASSIGN_OR_RETURN(LlmResponse response, llm_->Complete(request));
+    answer = response.text;
+  } else {
+    // Plain formatted listing: direct engagement with query execution.
+    if (context.empty()) {
+      answer = "No results (no knowledge base or LLM configured).";
+    } else {
+      answer = "Retrieved " + std::to_string(context.size()) + " results:\n";
+      for (size_t i = 0; i < context.size(); ++i) {
+        answer += "  " + std::to_string(i + 1) + ") " +
+                  context[i].description + "\n";
+      }
+    }
+  }
+  builder_.AddTurn(query_text, answer);
+  return answer;
+}
+
+}  // namespace mqa

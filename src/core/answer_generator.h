@@ -1,0 +1,47 @@
+#ifndef MQA_CORE_ANSWER_GENERATOR_H_
+#define MQA_CORE_ANSWER_GENERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "llm/language_model.h"
+#include "llm/prompt_builder.h"
+
+namespace mqa {
+
+/// The Answer Generation component: assembles a retrieval-augmented prompt
+/// (query + dialogue history + retrieved context) and asks the configured
+/// LLM for a conversational reply. Without an LLM it falls back to a plain
+/// formatted result listing, matching the paper's "in the absence of an
+/// available LLM, users can still carry out a multi-modal QA procedure".
+class AnswerGenerator {
+ public:
+  /// `llm` may be null (no-LLM mode).
+  AnswerGenerator(std::unique_ptr<LanguageModel> llm, float temperature)
+      : llm_(std::move(llm)), temperature_(temperature) {}
+
+  /// Produces the user-facing answer for one round and records the turn in
+  /// the dialogue history.
+  Result<std::string> Generate(const std::string& query_text,
+                               const std::vector<RetrievedItem>& context);
+
+  void ClearHistory() { builder_.ClearHistory(); }
+  size_t history_size() const { return builder_.history_size(); }
+  bool has_llm() const { return llm_ != nullptr; }
+  const LanguageModel* llm() const { return llm_.get(); }
+
+  /// The last prompt sent to the LLM (for the status panel and tests).
+  const std::string& last_prompt() const { return last_prompt_; }
+
+ private:
+  PromptBuilder builder_;
+  std::unique_ptr<LanguageModel> llm_;
+  float temperature_;
+  std::string last_prompt_;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_CORE_ANSWER_GENERATOR_H_

@@ -1,0 +1,54 @@
+#ifndef MQA_CORE_CONFIG_H_
+#define MQA_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/index.h"
+#include "graph/index_factory.h"
+#include "learning/weight_learner.h"
+#include "storage/world.h"
+
+namespace mqa {
+
+/// Everything the frontend's configuration panel edits, in one struct:
+/// knowledge base, embedding, weight learning, index, retrieval and LLM
+/// settings.
+struct MqaConfig {
+  // --- Knowledge base (Data Preprocessing) ---
+  /// When false the system runs retrieval-free: answers come from the LLM
+  /// alone (the paper's "external knowledge ingestion is optional").
+  bool enable_knowledge_base = true;
+  WorldConfig world;            ///< synthetic-world substrate parameters
+  uint64_t corpus_size = 5000;  ///< objects to ingest
+  std::string kb_name = "demo-kb";
+
+  // --- Vector representation ---
+  std::string encoder_preset = "sim-clip";
+  uint32_t embedding_dim = 32;
+
+  // --- Vector weight learning ---
+  bool learn_weights = true;
+  WeightLearnerConfig learner;
+  uint64_t num_training_triplets = 2000;
+
+  // --- Index construction ---
+  IndexConfig index;
+
+  // --- Retrieval ---
+  std::string framework = "must";  ///< "must" | "mr" | "je"
+  SearchParams search;             ///< default k and beam width
+  /// Resolve vague follow-ups ("show me more") against dialogue history
+  /// before retrieval (the intelligent multi-modal search procedure).
+  bool rewrite_vague_queries = true;
+
+  // --- Answer generation ---
+  std::string llm = "sim-llm";  ///< "sim-llm" | "none"
+  float temperature = 0.2f;
+
+  uint64_t seed = 42;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_CORE_CONFIG_H_

@@ -1,0 +1,155 @@
+#include "core/config_parser.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace mqa {
+
+namespace {
+
+Result<bool> ParseBool(const std::string& key, const std::string& value) {
+  const std::string v = ToLower(value);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  return Status::InvalidArgument("bad boolean for " + key + ": " + value);
+}
+
+Result<uint64_t> ParseUint(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad integer for " + key + ": " + value);
+  }
+  return static_cast<uint64_t>(v);
+}
+
+Result<float> ParseFloat(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const float v = std::strtof(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad float for " + key + ": " + value);
+  }
+  return v;
+}
+
+void EnsureNoiseSize(MqaConfig* config) {
+  if (config->world.modality_noise.size() < 2) {
+    config->world.modality_noise.resize(2, 0.1f);
+  }
+}
+
+}  // namespace
+
+Result<MqaConfig> ParseMqaConfig(const std::vector<std::string>& lines) {
+  MqaConfig config;
+  for (size_t lineno = 0; lineno < lines.size(); ++lineno) {
+    const std::string line = Trim(lines[lineno]);
+    if (line.empty() || line[0] == '#') continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("line " + std::to_string(lineno + 1) +
+                                     ": expected key = value");
+    }
+    const std::string key = Trim(line.substr(0, eq));
+    const std::string value = Trim(line.substr(eq + 1));
+    if (key.empty() || value.empty()) {
+      return Status::InvalidArgument("line " + std::to_string(lineno + 1) +
+                                     ": empty key or value");
+    }
+
+    if (key == "enable_knowledge_base") {
+      MQA_ASSIGN_OR_RETURN(config.enable_knowledge_base,
+                           ParseBool(key, value));
+    } else if (key == "corpus_size") {
+      MQA_ASSIGN_OR_RETURN(config.corpus_size, ParseUint(key, value));
+    } else if (key == "kb_name") {
+      config.kb_name = value;
+    } else if (key == "encoder") {
+      config.encoder_preset = value;
+    } else if (key == "embedding_dim") {
+      MQA_ASSIGN_OR_RETURN(uint64_t v, ParseUint(key, value));
+      config.embedding_dim = static_cast<uint32_t>(v);
+    } else if (key == "learn_weights") {
+      MQA_ASSIGN_OR_RETURN(config.learn_weights, ParseBool(key, value));
+    } else if (key == "training_triplets") {
+      MQA_ASSIGN_OR_RETURN(config.num_training_triplets,
+                           ParseUint(key, value));
+    } else if (key == "index.algorithm") {
+      config.index.algorithm = value;
+    } else if (key == "index.max_degree") {
+      MQA_ASSIGN_OR_RETURN(uint64_t v, ParseUint(key, value));
+      config.index.graph.max_degree = static_cast<uint32_t>(v);
+      config.index.hnsw.m = static_cast<uint32_t>(std::max<uint64_t>(2, v / 2));
+    } else if (key == "index.build_beam") {
+      MQA_ASSIGN_OR_RETURN(uint64_t v, ParseUint(key, value));
+      config.index.graph.build_beam = static_cast<uint32_t>(v);
+      config.index.hnsw.ef_construction = static_cast<uint32_t>(v);
+    } else if (key == "index.alpha") {
+      MQA_ASSIGN_OR_RETURN(config.index.graph.alpha, ParseFloat(key, value));
+    } else if (key == "framework") {
+      config.framework = value;
+    } else if (key == "search.k") {
+      MQA_ASSIGN_OR_RETURN(uint64_t v, ParseUint(key, value));
+      config.search.k = v;
+    } else if (key == "search.beam_width") {
+      MQA_ASSIGN_OR_RETURN(uint64_t v, ParseUint(key, value));
+      config.search.beam_width = v;
+    } else if (key == "rewrite_vague_queries") {
+      MQA_ASSIGN_OR_RETURN(config.rewrite_vague_queries,
+                           ParseBool(key, value));
+    } else if (key == "llm") {
+      config.llm = value;
+    } else if (key == "temperature") {
+      MQA_ASSIGN_OR_RETURN(config.temperature, ParseFloat(key, value));
+    } else if (key == "seed") {
+      MQA_ASSIGN_OR_RETURN(config.seed, ParseUint(key, value));
+      config.world.seed = config.seed;
+    } else if (key == "world.num_concepts") {
+      MQA_ASSIGN_OR_RETURN(uint64_t v, ParseUint(key, value));
+      config.world.num_concepts = static_cast<uint32_t>(v);
+    } else if (key == "world.latent_dim") {
+      MQA_ASSIGN_OR_RETURN(uint64_t v, ParseUint(key, value));
+      config.world.latent_dim = static_cast<uint32_t>(v);
+      if (config.world.raw_image_dim < v) {
+        config.world.raw_image_dim = static_cast<uint32_t>(v) * 2;
+      }
+    } else if (key == "world.seed") {
+      MQA_ASSIGN_OR_RETURN(config.world.seed, ParseUint(key, value));
+    } else if (key == "world.raw_image_dim") {
+      MQA_ASSIGN_OR_RETURN(uint64_t v, ParseUint(key, value));
+      config.world.raw_image_dim = static_cast<uint32_t>(v);
+    } else if (key == "world.words_per_concept") {
+      MQA_ASSIGN_OR_RETURN(uint64_t v, ParseUint(key, value));
+      config.world.words_per_concept = static_cast<uint32_t>(v);
+    } else if (key == "world.adjectives_per_noun") {
+      MQA_ASSIGN_OR_RETURN(uint64_t v, ParseUint(key, value));
+      config.world.adjectives_per_noun = static_cast<uint32_t>(v);
+    } else if (key == "world.extra_modalities") {
+      MQA_ASSIGN_OR_RETURN(uint64_t v, ParseUint(key, value));
+      config.world.num_extra_modalities = static_cast<uint32_t>(v);
+    } else if (key == "world.object_noise") {
+      MQA_ASSIGN_OR_RETURN(config.world.object_noise, ParseFloat(key, value));
+    } else if (key == "world.adjective_dropout") {
+      MQA_ASSIGN_OR_RETURN(config.world.text_adjective_dropout,
+                           ParseFloat(key, value));
+    } else if (key == "world.image_noise") {
+      EnsureNoiseSize(&config);
+      MQA_ASSIGN_OR_RETURN(config.world.modality_noise[0],
+                           ParseFloat(key, value));
+    } else if (key == "world.text_noise") {
+      EnsureNoiseSize(&config);
+      MQA_ASSIGN_OR_RETURN(config.world.modality_noise[1],
+                           ParseFloat(key, value));
+    } else {
+      return Status::InvalidArgument("unknown config key: " + key);
+    }
+  }
+  return config;
+}
+
+Result<MqaConfig> ParseMqaConfigText(const std::string& text) {
+  return ParseMqaConfig(Split(text, '\n'));
+}
+
+}  // namespace mqa

@@ -1,0 +1,269 @@
+#include "core/coordinator.h"
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include <istream>
+
+#include "llm/sim_llm.h"
+#include "retrieval/must.h"
+
+namespace mqa {
+
+Result<std::unique_ptr<Coordinator>> Coordinator::Create(
+    const MqaConfig& config) {
+  std::unique_ptr<Coordinator> c(new Coordinator());
+  c->config_ = config;
+
+  // --- Data preprocessing: build the world and ingest the corpus. ---
+  Timer timer;
+  MQA_ASSIGN_OR_RETURN(World world, World::Create(config.world));
+  c->world_ = std::make_unique<World>(std::move(world));
+  if (config.enable_knowledge_base) {
+    if (config.corpus_size == 0) {
+      return Status::InvalidArgument("corpus_size must be > 0");
+    }
+    MQA_ASSIGN_OR_RETURN(
+        KnowledgeBase kb,
+        c->world_->GenerateCorpus(config.corpus_size, config.kb_name));
+    c->kb_ = std::make_unique<KnowledgeBase>(std::move(kb));
+    c->monitor_.Emit(
+        ComponentStage::kDataPreprocessing,
+        "ingested " + std::to_string(c->kb_->size()) + " objects, " +
+            std::to_string(c->kb_->schema().num_modalities()) + " modalities",
+        timer.ElapsedMillis());
+  } else {
+    c->monitor_.Emit(ComponentStage::kDataPreprocessing,
+                     "knowledge base disabled: LLM-only answering");
+  }
+
+  // --- Answer generation (LLM plumbing is independent of the KB). ---
+  std::unique_ptr<LanguageModel> llm;
+  if (config.llm == "sim-llm") {
+    llm = std::make_unique<SimLlm>(config.seed);
+  } else if (config.llm != "none") {
+    return Status::InvalidArgument("unknown llm: " + config.llm);
+  }
+  const std::string llm_label = llm ? llm->name() : "none";
+  c->answer_generator_ =
+      std::make_unique<AnswerGenerator>(std::move(llm), config.temperature);
+
+  if (!config.enable_knowledge_base) {
+    c->monitor_.Emit(ComponentStage::kAnswerGeneration,
+                     "llm: " + llm_label + ", temperature " +
+                         FormatDouble(config.temperature, 2));
+    return c;
+  }
+
+  // --- Vector representation: encoders + optional weight learning. ---
+  timer.Reset();
+  MQA_ASSIGN_OR_RETURN(
+      EncoderSet encoders,
+      MakeSimEncoderSet(c->world_.get(), config.encoder_preset,
+                        config.embedding_dim));
+  c->encoders_ = std::make_unique<EncoderSet>(std::move(encoders));
+  MQA_ASSIGN_OR_RETURN(
+      c->represented_,
+      RepresentCorpus(*c->kb_, *c->encoders_, config.learn_weights,
+                      config.learner, config.num_training_triplets,
+                      c->world_.get()));
+  {
+    std::string msg = "encoder " + config.encoder_preset + ", dim " +
+                      std::to_string(config.embedding_dim) + ", weights [";
+    for (size_t m = 0; m < c->represented_.weights.size(); ++m) {
+      if (m > 0) msg += ", ";
+      msg += FormatDouble(c->represented_.weights[m], 3);
+    }
+    msg += config.learn_weights ? "] (learned)" : "] (uniform)";
+    c->monitor_.Emit(ComponentStage::kVectorRepresentation, msg,
+                     timer.ElapsedMillis());
+  }
+
+  // --- Index construction through the retrieval framework. ---
+  timer.Reset();
+  MQA_ASSIGN_OR_RETURN(
+      c->framework_,
+      CreateRetrievalFramework(config.framework, c->represented_.store,
+                               c->represented_.weights, config.index,
+                               &c->build_report_));
+  c->monitor_.Emit(ComponentStage::kIndexConstruction,
+                   "framework " + config.framework + ", index " +
+                       config.index.algorithm,
+                   timer.ElapsedMillis());
+
+  c->executor_ = std::make_unique<QueryExecutor>(
+      c->kb_.get(), c->encoders_.get(), c->framework_.get());
+  c->monitor_.Emit(ComponentStage::kAnswerGeneration,
+                   "llm: " + llm_label + ", temperature " +
+                       FormatDouble(config.temperature, 2));
+  return c;
+}
+
+Result<AnswerTurn> Coordinator::Ask(const UserQuery& query) {
+  AnswerTurn turn;
+  if (config_.enable_knowledge_base) {
+    Timer timer;
+    // Resolve vague follow-ups from dialogue history for retrieval only;
+    // the answer generator still sees the user's own words.
+    UserQuery effective = query;
+    if (config_.rewrite_vague_queries && !query.text.empty()) {
+      effective.text = rewriter_.Rewrite(query.text);
+      if (effective.text != query.text) {
+        monitor_.Emit(ComponentStage::kQueryExecution,
+                      "rewrote vague query to \"" + effective.text + "\"");
+      }
+    }
+    if (!query.text.empty()) rewriter_.ObserveTurn(query.text);
+    MQA_ASSIGN_OR_RETURN(QueryOutcome outcome,
+                         executor_->Execute(effective, config_.search));
+    turn.items = std::move(outcome.items);
+    turn.retrieval = std::move(outcome.retrieval);
+    monitor_.Emit(ComponentStage::kQueryExecution,
+                  "retrieved " + std::to_string(turn.items.size()) +
+                      " results for \"" + query.text + "\"",
+                  timer.ElapsedMillis());
+  }
+  Timer timer;
+  MQA_ASSIGN_OR_RETURN(turn.answer,
+                       answer_generator_->Generate(query.text, turn.items));
+  monitor_.Emit(ComponentStage::kAnswerGeneration, "answer ready",
+                timer.ElapsedMillis());
+  return turn;
+}
+
+Result<std::unique_ptr<Coordinator>> Coordinator::CreateFromState(
+    const MqaConfig& config, KnowledgeBase kb, VectorStore store,
+    std::vector<float> weights, std::istream* index_blob) {
+  if (!config.enable_knowledge_base) {
+    return Status::InvalidArgument(
+        "a persisted system always has a knowledge base");
+  }
+  std::unique_ptr<Coordinator> c(new Coordinator());
+  c->config_ = config;
+
+  Timer timer;
+  MQA_ASSIGN_OR_RETURN(World world, World::Create(config.world));
+  c->world_ = std::make_unique<World>(std::move(world));
+  c->kb_ = std::make_unique<KnowledgeBase>(std::move(kb));
+  c->monitor_.Emit(ComponentStage::kDataPreprocessing,
+                   "restored " + std::to_string(c->kb_->size()) +
+                       " objects from disk",
+                   timer.ElapsedMillis());
+
+  MQA_ASSIGN_OR_RETURN(
+      EncoderSet encoders,
+      MakeSimEncoderSet(c->world_.get(), config.encoder_preset,
+                        config.embedding_dim));
+  c->encoders_ = std::make_unique<EncoderSet>(std::move(encoders));
+  c->represented_.store = std::make_shared<VectorStore>(std::move(store));
+  c->represented_.weights = std::move(weights);
+  c->represented_.labels.reserve(c->kb_->size());
+  for (const Object& obj : c->kb_->objects()) {
+    c->represented_.labels.push_back(obj.concept_id);
+  }
+  c->monitor_.Emit(ComponentStage::kVectorRepresentation,
+                   "restored encoded store (" +
+                       std::to_string(c->represented_.store->size()) +
+                       " rows) and weights");
+
+  timer.Reset();
+  if (index_blob != nullptr && config.framework == "must") {
+    MQA_ASSIGN_OR_RETURN(
+        std::unique_ptr<MustFramework> must,
+        MustFramework::CreateFromSavedIndex(c->represented_.store,
+                                            c->represented_.weights,
+                                            index_blob));
+    c->framework_ = std::move(must);
+    c->monitor_.Emit(ComponentStage::kIndexConstruction,
+                     "restored index from disk (no rebuild)",
+                     timer.ElapsedMillis());
+  } else {
+    MQA_ASSIGN_OR_RETURN(
+        c->framework_,
+        CreateRetrievalFramework(config.framework, c->represented_.store,
+                                 c->represented_.weights, config.index,
+                                 &c->build_report_));
+    c->monitor_.Emit(ComponentStage::kIndexConstruction,
+                     "rebuilt index " + config.index.algorithm,
+                     timer.ElapsedMillis());
+  }
+
+  std::unique_ptr<LanguageModel> llm;
+  if (config.llm == "sim-llm") {
+    llm = std::make_unique<SimLlm>(config.seed);
+  } else if (config.llm != "none") {
+    return Status::InvalidArgument("unknown llm: " + config.llm);
+  }
+  const std::string llm_label = llm ? llm->name() : "none";
+  c->answer_generator_ =
+      std::make_unique<AnswerGenerator>(std::move(llm), config.temperature);
+  c->executor_ = std::make_unique<QueryExecutor>(
+      c->kb_.get(), c->encoders_.get(), c->framework_.get());
+  c->monitor_.Emit(ComponentStage::kAnswerGeneration,
+                   "llm: " + llm_label + ", temperature " +
+                       FormatDouble(config.temperature, 2));
+  return c;
+}
+
+Result<uint64_t> Coordinator::IngestObject(Object object) {
+  if (!config_.enable_knowledge_base) {
+    return Status::FailedPrecondition("knowledge base is disabled");
+  }
+  auto* must = dynamic_cast<MustFramework*>(framework_.get());
+  if (must == nullptr) {
+    return Status::Unimplemented(
+        "live ingestion requires the must framework; switch frameworks to "
+        "rebuild instead");
+  }
+  // Check mutability before touching any state, so a refusal leaves the
+  // knowledge base, store and index consistent.
+  if (!must->SupportsLiveIngestion()) {
+    return Status::Unimplemented(
+        "the disk-resident index is immutable; rebuild to ingest");
+  }
+  Timer timer;
+  MQA_ASSIGN_OR_RETURN(uint64_t id, kb_->Ingest(std::move(object)));
+  MQA_ASSIGN_OR_RETURN(MultiVector mv, encoders_->EncodeObject(kb_->at(id)));
+  MQA_RETURN_NOT_OK(represented_.store->AddMultiVector(mv).status());
+  represented_.labels.push_back(kb_->at(id).concept_id);
+  MQA_RETURN_NOT_OK(must->IngestAppended(config_.index.graph));
+  monitor_.Emit(ComponentStage::kDataPreprocessing,
+                "ingested object #" + std::to_string(id) + " live",
+                timer.ElapsedMillis());
+  return id;
+}
+
+Status Coordinator::SetFramework(const std::string& name) {
+  if (!config_.enable_knowledge_base) {
+    return Status::FailedPrecondition("knowledge base is disabled");
+  }
+  Timer timer;
+  BuildReport report;
+  auto fw = CreateRetrievalFramework(name, represented_.store,
+                                     represented_.weights, config_.index,
+                                     &report);
+  if (!fw.ok()) return fw.status();
+  framework_ = std::move(fw).Value();
+  build_report_ = report;
+  config_.framework = name;
+  executor_ = std::make_unique<QueryExecutor>(kb_.get(), encoders_.get(),
+                                              framework_.get());
+  monitor_.Emit(ComponentStage::kIndexConstruction,
+                "switched framework to " + name, timer.ElapsedMillis());
+  return Status::OK();
+}
+
+Status Coordinator::SetWeights(std::vector<float> weights) {
+  if (framework_ == nullptr) {
+    return Status::FailedPrecondition("no retrieval framework configured");
+  }
+  MQA_RETURN_NOT_OK(framework_->SetWeights(weights));
+  represented_.weights = std::move(weights);
+  return Status::OK();
+}
+
+void Coordinator::ResetDialogue() {
+  answer_generator_->ClearHistory();
+  rewriter_.Clear();
+}
+
+}  // namespace mqa

@@ -1,0 +1,102 @@
+#ifndef MQA_CORE_COORDINATOR_H_
+#define MQA_CORE_COORDINATOR_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/answer_generator.h"
+#include "core/config.h"
+#include "core/query_executor.h"
+#include "core/represent.h"
+#include "core/status_monitor.h"
+#include "encoder/sim_encoders.h"
+#include "llm/query_rewriter.h"
+#include "retrieval/factory.h"
+
+namespace mqa {
+
+/// One completed dialogue round as returned to the frontend.
+struct AnswerTurn {
+  std::string answer;                ///< the conversational reply
+  std::vector<RetrievedItem> items;  ///< retrieved results (may be empty)
+  RetrievalResult retrieval;         ///< raw retrieval telemetry
+};
+
+/// The system's central nexus (Figure 2): owns the five backend components
+/// and the data they exchange, and is the single reference point the
+/// frontend talks to. Construction runs the offline pipeline —
+/// preprocessing, vector representation (with optional weight learning)
+/// and index construction — emitting status events along the way; Ask()
+/// runs the online pipeline (query execution + answer generation).
+class Coordinator {
+ public:
+  /// Builds the whole system from a configuration (generating the
+  /// synthetic knowledge base from the world model).
+  static Result<std::unique_ptr<Coordinator>> Create(const MqaConfig& config);
+
+  /// Restores a system from persisted components (see core/persistence.h):
+  /// the world is regenerated deterministically from `config`; knowledge
+  /// base, encoded store and weights come from disk; `index_blob` (when
+  /// non-null, and the framework is MUST over a flat graph) restores the
+  /// index without a rebuild.
+  static Result<std::unique_ptr<Coordinator>> CreateFromState(
+      const MqaConfig& config, KnowledgeBase kb, VectorStore store,
+      std::vector<float> weights, std::istream* index_blob);
+
+  /// Runs one QA round end to end.
+  Result<AnswerTurn> Ask(const UserQuery& query);
+
+  /// Ingests one new multi-modal object while the system is live: the
+  /// object enters the knowledge base, is encoded, and is linked into the
+  /// index incrementally. Returns its id. Only the MUST framework over a
+  /// mutable index supports this; others need SetFramework to rebuild.
+  Result<uint64_t> IngestObject(Object object);
+
+  /// Swaps the retrieval framework ("must"/"mr"/"je") over the already
+  /// encoded corpus — the configuration panel's comparative switch.
+  Status SetFramework(const std::string& name);
+
+  /// Replaces the default modality weights of the active framework.
+  Status SetWeights(std::vector<float> weights);
+
+  StatusMonitor& monitor() { return monitor_; }
+  const MqaConfig& config() const { return config_; }
+  const World& world() const { return *world_; }
+  const KnowledgeBase& kb() const { return *kb_; }
+  const EncoderSet& encoders() const { return *encoders_; }
+  RetrievalFramework* framework() { return framework_.get(); }
+  const std::vector<float>& weights() const { return represented_.weights; }
+  const VectorStore& store() const { return *represented_.store; }
+  const RetrievalFramework* framework_const() const {
+    return framework_.get();
+  }
+  const WeightTrainReport& train_report() const {
+    return represented_.train_report;
+  }
+  const BuildReport& build_report() const { return build_report_; }
+  AnswerGenerator* answer_generator() { return answer_generator_.get(); }
+
+  /// Resets the dialogue history (a fresh conversation).
+  void ResetDialogue();
+
+ private:
+  Coordinator() = default;
+
+  MqaConfig config_;
+  StatusMonitor monitor_;
+  std::unique_ptr<World> world_;
+  std::unique_ptr<KnowledgeBase> kb_;
+  std::unique_ptr<EncoderSet> encoders_;
+  RepresentedCorpus represented_;
+  std::unique_ptr<RetrievalFramework> framework_;
+  BuildReport build_report_;
+  std::unique_ptr<QueryExecutor> executor_;
+  std::unique_ptr<AnswerGenerator> answer_generator_;
+  ContextualQueryRewriter rewriter_;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_CORE_COORDINATOR_H_

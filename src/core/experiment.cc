@@ -1,0 +1,204 @@
+#include "core/experiment.h"
+
+#include <cmath>
+
+#include "common/timer.h"
+#include "vector/distance.h"
+
+namespace mqa {
+
+Result<ExperimentCorpus> MakeExperimentCorpus(
+    const WorldConfig& world_config, uint64_t corpus_size,
+    const std::string& encoder_preset, uint32_t embedding_dim,
+    bool learn_weights, uint64_t num_triplets) {
+  ExperimentCorpus out;
+  MQA_ASSIGN_OR_RETURN(World world, World::Create(world_config));
+  out.world = std::make_unique<World>(std::move(world));
+  MQA_ASSIGN_OR_RETURN(KnowledgeBase kb,
+                       out.world->GenerateCorpus(corpus_size));
+  out.kb = std::make_unique<KnowledgeBase>(std::move(kb));
+  MQA_ASSIGN_OR_RETURN(
+      EncoderSet encoders,
+      MakeSimEncoderSet(out.world.get(), encoder_preset, embedding_dim));
+  out.encoders = std::make_unique<EncoderSet>(std::move(encoders));
+  MQA_ASSIGN_OR_RETURN(
+      out.represented,
+      RepresentCorpus(*out.kb, *out.encoders, learn_weights,
+                      WeightLearnerConfig{}, num_triplets,
+                      out.world.get()));
+  return out;
+}
+
+Result<RetrievalQuery> EncodeTextQuery(const ExperimentCorpus& corpus,
+                                       const std::string& text,
+                                       bool cross_modal_fill) {
+  RetrievalQuery q;
+  q.modalities.parts.resize(corpus.encoders->num_modalities());
+  Payload p;
+  p.type = ModalityType::kText;
+  p.text = text;
+  MQA_ASSIGN_OR_RETURN(q.modalities.parts[1],
+                       corpus.encoders->EncodeModality(1, p));
+  if (cross_modal_fill) CrossModalFill(&q.modalities);
+  return q;
+}
+
+Result<RetrievalQuery> EncodeImageTextQuery(const ExperimentCorpus& corpus,
+                                            const Object& image_source,
+                                            const std::string& text) {
+  RetrievalQuery q;
+  q.modalities.parts.resize(corpus.encoders->num_modalities());
+  MQA_ASSIGN_OR_RETURN(
+      q.modalities.parts[0],
+      corpus.encoders->EncodeModality(0, image_source.modalities[0]));
+  Payload p;
+  p.type = ModalityType::kText;
+  p.text = text;
+  MQA_ASSIGN_OR_RETURN(q.modalities.parts[1],
+                       corpus.encoders->EncodeModality(1, p));
+  // Extra (audio-like) modality slots, when present, are filled
+  // cross-modally from the image+text mean.
+  CrossModalFill(&q.modalities);
+  return q;
+}
+
+double ConceptPrecision(const std::vector<Neighbor>& results,
+                        const KnowledgeBase& kb, uint32_t target_concept) {
+  if (results.empty()) return 0.0;
+  size_t hits = 0;
+  for (const Neighbor& n : results) {
+    if (kb.at(n.id).concept_id == target_concept) ++hits;
+  }
+  return static_cast<double>(hits) / results.size();
+}
+
+double GroundTruthHitRate(const std::vector<Neighbor>& results,
+                          const std::vector<uint32_t>& ground_truth) {
+  if (ground_truth.empty()) return 0.0;
+  size_t hits = 0;
+  for (uint32_t id : ground_truth) {
+    for (const Neighbor& n : results) {
+      if (n.id == id) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / ground_truth.size();
+}
+
+double Ndcg(const std::vector<Neighbor>& results,
+            const std::vector<uint32_t>& ground_truth) {
+  if (ground_truth.empty() || results.empty()) return 0.0;
+  auto relevant = [&](uint32_t id) {
+    for (uint32_t g : ground_truth) {
+      if (g == id) return true;
+    }
+    return false;
+  };
+  double dcg = 0.0;
+  for (size_t r = 0; r < results.size(); ++r) {
+    if (relevant(results[r].id)) {
+      dcg += 1.0 / std::log2(static_cast<double>(r) + 2.0);
+    }
+  }
+  double ideal = 0.0;
+  const size_t ideal_hits = std::min(results.size(), ground_truth.size());
+  for (size_t r = 0; r < ideal_hits; ++r) {
+    ideal += 1.0 / std::log2(static_cast<double>(r) + 2.0);
+  }
+  return ideal == 0.0 ? 0.0 : dcg / ideal;
+}
+
+double ReciprocalRank(const std::vector<Neighbor>& results,
+                      const std::vector<uint32_t>& ground_truth) {
+  for (size_t r = 0; r < results.size(); ++r) {
+    for (uint32_t g : ground_truth) {
+      if (results[r].id == g) {
+        return 1.0 / static_cast<double>(r + 1);
+      }
+    }
+  }
+  return 0.0;
+}
+
+Result<DialogueOutcome> RunTwoRoundDialogue(
+    const ExperimentCorpus& corpus, RetrievalFramework* framework,
+    uint32_t concept_id, Rng* rng, const SearchParams& params,
+    const std::vector<float>& round2_weights) {
+  const World& world = *corpus.world;
+  const KnowledgeBase& kb = *corpus.kb;
+  DialogueOutcome out;
+
+  // --- Round 1: text-only. ---
+  const TextQuery tq = world.MakeTextQuery(concept_id, rng);
+  MQA_ASSIGN_OR_RETURN(RetrievalQuery q1, EncodeTextQuery(corpus, tq.text));
+  MQA_ASSIGN_OR_RETURN(RetrievalResult r1, framework->Retrieve(q1, params));
+  out.round1_ms = r1.latency_ms;
+  out.dist_comps += r1.stats.dist_comps;
+  out.round1_precision = ConceptPrecision(r1.neighbors, kb, concept_id);
+  out.round1_hit = GroundTruthHitRate(
+      r1.neighbors, world.GroundTruth(kb, tq.target_latent, params.k));
+  if (r1.neighbors.empty()) return out;
+
+  // --- The simulated user clicks the result closest to their intent. ---
+  uint32_t selected = r1.neighbors[0].id;
+  float best = std::numeric_limits<float>::max();
+  for (const Neighbor& n : r1.neighbors) {
+    const float d = L2Sq(kb.at(n.id).latent.data(), tq.target_latent.data(),
+                         tq.target_latent.size());
+    if (d < best) {
+      best = d;
+      selected = n.id;
+    }
+  }
+  const Object& sel = kb.at(selected);
+
+  // --- Round 2: selected image + refinement text. ---
+  const ModificationSpec mod = world.MakeModification(concept_id, rng);
+  MQA_ASSIGN_OR_RETURN(RetrievalQuery q2,
+                       EncodeImageTextQuery(corpus, sel, mod.text));
+  q2.weights = round2_weights;
+  MQA_ASSIGN_OR_RETURN(RetrievalResult r2, framework->Retrieve(q2, params));
+  out.round2_ms = r2.latency_ms;
+  out.dist_comps += r2.stats.dist_comps;
+  out.round2_precision =
+      ConceptPrecision(r2.neighbors, kb, mod.target_concept);
+  const std::vector<float> target = world.ModifiedTarget(sel, mod);
+  out.round2_hit = GroundTruthHitRate(
+      r2.neighbors, world.GroundTruth(kb, target, params.k, sel.id));
+  return out;
+}
+
+Result<DialogueOutcome> RunDialogueSuite(
+    const ExperimentCorpus& corpus, RetrievalFramework* framework,
+    size_t num_dialogues, uint64_t seed, const SearchParams& params,
+    const std::vector<float>& round2_weights) {
+  Rng rng(seed);
+  DialogueOutcome total;
+  for (size_t d = 0; d < num_dialogues; ++d) {
+    const uint32_t concept_id =
+        static_cast<uint32_t>(d % corpus.world->num_concepts());
+    MQA_ASSIGN_OR_RETURN(
+        DialogueOutcome one,
+        RunTwoRoundDialogue(corpus, framework, concept_id, &rng, params,
+                            round2_weights));
+    total.round1_precision += one.round1_precision;
+    total.round2_precision += one.round2_precision;
+    total.round1_hit += one.round1_hit;
+    total.round2_hit += one.round2_hit;
+    total.round1_ms += one.round1_ms;
+    total.round2_ms += one.round2_ms;
+    total.dist_comps += one.dist_comps;
+  }
+  const double n = static_cast<double>(num_dialogues);
+  total.round1_precision /= n;
+  total.round2_precision /= n;
+  total.round1_hit /= n;
+  total.round2_hit /= n;
+  total.round1_ms /= n;
+  total.round2_ms /= n;
+  return total;
+}
+
+}  // namespace mqa

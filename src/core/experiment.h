@@ -1,0 +1,96 @@
+#ifndef MQA_CORE_EXPERIMENT_H_
+#define MQA_CORE_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/represent.h"
+#include "encoder/sim_encoders.h"
+#include "retrieval/framework.h"
+#include "storage/world.h"
+
+namespace mqa {
+
+/// A fully prepared experimental corpus: world model, knowledge base,
+/// encoders, encoded vector store and (optionally learned) weights. The
+/// shared substrate of the test suite and every benchmark.
+struct ExperimentCorpus {
+  std::unique_ptr<World> world;
+  std::unique_ptr<KnowledgeBase> kb;
+  std::unique_ptr<EncoderSet> encoders;
+  RepresentedCorpus represented;
+};
+
+/// Builds an ExperimentCorpus end to end (generate corpus -> encode ->
+/// learn weights).
+Result<ExperimentCorpus> MakeExperimentCorpus(
+    const WorldConfig& world_config, uint64_t corpus_size,
+    const std::string& encoder_preset = "sim-clip",
+    uint32_t embedding_dim = 32, bool learn_weights = true,
+    uint64_t num_triplets = 1500);
+
+/// Encodes a text-only retrieval query. When `cross_modal_fill` is set the
+/// text embedding also populates the other modality blocks (aligned
+/// space), which is how all frameworks receive round-1 queries.
+Result<RetrievalQuery> EncodeTextQuery(const ExperimentCorpus& corpus,
+                                       const std::string& text,
+                                       bool cross_modal_fill = true);
+
+/// Encodes a round-2 query: the selected/uploaded image plus feedback text.
+Result<RetrievalQuery> EncodeImageTextQuery(const ExperimentCorpus& corpus,
+                                            const Object& image_source,
+                                            const std::string& text);
+
+/// Fraction of results whose object belongs to `target_concept`.
+double ConceptPrecision(const std::vector<Neighbor>& results,
+                        const KnowledgeBase& kb, uint32_t target_concept);
+
+/// Fraction of the ground-truth ids present in the results.
+double GroundTruthHitRate(const std::vector<Neighbor>& results,
+                          const std::vector<uint32_t>& ground_truth);
+
+/// Normalized discounted cumulative gain at the result-list length: a
+/// ground-truth id at rank r contributes 1/log2(r+2), normalized by the
+/// ideal ordering. 1.0 = the ground truth, in order, at the top.
+double Ndcg(const std::vector<Neighbor>& results,
+            const std::vector<uint32_t>& ground_truth);
+
+/// Reciprocal rank of the first ground-truth id in the results (0 when
+/// none appears).
+double ReciprocalRank(const std::vector<Neighbor>& results,
+                      const std::vector<uint32_t>& ground_truth);
+
+/// Per-dialogue metrics of the two-round interaction protocol (Figure 5):
+/// round 1 is a text query for a concept; a simulated user then selects
+/// the returned result closest to intent and asks for an attribute change;
+/// round 2 retrieves with the selected image + modification text.
+struct DialogueOutcome {
+  double round1_precision = 0;  ///< concept precision, round 1
+  double round2_precision = 0;  ///< target-concept precision, round 2
+  double round1_hit = 0;        ///< ground-truth hit rate, round 1
+  double round2_hit = 0;        ///< ground-truth hit rate, round 2
+  double round1_ms = 0;
+  double round2_ms = 0;
+  uint64_t dist_comps = 0;      ///< across both rounds
+};
+
+/// Runs one two-round dialogue against a framework. Deterministic given
+/// the rng state.
+/// `round2_weights` (optional) is a query-time modality-weight override
+/// applied in round 2 only — the configuration panel's "adjust weights at
+/// the query point" knob (e.g. boost text for attribute modifications).
+Result<DialogueOutcome> RunTwoRoundDialogue(
+    const ExperimentCorpus& corpus, RetrievalFramework* framework,
+    uint32_t concept_id, Rng* rng, const SearchParams& params,
+    const std::vector<float>& round2_weights = {});
+
+/// Averages `num_dialogues` dialogues over round-robin concepts.
+Result<DialogueOutcome> RunDialogueSuite(
+    const ExperimentCorpus& corpus, RetrievalFramework* framework,
+    size_t num_dialogues, uint64_t seed, const SearchParams& params,
+    const std::vector<float>& round2_weights = {});
+
+}  // namespace mqa
+
+#endif  // MQA_CORE_EXPERIMENT_H_

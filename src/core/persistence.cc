@@ -1,0 +1,154 @@
+#include "core/persistence.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/string_util.h"
+#include "core/config_parser.h"
+#include "retrieval/must.h"
+
+namespace mqa {
+
+namespace {
+
+std::string PathJoin(const std::string& dir, const char* file) {
+  if (!dir.empty() && dir.back() == '/') return dir + file;
+  return dir + "/" + file;
+}
+
+}  // namespace
+
+std::string MqaConfigToText(const MqaConfig& config) {
+  std::string out;
+  auto line = [&out](const std::string& key, const std::string& value) {
+    out += key + " = " + value + "\n";
+  };
+  line("enable_knowledge_base",
+       config.enable_knowledge_base ? "true" : "false");
+  line("corpus_size", std::to_string(config.corpus_size));
+  line("kb_name", config.kb_name);
+  line("encoder", config.encoder_preset);
+  line("embedding_dim", std::to_string(config.embedding_dim));
+  line("learn_weights", config.learn_weights ? "true" : "false");
+  line("training_triplets", std::to_string(config.num_training_triplets));
+  line("index.algorithm", config.index.algorithm);
+  line("index.max_degree", std::to_string(config.index.graph.max_degree));
+  line("index.build_beam", std::to_string(config.index.graph.build_beam));
+  line("index.alpha", FormatDouble(config.index.graph.alpha, 3));
+  line("framework", config.framework);
+  line("search.k", std::to_string(config.search.k));
+  line("search.beam_width", std::to_string(config.search.beam_width));
+  line("rewrite_vague_queries",
+       config.rewrite_vague_queries ? "true" : "false");
+  line("llm", config.llm);
+  line("temperature", FormatDouble(config.temperature, 3));
+  line("seed", std::to_string(config.seed));
+  line("world.num_concepts", std::to_string(config.world.num_concepts));
+  line("world.latent_dim", std::to_string(config.world.latent_dim));
+  line("world.raw_image_dim", std::to_string(config.world.raw_image_dim));
+  // After the top-level seed, which also assigns world.seed.
+  line("world.seed", std::to_string(config.world.seed));
+  line("world.words_per_concept",
+       std::to_string(config.world.words_per_concept));
+  line("world.adjectives_per_noun",
+       std::to_string(config.world.adjectives_per_noun));
+  line("world.extra_modalities",
+       std::to_string(config.world.num_extra_modalities));
+  line("world.object_noise", FormatDouble(config.world.object_noise, 4));
+  line("world.adjective_dropout",
+       FormatDouble(config.world.text_adjective_dropout, 4));
+  if (!config.world.modality_noise.empty()) {
+    line("world.image_noise",
+         FormatDouble(config.world.modality_noise[0], 4));
+  }
+  if (config.world.modality_noise.size() > 1) {
+    line("world.text_noise",
+         FormatDouble(config.world.modality_noise[1], 4));
+  }
+  return out;
+}
+
+Status SaveSystemState(const Coordinator& coordinator,
+                       const std::string& dir) {
+  if (!coordinator.config().enable_knowledge_base) {
+    return Status::FailedPrecondition(
+        "nothing to persist: the knowledge base is disabled");
+  }
+  {
+    std::ofstream out(PathJoin(dir, "config.txt"));
+    if (!out) return Status::IoError("cannot write " + dir + "/config.txt");
+    out << MqaConfigToText(coordinator.config());
+  }
+  {
+    std::ofstream out(PathJoin(dir, "kb.bin"), std::ios::binary);
+    if (!out) return Status::IoError("cannot write " + dir + "/kb.bin");
+    MQA_RETURN_NOT_OK(coordinator.kb().Save(out));
+  }
+  {
+    std::ofstream out(PathJoin(dir, "store.bin"), std::ios::binary);
+    if (!out) return Status::IoError("cannot write " + dir + "/store.bin");
+    MQA_RETURN_NOT_OK(coordinator.store().Save(out));
+  }
+  {
+    std::ofstream out(PathJoin(dir, "weights.txt"));
+    if (!out) return Status::IoError("cannot write " + dir + "/weights.txt");
+    for (float w : coordinator.weights()) {
+      // %.9g round-trips any float exactly through text.
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.9g", w);
+      out << buf << "\n";
+    }
+  }
+  // The index round-trips only for MUST over a flat graph.
+  const Coordinator& c = coordinator;
+  if (auto* must = dynamic_cast<const MustFramework*>(c.framework_const())) {
+    if (const auto* graph = must->flat_graph_index()) {
+      std::ofstream out(PathJoin(dir, "index.bin"), std::ios::binary);
+      if (!out) return Status::IoError("cannot write " + dir + "/index.bin");
+      MQA_RETURN_NOT_OK(graph->Save(out));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Coordinator>> LoadSystemState(
+    const std::string& dir) {
+  MqaConfig config;
+  {
+    std::ifstream in(PathJoin(dir, "config.txt"));
+    if (!in) return Status::IoError("cannot read " + dir + "/config.txt");
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    MQA_ASSIGN_OR_RETURN(config, ParseMqaConfigText(text));
+  }
+  std::ifstream kb_in(PathJoin(dir, "kb.bin"), std::ios::binary);
+  if (!kb_in) return Status::IoError("cannot read " + dir + "/kb.bin");
+  MQA_ASSIGN_OR_RETURN(KnowledgeBase kb, KnowledgeBase::Load(kb_in));
+
+  std::ifstream store_in(PathJoin(dir, "store.bin"), std::ios::binary);
+  if (!store_in) return Status::IoError("cannot read " + dir + "/store.bin");
+  MQA_ASSIGN_OR_RETURN(VectorStore store, VectorStore::Load(store_in));
+
+  std::vector<float> weights;
+  {
+    std::ifstream in(PathJoin(dir, "weights.txt"));
+    if (!in) return Status::IoError("cannot read " + dir + "/weights.txt");
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!Trim(line).empty()) weights.push_back(std::stof(line));
+    }
+  }
+  if (weights.size() != store.schema().num_modalities()) {
+    return Status::IoError("weights file does not match the store schema");
+  }
+  if (kb.size() != store.size()) {
+    return Status::IoError("knowledge base and store sizes differ");
+  }
+
+  std::ifstream index_in(PathJoin(dir, "index.bin"), std::ios::binary);
+  return Coordinator::CreateFromState(config, std::move(kb),
+                                      std::move(store), std::move(weights),
+                                      index_in ? &index_in : nullptr);
+}
+
+}  // namespace mqa

@@ -1,0 +1,39 @@
+#ifndef MQA_CORE_PERSISTENCE_H_
+#define MQA_CORE_PERSISTENCE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/coordinator.h"
+
+namespace mqa {
+
+/// Persists a built system to a directory so it can be reopened without
+/// re-encoding the corpus or rebuilding the index:
+///
+///   <dir>/kb.bin       knowledge base (objects + payloads)
+///   <dir>/store.bin    encoded multi-vector store
+///   <dir>/index.bin    the navigation graph (flat graph indexes only)
+///   <dir>/config.txt   the MqaConfig in config-parser syntax
+///   <dir>/weights.txt  learned modality weights
+///
+/// Only the MUST framework over a flat graph index ("kgraph", "nsg",
+/// "vamana", "mqa-hybrid") round-trips today; other index kinds rebuild on
+/// load (their build is either cheap, like bruteforce, or fast, like
+/// hnsw). The directory must exist.
+Status SaveSystemState(const Coordinator& coordinator,
+                       const std::string& dir);
+
+/// Reopens a system saved with SaveSystemState. The world model is
+/// regenerated deterministically from the saved config; knowledge base,
+/// encoded store, weights — and the index when available — are loaded
+/// from disk.
+Result<std::unique_ptr<Coordinator>> LoadSystemState(const std::string& dir);
+
+/// Serializes a config back into config-parser syntax (the subset of keys
+/// the parser understands; see config_parser.h).
+std::string MqaConfigToText(const MqaConfig& config);
+
+}  // namespace mqa
+
+#endif  // MQA_CORE_PERSISTENCE_H_

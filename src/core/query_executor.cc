@@ -1,0 +1,132 @@
+#include "core/query_executor.h"
+
+#include <algorithm>
+
+#include "vector/distance.h"
+
+namespace mqa {
+
+QueryExecutor::QueryExecutor(const KnowledgeBase* kb,
+                             const EncoderSet* encoders,
+                             RetrievalFramework* framework)
+    : kb_(kb), encoders_(encoders), framework_(framework) {}
+
+std::optional<size_t> QueryExecutor::SlotOfType(ModalityType type) const {
+  const ModalitySchema& schema = kb_->schema();
+  for (size_t m = 0; m < schema.num_modalities(); ++m) {
+    if (schema.types[m] == type) return m;
+  }
+  return std::nullopt;
+}
+
+Result<RetrievalQuery> QueryExecutor::EncodeUserQuery(
+    const UserQuery& query) const {
+  RetrievalQuery out;
+  out.modalities.parts.resize(encoders_->num_modalities());
+  out.weights = query.weight_override;
+
+  bool any = false;
+  if (!query.text.empty()) {
+    const std::optional<size_t> slot = SlotOfType(ModalityType::kText);
+    if (!slot.has_value()) {
+      return Status::FailedPrecondition("knowledge base has no text modality");
+    }
+    Payload p;
+    p.type = ModalityType::kText;
+    p.text = query.text;
+    MQA_ASSIGN_OR_RETURN(out.modalities.parts[*slot],
+                         encoders_->EncodeModality(*slot, p));
+    any = true;
+  }
+
+  // Image part: an upload wins over a clicked previous result.
+  const Payload* image = nullptr;
+  if (query.uploaded_image.has_value()) {
+    image = &*query.uploaded_image;
+  } else if (query.selected_object.has_value()) {
+    MQA_ASSIGN_OR_RETURN(const Object* obj,
+                         kb_->Get(*query.selected_object));
+    const std::optional<size_t> slot = SlotOfType(ModalityType::kImage);
+    if (slot.has_value()) image = &obj->modalities[*slot];
+  }
+  if (image != nullptr) {
+    const std::optional<size_t> slot = SlotOfType(ModalityType::kImage);
+    if (!slot.has_value()) {
+      return Status::FailedPrecondition(
+          "knowledge base has no image modality");
+    }
+    MQA_ASSIGN_OR_RETURN(out.modalities.parts[*slot],
+                         encoders_->EncodeModality(*slot, *image));
+    any = true;
+  }
+
+  if (!any) {
+    return Status::InvalidArgument(
+        "query must contain text, an uploaded image, or a selected result");
+  }
+  // Drop uninformative parts: a contentless utterance ("more like this")
+  // embeds with low energy; keeping it would only add noise next to a
+  // strong modality.
+  float strongest = 0.0f;
+  for (const Vector& part : out.modalities.parts) {
+    if (!part.empty()) {
+      strongest = std::max(strongest, Norm(part.data(), part.size()));
+    }
+  }
+  if (strongest >= 0.5f) {
+    for (Vector& part : out.modalities.parts) {
+      if (!part.empty() && Norm(part.data(), part.size()) < 0.4f) {
+        part.clear();
+      }
+    }
+  }
+  // Cross-modal projection: a single-modality query also searches the
+  // other modality blocks through the aligned embedding space.
+  CrossModalFill(&out.modalities);
+  return out;
+}
+
+Result<QueryOutcome> QueryExecutor::Execute(const UserQuery& query,
+                                            const SearchParams& params) {
+  MQA_ASSIGN_OR_RETURN(RetrievalQuery rq, EncodeUserQuery(query));
+  SearchParams effective = params;
+  if (query.object_filter) {
+    const KnowledgeBase* kb = kb_;
+    auto object_filter = query.object_filter;
+    effective.filter = [kb, object_filter](uint32_t id) {
+      return id < kb->size() && object_filter(kb->at(id));
+    };
+  }
+  QueryOutcome outcome;
+  MQA_ASSIGN_OR_RETURN(outcome.retrieval,
+                       framework_->Retrieve(rq, effective));
+  // Preference markers: items sharing the clicked result's concept are
+  // flagged for the answer generator.
+  std::optional<uint32_t> preferred_concept;
+  if (query.selected_object.has_value()) {
+    MQA_ASSIGN_OR_RETURN(const Object* sel,
+                         kb_->Get(*query.selected_object));
+    preferred_concept = sel->concept_id;
+  }
+  outcome.items.reserve(outcome.retrieval.neighbors.size());
+  for (const Neighbor& n : outcome.retrieval.neighbors) {
+    MQA_ASSIGN_OR_RETURN(const Object* obj, kb_->Get(n.id));
+    RetrievedItem item{obj->id, DescribeObject(*obj), n.distance};
+    item.preferred = preferred_concept.has_value() &&
+                     obj->concept_id == *preferred_concept;
+    outcome.items.push_back(std::move(item));
+  }
+  return outcome;
+}
+
+std::string DescribeObject(const Object& object) {
+  std::string out = "object #" + std::to_string(object.id);
+  for (const Payload& p : object.modalities) {
+    if (p.text.empty()) continue;
+    out += " | ";
+    out += p.text;
+  }
+  return out;
+}
+
+}  // namespace mqa

@@ -1,0 +1,68 @@
+#ifndef MQA_CORE_QUERY_EXECUTOR_H_
+#define MQA_CORE_QUERY_EXECUTOR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "encoder/encoder.h"
+#include "llm/prompt_builder.h"
+#include "retrieval/framework.h"
+#include "storage/knowledge_base.h"
+
+namespace mqa {
+
+/// What a user submits in one dialogue round: free text, optionally a
+/// previously returned result they clicked (feedback loop), optionally an
+/// uploaded image, and optionally explicit modality weights.
+struct UserQuery {
+  std::string text;
+  std::optional<uint64_t> selected_object;  ///< id of a clicked result
+  std::optional<Payload> uploaded_image;    ///< image-assisted input
+  std::vector<float> weight_override;       ///< empty = framework default
+  /// Optional attribute constraint: only objects passing the predicate may
+  /// be returned (e.g. a category filter from the configuration panel).
+  std::function<bool(const Object&)> object_filter;
+};
+
+/// Retrieval output enriched with displayable descriptions.
+struct QueryOutcome {
+  RetrievalResult retrieval;
+  std::vector<RetrievedItem> items;  ///< aligned with retrieval.neighbors
+};
+
+/// The Query Execution component: encodes a user query into per-modality
+/// vectors (text via the text encoder; image via the image encoder from
+/// either the upload or the selected previous result — the dotted feedback
+/// arrow in Figure 2) and runs the configured retrieval framework.
+class QueryExecutor {
+ public:
+  /// All pointers are borrowed and must outlive the executor.
+  QueryExecutor(const KnowledgeBase* kb, const EncoderSet* encoders,
+                RetrievalFramework* framework);
+
+  /// Executes one round. Fails when the query carries no usable modality
+  /// or references an unknown object.
+  Result<QueryOutcome> Execute(const UserQuery& query,
+                               const SearchParams& params);
+
+  /// Encodes without searching (exposed for tests and benches).
+  Result<RetrievalQuery> EncodeUserQuery(const UserQuery& query) const;
+
+ private:
+  /// First schema slot of the given type, or nullopt.
+  std::optional<size_t> SlotOfType(ModalityType type) const;
+
+  const KnowledgeBase* kb_;
+  const EncoderSet* encoders_;
+  RetrievalFramework* framework_;
+};
+
+/// A one-line human-readable description of an object (used in prompts
+/// and in the QA panel's result list).
+std::string DescribeObject(const Object& object);
+
+}  // namespace mqa
+
+#endif  // MQA_CORE_QUERY_EXECUTOR_H_

@@ -1,0 +1,82 @@
+#include "core/represent.h"
+
+namespace mqa {
+
+namespace {
+
+/// Multi-view contrastive triplets: the positive is a fresh observation of
+/// the anchor object, the negative a random other object.
+Result<std::vector<TripletDistances>> SampleMultiViewTriplets(
+    const KnowledgeBase& kb, const EncoderSet& encoders, const World& world,
+    const VectorStore& store, uint64_t count, Rng* rng) {
+  const uint32_t n = store.size();
+  if (n < 2) return Status::InvalidArgument("corpus too small for pairs");
+  const VectorSchema& schema = store.schema();
+  std::vector<TripletDistances> out;
+  out.reserve(count);
+  for (uint64_t t = 0; t < count; ++t) {
+    const uint32_t anchor = static_cast<uint32_t>(rng->NextUint64(n));
+    const Object observed = world.ReobserveObject(kb.at(anchor), rng);
+    MQA_ASSIGN_OR_RETURN(MultiVector mv, encoders.EncodeObject(observed));
+    MQA_ASSIGN_OR_RETURN(Vector positive, FlattenMultiVector(schema, mv));
+    uint32_t negative = anchor;
+    while (negative == anchor) {
+      negative = static_cast<uint32_t>(rng->NextUint64(n));
+    }
+    TripletDistances triplet;
+    triplet.pos = WeightLearner::PerModalityDistances(
+        schema, store.data(anchor), positive.data());
+    triplet.neg = WeightLearner::PerModalityDistances(
+        schema, store.data(anchor), store.data(negative));
+    out.push_back(std::move(triplet));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<RepresentedCorpus> RepresentCorpus(const KnowledgeBase& kb,
+                                          const EncoderSet& encoders,
+                                          bool learn_weights,
+                                          const WeightLearnerConfig& learner,
+                                          uint64_t num_triplets,
+                                          const World* world) {
+  if (kb.empty()) return Status::FailedPrecondition("empty knowledge base");
+  if (kb.schema().num_modalities() != encoders.num_modalities()) {
+    return Status::InvalidArgument(
+        "encoder set does not match knowledge base schema");
+  }
+
+  RepresentedCorpus out;
+  out.store = std::make_shared<VectorStore>(encoders.Schema());
+  out.store->Reserve(kb.size());
+  out.labels.reserve(kb.size());
+  for (const Object& obj : kb.objects()) {
+    MQA_ASSIGN_OR_RETURN(MultiVector mv, encoders.EncodeObject(obj));
+    MQA_RETURN_NOT_OK(out.store->AddMultiVector(mv).status());
+    out.labels.push_back(obj.concept_id);
+  }
+
+  const size_t num_m = encoders.num_modalities();
+  if (learn_weights) {
+    Rng rng(learner.seed ^ 0x77e1647);
+    std::vector<TripletDistances> triplets;
+    if (world != nullptr) {
+      MQA_ASSIGN_OR_RETURN(
+          triplets, SampleMultiViewTriplets(kb, encoders, *world, *out.store,
+                                            num_triplets, &rng));
+    } else {
+      MQA_ASSIGN_OR_RETURN(
+          triplets, SampleTriplets(*out.store, out.labels, num_triplets,
+                                   &rng));
+    }
+    WeightLearner wl(learner, num_m);
+    MQA_ASSIGN_OR_RETURN(out.train_report, wl.Fit(triplets));
+    out.weights = out.train_report.weights;
+  } else {
+    out.weights.assign(num_m, 1.0f);
+  }
+  return out;
+}
+
+}  // namespace mqa

@@ -1,0 +1,47 @@
+#ifndef MQA_CORE_REPRESENT_H_
+#define MQA_CORE_REPRESENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "encoder/encoder.h"
+#include "learning/weight_learner.h"
+#include "storage/knowledge_base.h"
+#include "storage/world.h"
+#include "vector/vector_store.h"
+
+namespace mqa {
+
+/// Output of the Vector Representation component: the encoded corpus, its
+/// ground-truth labels, and (optionally) learned modality weights.
+struct RepresentedCorpus {
+  std::shared_ptr<VectorStore> store;   ///< one multi-vector row per object
+  std::vector<uint32_t> labels;         ///< per-object concept ids
+  std::vector<float> weights;           ///< learned (or uniform) weights
+  WeightTrainReport train_report;       ///< empty when learning is off
+};
+
+/// Encodes every object of `kb` with `encoders` and, when `learn_weights`
+/// is set, fits modality weights with contrastive learning over
+/// `num_triplets` sampled triplets. Uniform weights otherwise.
+///
+/// Two contrastive signals are supported:
+///  * `world != nullptr` (default in the full system): multi-view pairs —
+///    the positive is a *fresh observation* of the anchor object (new image
+///    rendering, re-worded caption), the negative a random other object.
+///    This instance-level signal needs no labels (it is what click feedback
+///    or multi-view product photos provide in a deployment) and teaches the
+///    weights which modality is stable AND discriminative.
+///  * `world == nullptr`: concept-label triplets (anchor/positive share a
+///    label) — a category-level signal.
+Result<RepresentedCorpus> RepresentCorpus(const KnowledgeBase& kb,
+                                          const EncoderSet& encoders,
+                                          bool learn_weights,
+                                          const WeightLearnerConfig& learner,
+                                          uint64_t num_triplets,
+                                          const World* world = nullptr);
+
+}  // namespace mqa
+
+#endif  // MQA_CORE_REPRESENT_H_

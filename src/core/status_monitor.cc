@@ -1,0 +1,50 @@
+#include "core/status_monitor.h"
+
+#include "common/string_util.h"
+
+namespace mqa {
+
+const char* ComponentStageToString(ComponentStage stage) {
+  switch (stage) {
+    case ComponentStage::kDataPreprocessing:
+      return "data-preprocessing";
+    case ComponentStage::kVectorRepresentation:
+      return "vector-representation";
+    case ComponentStage::kIndexConstruction:
+      return "index-construction";
+    case ComponentStage::kQueryExecution:
+      return "query-execution";
+    case ComponentStage::kAnswerGeneration:
+      return "answer-generation";
+    case ComponentStage::kCoordinator:
+      return "coordinator";
+  }
+  return "unknown";
+}
+
+void StatusMonitor::Emit(StatusEvent event) {
+  history_.push_back(event);
+  if (callback_) callback_(history_.back());
+}
+
+void StatusMonitor::Emit(ComponentStage stage, std::string message,
+                         double elapsed_ms) {
+  Emit(StatusEvent{stage, std::move(message), elapsed_ms, true});
+}
+
+std::string StatusMonitor::Render() const {
+  std::string out;
+  for (const StatusEvent& e : history_) {
+    out += e.completed ? "[x] " : "[ ] ";
+    out += ComponentStageToString(e.stage);
+    out += ": ";
+    out += e.message;
+    if (e.elapsed_ms > 0.0) {
+      out += " (" + FormatDouble(e.elapsed_ms, 1) + " ms)";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mqa

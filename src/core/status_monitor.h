@@ -1,0 +1,58 @@
+#ifndef MQA_CORE_STATUS_MONITOR_H_
+#define MQA_CORE_STATUS_MONITOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mqa {
+
+/// The five backend components of Figure 2 (plus the coordinator itself).
+enum class ComponentStage {
+  kDataPreprocessing,
+  kVectorRepresentation,
+  kIndexConstruction,
+  kQueryExecution,
+  kAnswerGeneration,
+  kCoordinator,
+};
+
+const char* ComponentStageToString(ComponentStage stage);
+
+/// One milestone line of the status-monitoring panel.
+struct StatusEvent {
+  ComponentStage stage = ComponentStage::kCoordinator;
+  std::string message;
+  double elapsed_ms = 0.0;
+  bool completed = true;
+};
+
+/// Collects milestone events ("data preprocessing done: 5000 objects, 2
+/// modalities", ...) and forwards them to an optional subscriber — the
+/// backend half of the paper's status monitoring panel.
+class StatusMonitor {
+ public:
+  using Callback = std::function<void(const StatusEvent&)>;
+
+  /// Registers a subscriber (replaces any previous one).
+  void Subscribe(Callback callback) { callback_ = std::move(callback); }
+
+  /// Records an event and notifies the subscriber.
+  void Emit(StatusEvent event);
+  void Emit(ComponentStage stage, std::string message,
+            double elapsed_ms = 0.0);
+
+  const std::vector<StatusEvent>& history() const { return history_; }
+  void Clear() { history_.clear(); }
+
+  /// Renders the history as the panel would show it (one line per event).
+  std::string Render() const;
+
+ private:
+  Callback callback_;
+  std::vector<StatusEvent> history_;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_CORE_STATUS_MONITOR_H_

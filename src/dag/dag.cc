@@ -1,0 +1,155 @@
+#include "dag/dag.h"
+
+#include <condition_variable>
+#include <queue>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace mqa::dag {
+
+Status DagPipeline::AddNode(const std::string& name,
+                            std::vector<std::string> deps, NodeFn fn) {
+  if (name.empty()) return Status::InvalidArgument("node name is empty");
+  if (index_.count(name) > 0) {
+    return Status::AlreadyExists("duplicate node: " + name);
+  }
+  if (!fn) return Status::InvalidArgument("node has no body: " + name);
+  index_[name] = nodes_.size();
+  nodes_.push_back(Node{name, std::move(deps), std::move(fn)});
+  return Status::OK();
+}
+
+Status DagPipeline::Validate() const {
+  // Unknown dependencies.
+  for (const auto& node : nodes_) {
+    for (const auto& dep : node.deps) {
+      if (index_.count(dep) == 0) {
+        return Status::InvalidArgument("node '" + node.name +
+                                       "' depends on unknown node '" + dep +
+                                       "'");
+      }
+      if (dep == node.name) {
+        return Status::InvalidArgument("node '" + node.name +
+                                       "' depends on itself");
+      }
+    }
+  }
+  // Cycle check via Kahn's algorithm.
+  std::vector<size_t> indegree(nodes_.size(), 0);
+  std::vector<std::vector<size_t>> out(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    for (const auto& dep : nodes_[i].deps) {
+      const size_t d = index_.at(dep);
+      out[d].push_back(i);
+      ++indegree[i];
+    }
+  }
+  std::queue<size_t> ready;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (indegree[i] == 0) ready.push(i);
+  }
+  size_t visited = 0;
+  while (!ready.empty()) {
+    const size_t u = ready.front();
+    ready.pop();
+    ++visited;
+    for (size_t v : out[u]) {
+      if (--indegree[v] == 0) ready.push(v);
+    }
+  }
+  if (visited != nodes_.size()) {
+    return Status::InvalidArgument("pipeline '" + name_ + "' has a cycle");
+  }
+  return Status::OK();
+}
+
+Status DagPipeline::Run(DagContext* ctx, bool parallel) {
+  MQA_RETURN_NOT_OK(Validate());
+  reports_.clear();
+  if (nodes_.empty()) return Status::OK();
+
+  std::vector<size_t> indegree(nodes_.size(), 0);
+  std::vector<std::vector<size_t>> out(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    for (const auto& dep : nodes_[i].deps) {
+      const size_t d = index_.at(dep);
+      out[d].push_back(i);
+      ++indegree[i];
+    }
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::queue<size_t> ready;
+  size_t completed = 0;
+  size_t inflight = 0;
+  Status first_error;
+  bool failed = false;
+
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (indegree[i] == 0) ready.push(i);
+  }
+
+  auto run_node = [&](size_t i) {
+    Timer timer;
+    Status st = nodes_[i].fn(ctx);
+    const double ms = timer.ElapsedMillis();
+    std::lock_guard<std::mutex> lock(mu);
+    reports_.push_back(NodeReport{nodes_[i].name, ms, st});
+    --inflight;
+    ++completed;
+    if (!st.ok()) {
+      if (!failed) {
+        failed = true;
+        first_error = st;
+      }
+    } else {
+      for (size_t v : out[i]) {
+        if (--indegree[v] == 0) ready.push(v);
+      }
+    }
+    cv.notify_all();
+  };
+
+  if (!parallel) {
+    // Sequential execution in a deterministic topological order.
+    while (!ready.empty()) {
+      const size_t i = ready.front();
+      ready.pop();
+      ++inflight;
+      run_node(i);
+      if (failed) return first_error;
+    }
+    if (completed != nodes_.size()) {
+      return Status::Internal("pipeline deadlock (should be unreachable)");
+    }
+    return Status::OK();
+  }
+
+  ThreadPool& pool = DefaultThreadPool();
+  std::unique_lock<std::mutex> lock(mu);
+  for (;;) {
+    while (!failed && !ready.empty()) {
+      const size_t i = ready.front();
+      ready.pop();
+      ++inflight;
+      pool.Submit([&run_node, i] { run_node(i); });
+    }
+    if (failed && inflight == 0) return first_error;
+    if (completed == nodes_.size()) return Status::OK();
+    if (ready.empty() && inflight == 0) {
+      return Status::Internal("pipeline stalled with unscheduled nodes");
+    }
+    cv.wait(lock);
+  }
+}
+
+std::vector<std::string> DagPipeline::NodeNames() const {
+  std::vector<std::string> names;
+  names.reserve(nodes_.size());
+  for (const auto& n : nodes_) names.push_back(n.name);
+  return names;
+}
+
+}  // namespace mqa::dag

@@ -1,0 +1,240 @@
+#include "diskindex/disk_index.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <queue>
+
+namespace mqa {
+
+Result<std::unique_ptr<DiskGraphIndex>> DiskGraphIndex::Create(
+    const DiskIndexConfig& config, const GraphIndex& mem_index,
+    const VectorStore& store, WeightedMultiDistance weighted) {
+  if (mem_index.size() != store.size()) {
+    return Status::InvalidArgument("graph and store sizes differ");
+  }
+  if (mem_index.size() == 0) {
+    return Status::FailedPrecondition("empty source index");
+  }
+  if (config.layout != "id" && config.layout != "bfs") {
+    return Status::InvalidArgument("unknown layout: " + config.layout);
+  }
+  if (weighted.schema().TotalDim() != store.row_dim()) {
+    return Status::InvalidArgument("distance schema does not match store");
+  }
+
+  std::unique_ptr<DiskGraphIndex> index(
+      new DiskGraphIndex(config, std::move(weighted)));
+  const AdjacencyGraph& graph = mem_index.graph();
+  const uint32_t n = graph.num_nodes();
+  index->num_nodes_ = n;
+  index->dim_ = store.row_dim();
+  index->max_degree_ = std::max<uint32_t>(1, graph.MaxDegree());
+  index->entry_points_ = mem_index.entry_points();
+
+  // Fixed-size record: [degree u32][neighbors: max_degree u32][vector].
+  index->record_size_ = sizeof(uint32_t) * (1 + index->max_degree_) +
+                        sizeof(float) * index->dim_;
+  if (index->record_size_ > config.page_size) {
+    return Status::InvalidArgument(
+        "node record does not fit in one page; increase page_size");
+  }
+  index->nodes_per_page_ =
+      std::max<size_t>(1, config.page_size / index->record_size_);
+  index->num_pages_ =
+      (n + index->nodes_per_page_ - 1) / index->nodes_per_page_;
+
+  // Packing order.
+  index->slot_to_node_.reserve(n);
+  if (config.layout == "id") {
+    for (uint32_t u = 0; u < n; ++u) index->slot_to_node_.push_back(u);
+  } else {
+    // BFS from the entry point: neighborhoods become block-adjacent.
+    std::vector<bool> seen(n, false);
+    std::queue<uint32_t> frontier;
+    const uint32_t start =
+        index->entry_points_.empty() ? 0 : index->entry_points_[0];
+    frontier.push(start);
+    seen[start] = true;
+    while (!frontier.empty()) {
+      const uint32_t u = frontier.front();
+      frontier.pop();
+      index->slot_to_node_.push_back(u);
+      for (uint32_t v : graph.neighbors(u)) {
+        if (!seen[v]) {
+          seen[v] = true;
+          frontier.push(v);
+        }
+      }
+    }
+    for (uint32_t u = 0; u < n; ++u) {
+      if (!seen[u]) index->slot_to_node_.push_back(u);
+    }
+  }
+  index->node_to_slot_.resize(n);
+  for (uint32_t slot = 0; slot < n; ++slot) {
+    index->node_to_slot_[index->slot_to_node_[slot]] = slot;
+  }
+
+  // In-memory navigation sample (deterministic spread over the packing
+  // order, so pivots cover the whole graph).
+  if (config.memory_pivots > 0) {
+    const uint32_t pivots = std::min(config.memory_pivots, n);
+    index->pivot_ids_.reserve(pivots);
+    index->pivot_vectors_.reserve(static_cast<size_t>(pivots) * index->dim_);
+    for (uint32_t i = 0; i < pivots; ++i) {
+      const uint32_t slot =
+          static_cast<uint32_t>(static_cast<uint64_t>(i) * n / pivots);
+      const uint32_t node = index->slot_to_node_[slot];
+      index->pivot_ids_.push_back(node);
+      const float* v = store.data(node);
+      index->pivot_vectors_.insert(index->pivot_vectors_.end(), v,
+                                   v + index->dim_);
+    }
+  }
+
+  // Write records to the simulated device.
+  index->disk_.assign(index->num_pages_ * config.page_size, 0);
+  for (uint32_t slot = 0; slot < n; ++slot) {
+    const uint32_t u = index->slot_to_node_[slot];
+    const size_t page = slot / index->nodes_per_page_;
+    const size_t off_in_page =
+        (slot % index->nodes_per_page_) * index->record_size_;
+    char* rec = index->disk_.data() + page * config.page_size + off_in_page;
+    const auto& nbrs = graph.neighbors(u);
+    const uint32_t degree = static_cast<uint32_t>(nbrs.size());
+    std::memcpy(rec, &degree, sizeof(uint32_t));
+    std::memcpy(rec + sizeof(uint32_t), nbrs.data(),
+                degree * sizeof(uint32_t));
+    std::memcpy(rec + sizeof(uint32_t) * (1 + index->max_degree_),
+                store.data(u), index->dim_ * sizeof(float));
+  }
+  return index;
+}
+
+const char* DiskGraphIndex::FetchPage(size_t page) {
+  auto it = cached_.find(page);
+  if (it != cached_.end()) {
+    // Move to the front of the recency list.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++io_stats_.cache_hits;
+  } else {
+    ++io_stats_.page_reads;
+    io_stats_.bytes_read += config_.page_size;
+    lru_.push_front(page);
+    cached_[page] = lru_.begin();
+    if (cached_.size() > config_.cache_pages) {
+      cached_.erase(lru_.back());
+      lru_.pop_back();
+    }
+  }
+  return disk_.data() + page * config_.page_size;
+}
+
+DiskGraphIndex::NodeRecord DiskGraphIndex::ReadRecord(
+    uint32_t node, const char* page_data) const {
+  const uint32_t slot = node_to_slot_[node];
+  const size_t off = (slot % nodes_per_page_) * record_size_;
+  const char* rec = page_data + off;
+  NodeRecord out;
+  std::memcpy(&out.degree, rec, sizeof(uint32_t));
+  out.neighbors = reinterpret_cast<const uint32_t*>(rec + sizeof(uint32_t));
+  out.vector = reinterpret_cast<const float*>(
+      rec + sizeof(uint32_t) * (1 + max_degree_));
+  return out;
+}
+
+Result<std::vector<Neighbor>> DiskGraphIndex::Search(
+    const float* query, const SearchParams& params, SearchStats* stats) {
+  if (params.k == 0) return Status::InvalidArgument("k must be > 0");
+  if (num_nodes_ == 0) return Status::FailedPrecondition("empty index");
+  const size_t beam_width = std::max(params.beam_width, params.k);
+
+  std::vector<bool> visited(num_nodes_, false);
+  // Distances already computed for visited nodes (block-aware scoring).
+  std::vector<float> known_dist(num_nodes_, 0.0f);
+
+  auto cand_greater = [](const Neighbor& a, const Neighbor& b) {
+    return NeighborLess(b, a);
+  };
+  std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(cand_greater)>
+      frontier(cand_greater);
+  TopK beam(beam_width);
+  TopK admitted(params.k);
+
+  auto score = [&](uint32_t node, const char* page_data) {
+    const NodeRecord rec = ReadRecord(node, page_data);
+    const float d = weighted_.Exact(query, rec.vector);
+    if (stats != nullptr) ++stats->dist_comps;
+    visited[node] = true;
+    known_dist[node] = d;
+    frontier.push({d, node});
+    beam.Push(d, node);
+    if (params.filter && params.filter(node)) admitted.Push(d, node);
+  };
+
+  if (!pivot_ids_.empty()) {
+    // In-memory navigation: scan the RAM pivots (no I/O) and start the
+    // on-disk traversal from the closest few.
+    TopK best_pivots(4);
+    for (size_t i = 0; i < pivot_ids_.size(); ++i) {
+      const float d =
+          weighted_.Exact(query, pivot_vectors_.data() + i * dim_);
+      if (stats != nullptr) ++stats->dist_comps;
+      best_pivots.Push(d, pivot_ids_[i]);
+    }
+    for (const Neighbor& p : best_pivots.TakeSorted()) {
+      if (visited[p.id]) continue;
+      const size_t page = node_to_slot_[p.id] / nodes_per_page_;
+      score(p.id, FetchPage(page));
+    }
+  }
+  for (uint32_t e : entry_points_) {
+    if (e >= num_nodes_ || visited[e]) continue;
+    const size_t page = node_to_slot_[e] / nodes_per_page_;
+    score(e, FetchPage(page));
+  }
+
+  while (!frontier.empty()) {
+    const Neighbor current = frontier.top();
+    frontier.pop();
+    if (beam.Full() && current.distance > beam.WorstDistance()) break;
+    if (stats != nullptr) ++stats->hops;
+
+    const size_t page = node_to_slot_[current.id] / nodes_per_page_;
+    const bool was_cached = cached_.count(page) > 0;
+    const char* page_data = FetchPage(page);
+    const NodeRecord rec = ReadRecord(current.id, page_data);
+
+    // Block-aware search: a freshly fetched block's co-located nodes are
+    // scored for free.
+    if (config_.block_aware_search && !was_cached) {
+      const size_t first_slot = page * nodes_per_page_;
+      const size_t last_slot =
+          std::min<size_t>(first_slot + nodes_per_page_, num_nodes_);
+      for (size_t slot = first_slot; slot < last_slot; ++slot) {
+        const uint32_t node = slot_to_node_[slot];
+        if (!visited[node]) score(node, page_data);
+      }
+    }
+
+    for (uint32_t i = 0; i < rec.degree; ++i) {
+      const uint32_t nbr = rec.neighbors[i];
+      if (nbr >= num_nodes_ || visited[nbr]) continue;
+      const size_t nbr_page = node_to_slot_[nbr] / nodes_per_page_;
+      score(nbr, FetchPage(nbr_page));
+    }
+  }
+
+  std::vector<Neighbor> results =
+      params.filter ? admitted.TakeSorted() : beam.TakeSorted();
+  if (results.size() > params.k) results.resize(params.k);
+  return results;
+}
+
+void DiskGraphIndex::ClearCache() {
+  lru_.clear();
+  cached_.clear();
+}
+
+}  // namespace mqa

@@ -1,0 +1,80 @@
+#include "graph/index_factory.h"
+
+#include "common/timer.h"
+
+namespace mqa {
+
+Result<std::unique_ptr<VectorIndex>> CreateIndex(
+    const IndexConfig& config, const VectorStore* store,
+    std::unique_ptr<DistanceComputer> dist, BuildReport* report) {
+  if (config.algorithm == "bruteforce") {
+    if (report != nullptr) {
+      *report = BuildReport{};
+      report->algorithm = "bruteforce";
+      report->connected = true;
+    }
+    return std::unique_ptr<VectorIndex>(
+        std::make_unique<BruteForceIndex>(std::move(dist)));
+  }
+  if (config.algorithm == "hnsw") {
+    Timer timer;
+    MQA_ASSIGN_OR_RETURN(std::unique_ptr<HnswIndex> index,
+                         HnswIndex::Build(config.hnsw, store,
+                                          std::move(dist)));
+    if (report != nullptr) {
+      *report = BuildReport{};
+      report->algorithm = "hnsw";
+      report->total_seconds = timer.ElapsedSeconds();
+      report->connected = true;
+      report->max_degree = config.hnsw.m * 2;
+      report->avg_degree =
+          static_cast<double>(index->MemoryBytes() / sizeof(uint32_t)) /
+          std::max<uint32_t>(1, index->size());
+    }
+    return std::unique_ptr<VectorIndex>(std::move(index));
+  }
+  if (config.algorithm == "starling") {
+    // Disk-resident deployment: build the in-memory mqa-hybrid graph,
+    // then pack it into blocks. The on-disk distance follows the source
+    // computer's weighting (single uniform block for plain metrics).
+    WeightedMultiDistance weighted = [&] {
+      auto* multi = dynamic_cast<MultiVectorDistanceComputer*>(dist.get());
+      if (multi != nullptr) return multi->weighted_distance();
+      VectorSchema single;
+      single.dims = {static_cast<uint32_t>(store->row_dim())};
+      return std::move(WeightedMultiDistance::Create(single, {1.0f}))
+          .Value();
+    }();
+    GraphBuildConfig graph_config = config.graph;
+    graph_config.algorithm = "mqa-hybrid";
+    MQA_ASSIGN_OR_RETURN(
+        std::unique_ptr<GraphIndex> mem_index,
+        BuildGraphIndex(graph_config, store, std::move(dist), report));
+    Timer pack_timer;
+    MQA_ASSIGN_OR_RETURN(
+        std::unique_ptr<DiskGraphIndex> disk,
+        DiskGraphIndex::Create(config.disk, *mem_index, *store,
+                               std::move(weighted)));
+    if (report != nullptr) {
+      report->algorithm = "starling";
+      report->total_seconds += pack_timer.ElapsedSeconds();
+    }
+    return std::unique_ptr<VectorIndex>(std::move(disk));
+  }
+  GraphBuildConfig graph_config = config.graph;
+  graph_config.algorithm = config.algorithm;
+  MQA_ASSIGN_OR_RETURN(std::unique_ptr<GraphIndex> index,
+                       BuildGraphIndex(graph_config, store, std::move(dist),
+                                       report));
+  return std::unique_ptr<VectorIndex>(std::move(index));
+}
+
+std::vector<std::string> AllIndexAlgorithms() {
+  std::vector<std::string> algos = GraphAlgorithms();
+  algos.push_back("hnsw");
+  algos.push_back("bruteforce");
+  algos.push_back("starling");
+  return algos;
+}
+
+}  // namespace mqa

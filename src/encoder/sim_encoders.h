@@ -1,0 +1,73 @@
+#ifndef MQA_ENCODER_SIM_ENCODERS_H_
+#define MQA_ENCODER_SIM_ENCODERS_H_
+
+#include <memory>
+#include <string>
+
+#include "encoder/encoder.h"
+#include "storage/world.h"
+
+namespace mqa {
+
+/// Knobs of the simulated encoders. `encoder_noise` is the standard
+/// deviation of deterministic per-input noise added in embedding space,
+/// modeling imperfect pretrained models.
+struct SimEncoderConfig {
+  uint32_t output_dim = 32;
+  float encoder_noise = 0.05f;
+  uint64_t seed = 7;
+};
+
+/// Simulated text encoder (LSTM/CLIP-text stand-in): recovers an
+/// approximate latent from the caption through the world's vocabulary, then
+/// projects into the shared embedding space.
+class SimTextEncoder : public ModalityEncoder {
+ public:
+  SimTextEncoder(const World* world, SimEncoderConfig config);
+
+  Result<Vector> Encode(const Payload& payload) override;
+  size_t dim() const override { return config_.output_dim; }
+  std::string name() const override { return "sim-text"; }
+
+ private:
+  const World* world_;
+  SimEncoderConfig config_;
+  std::vector<float> projection_;  // output_dim x latent_dim, row-major
+};
+
+/// Simulated feature encoder (ResNet/CLIP-image stand-in) for image or
+/// audio slots: least-squares latent recovery from raw features, then the
+/// shared projection.
+class SimFeatureEncoder : public ModalityEncoder {
+ public:
+  SimFeatureEncoder(const World* world, SimEncoderConfig config,
+                    size_t modality_slot, std::string name);
+
+  Result<Vector> Encode(const Payload& payload) override;
+  size_t dim() const override { return config_.output_dim; }
+  std::string name() const override { return name_; }
+
+ private:
+  const World* world_;
+  SimEncoderConfig config_;
+  size_t modality_slot_;
+  std::string name_;
+  std::vector<float> projection_;
+};
+
+/// Builds the full per-modality encoder set for a world. Recognized preset
+/// names (the pluggable-encoder menu in the configuration panel):
+///   "sim-clip"        shared aligned space, low noise (default)
+///   "sim-resnet-lstm" standalone unimodal encoders, higher noise
+///   "sim-perfect"     noise-free (debug/upper bound)
+/// Returns InvalidArgument for unknown presets.
+Result<EncoderSet> MakeSimEncoderSet(const World* world,
+                                     const std::string& preset,
+                                     uint32_t output_dim = 32);
+
+/// Names of all available presets (for the configuration panel).
+std::vector<std::string> SimEncoderPresets();
+
+}  // namespace mqa
+
+#endif  // MQA_ENCODER_SIM_ENCODERS_H_

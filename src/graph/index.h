@@ -1,0 +1,57 @@
+#ifndef MQA_GRAPH_INDEX_H_
+#define MQA_GRAPH_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/topk.h"
+
+namespace mqa {
+
+/// Predicate deciding whether a stored id may appear in the results.
+/// Filtered-out vertices are still traversed (they keep the graph
+/// navigable); they just cannot be returned.
+using SearchFilter = std::function<bool(uint32_t)>;
+
+/// Per-query search knobs. `beam_width` (a.k.a. ef / L) trades accuracy for
+/// speed; searches return min(k, beam_width) results. `filter` (optional)
+/// restricts which ids are eligible as results — attribute-constrained
+/// search.
+struct SearchParams {
+  size_t k = 10;
+  size_t beam_width = 64;
+  SearchFilter filter;
+};
+
+/// Per-query search counters (accumulated when a pointer is supplied).
+struct SearchStats {
+  uint64_t hops = 0;        ///< vertices expanded
+  uint64_t dist_comps = 0;  ///< distance evaluations issued
+  void Reset() { *this = SearchStats{}; }
+};
+
+/// The common query interface over every index in MQA (graphs, brute force,
+/// disk-resident). Queries are flattened vectors in the index's space.
+class VectorIndex {
+ public:
+  virtual ~VectorIndex() = default;
+
+  /// k-nearest-neighbor search. Results are sorted ascending by distance.
+  virtual Result<std::vector<Neighbor>> Search(const float* query,
+                                               const SearchParams& params,
+                                               SearchStats* stats) = 0;
+
+  virtual std::string name() const = 0;
+  virtual uint32_t size() const = 0;
+
+  /// Approximate index memory footprint in bytes (structure only, not the
+  /// vectors).
+  virtual uint64_t MemoryBytes() const = 0;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_GRAPH_INDEX_H_

@@ -1,0 +1,123 @@
+#include "graph/nn_descent.h"
+
+#include <algorithm>
+
+#include "common/topk.h"
+
+namespace mqa {
+
+namespace {
+
+/// One entry of a node's candidate neighbor list.
+struct Entry {
+  float distance;
+  uint32_t id;
+  bool is_new;  // inserted since the last join round
+};
+
+bool EntryLess(const Entry& a, const Entry& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.id < b.id;
+}
+
+/// Sorted bounded insert; returns true when the entry was added.
+bool Insert(std::vector<Entry>* list, uint32_t cap, float distance,
+            uint32_t id) {
+  if (list->size() >= cap && distance >= list->back().distance) return false;
+  for (const Entry& e : *list) {
+    if (e.id == id) return false;
+  }
+  Entry entry{distance, id, true};
+  auto pos = std::lower_bound(list->begin(), list->end(), entry, EntryLess);
+  list->insert(pos, entry);
+  if (list->size() > cap) list->pop_back();
+  return true;
+}
+
+}  // namespace
+
+Result<AdjacencyGraph> BuildNNDescentGraph(DistanceComputer* dist, uint32_t k,
+                                           uint32_t iters, Rng* rng) {
+  const uint32_t n = dist->size();
+  if (n == 0) return Status::InvalidArgument("empty vector store");
+  if (k == 0) return Status::InvalidArgument("k must be > 0");
+  k = std::min(k, n - 1);
+  if (k == 0) {
+    // Single-element store: a graph with one isolated node.
+    return AdjacencyGraph(1);
+  }
+
+  std::vector<std::vector<Entry>> lists(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    lists[u].reserve(k + 1);
+    for (uint32_t t = 0; t < k; ++t) {
+      uint32_t v = static_cast<uint32_t>(rng->NextUint64(n - 1));
+      if (v >= u) ++v;  // exclude self
+      Insert(&lists[u], k, dist->DistanceBetween(u, v), v);
+    }
+  }
+
+  // Sampled reverse-neighbor cap per node per round.
+  const size_t reverse_cap = k;
+
+  for (uint32_t iter = 0; iter < iters; ++iter) {
+    // Snapshot new/old partitions, then clear the new flags.
+    std::vector<std::vector<uint32_t>> new_nbrs(n), old_nbrs(n);
+    for (uint32_t u = 0; u < n; ++u) {
+      for (Entry& e : lists[u]) {
+        (e.is_new ? new_nbrs[u] : old_nbrs[u]).push_back(e.id);
+        e.is_new = false;
+      }
+    }
+    // Sampled reverse edges.
+    std::vector<std::vector<uint32_t>> rev_new(n), rev_old(n);
+    for (uint32_t u = 0; u < n; ++u) {
+      for (uint32_t v : new_nbrs[u]) {
+        if (rev_new[v].size() < reverse_cap) rev_new[v].push_back(u);
+      }
+      for (uint32_t v : old_nbrs[u]) {
+        if (rev_old[v].size() < reverse_cap) rev_old[v].push_back(u);
+      }
+    }
+
+    uint64_t updates = 0;
+    std::vector<uint32_t> pool_new, pool_old;
+    for (uint32_t u = 0; u < n; ++u) {
+      pool_new = new_nbrs[u];
+      pool_new.insert(pool_new.end(), rev_new[u].begin(), rev_new[u].end());
+      pool_old = old_nbrs[u];
+      pool_old.insert(pool_old.end(), rev_old[u].begin(), rev_old[u].end());
+
+      // new x new and new x old joins: candidates become neighbors of each
+      // other when close enough.
+      for (size_t i = 0; i < pool_new.size(); ++i) {
+        const uint32_t a = pool_new[i];
+        for (size_t j = i + 1; j < pool_new.size(); ++j) {
+          const uint32_t b = pool_new[j];
+          if (a == b) continue;
+          const float d = dist->DistanceBetween(a, b);
+          if (Insert(&lists[a], k, d, b)) ++updates;
+          if (Insert(&lists[b], k, d, a)) ++updates;
+        }
+        for (uint32_t b : pool_old) {
+          if (a == b) continue;
+          const float d = dist->DistanceBetween(a, b);
+          if (Insert(&lists[a], k, d, b)) ++updates;
+          if (Insert(&lists[b], k, d, a)) ++updates;
+        }
+      }
+    }
+    if (updates == 0) break;
+  }
+
+  AdjacencyGraph graph(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    std::vector<uint32_t> nbrs;
+    nbrs.reserve(lists[u].size());
+    for (const Entry& e : lists[u]) nbrs.push_back(e.id);
+    graph.SetNeighbors(u, std::move(nbrs));
+  }
+  return graph;
+}
+
+}  // namespace mqa

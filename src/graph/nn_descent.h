@@ -1,0 +1,26 @@
+#ifndef MQA_GRAPH_NN_DESCENT_H_
+#define MQA_GRAPH_NN_DESCENT_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "graph/graph.h"
+#include "vector/vector_store.h"
+
+namespace mqa {
+
+/// Builds an approximate k-nearest-neighbor graph by NN-Descent (Dong et
+/// al.): start from random neighbor lists and iteratively improve them via
+/// neighbor-of-neighbor joins, comparing only pairs where at least one side
+/// is newly inserted. The result is the standard initialization stage for
+/// NSG-style navigation graphs.
+///
+/// `k` is the neighbor-list size; `iters` bounds the improvement rounds
+/// (the loop also stops early when an iteration makes no updates).
+Result<AdjacencyGraph> BuildNNDescentGraph(DistanceComputer* dist, uint32_t k,
+                                           uint32_t iters, Rng* rng);
+
+}  // namespace mqa
+
+#endif  // MQA_GRAPH_NN_DESCENT_H_

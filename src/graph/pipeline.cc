@@ -1,0 +1,372 @@
+#include "graph/pipeline.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+#include "common/timer.h"
+#include "graph/nn_descent.h"
+
+namespace mqa {
+
+namespace {
+
+/// Mutable state threaded through the pipeline stages via the DAG context.
+struct BuildState {
+  GraphBuildConfig config;
+  const VectorStore* store = nullptr;
+  DistanceComputer* dist = nullptr;
+  AdjacencyGraph graph;
+  uint32_t medoid = 0;
+  Rng rng{42};
+};
+
+constexpr char kStateKey[] = "build_state";
+
+Result<BuildState*> GetState(dag::DagContext* ctx) {
+  return ctx->Get<BuildState>(kStateKey);
+}
+
+// --- Stage bodies -----------------------------------------------------
+
+/// Initialization: approximate kNN lists via NN-Descent.
+Status StageInitNNDescent(dag::DagContext* ctx) {
+  MQA_ASSIGN_OR_RETURN(BuildState * s, GetState(ctx));
+  MQA_ASSIGN_OR_RETURN(
+      s->graph, BuildNNDescentGraph(s->dist, s->config.nn_descent_k,
+                                    s->config.nn_descent_iters, &s->rng));
+  return Status::OK();
+}
+
+/// Initialization: random regular graph (Vamana style).
+Status StageInitRandom(dag::DagContext* ctx) {
+  MQA_ASSIGN_OR_RETURN(BuildState * s, GetState(ctx));
+  const uint32_t n = s->dist->size();
+  const uint32_t r = std::min(s->config.max_degree, n > 1 ? n - 1 : 0);
+  AdjacencyGraph graph(n);
+  for (uint32_t u = 0; u < n && r > 0; ++u) {
+    std::unordered_set<uint32_t> chosen;
+    std::vector<uint32_t> nbrs;
+    nbrs.reserve(r);
+    while (nbrs.size() < r) {
+      uint32_t v = static_cast<uint32_t>(s->rng.NextUint64(n - 1));
+      if (v >= u) ++v;
+      if (chosen.insert(v).second) nbrs.push_back(v);
+    }
+    graph.SetNeighbors(u, std::move(nbrs));
+  }
+  s->graph = std::move(graph);
+  return Status::OK();
+}
+
+/// Seed acquisition: the medoid is the fixed entry point of build-time and
+/// query-time searches.
+Status StageSeed(dag::DagContext* ctx) {
+  MQA_ASSIGN_OR_RETURN(BuildState * s, GetState(ctx));
+  s->medoid = ApproximateMedoid(s->dist, &s->rng);
+  return Status::OK();
+}
+
+/// Neighbor selection only (KGraph): truncate kNN lists to max_degree.
+Status StageTruncate(dag::DagContext* ctx) {
+  MQA_ASSIGN_OR_RETURN(BuildState * s, GetState(ctx));
+  const uint32_t r = s->config.max_degree;
+  for (uint32_t u = 0; u < s->graph.num_nodes(); ++u) {
+    auto* nbrs = s->graph.mutable_neighbors(u);
+    if (nbrs->size() > r) nbrs->resize(r);
+  }
+  return Status::OK();
+}
+
+/// Candidate acquisition + neighbor selection, fused per vertex as in the
+/// reference implementations: search the graph for each vertex's own
+/// vector, pool the evaluated vertices with the current neighbors, run
+/// RobustPrune, then insert pruned reverse edges.
+Status StageRefine(dag::DagContext* ctx, float alpha) {
+  MQA_ASSIGN_OR_RETURN(BuildState * s, GetState(ctx));
+  const uint32_t n = s->graph.num_nodes();
+  const uint32_t r = s->config.max_degree;
+  const std::vector<uint32_t> order = s->rng.Permutation(n);
+  std::vector<Neighbor> evaluated;
+  for (uint32_t u : order) {
+    evaluated.clear();
+    BeamSearch(s->graph, s->dist, s->store->data(u), {s->medoid},
+               /*k=*/1, s->config.build_beam, nullptr, &evaluated);
+    for (uint32_t v : s->graph.neighbors(u)) {
+      evaluated.push_back({s->dist->DistanceBetween(u, v), v});
+    }
+    std::vector<uint32_t> selected =
+        RobustPrune(u, std::move(evaluated), alpha, r, s->dist);
+    s->graph.SetNeighbors(u, selected);
+    // Reverse edges, pruning on overflow.
+    for (uint32_t v : selected) {
+      auto* vn = s->graph.mutable_neighbors(v);
+      if (std::find(vn->begin(), vn->end(), u) != vn->end()) continue;
+      vn->push_back(u);
+      if (vn->size() > r) {
+        std::vector<Neighbor> pool;
+        pool.reserve(vn->size());
+        for (uint32_t w : *vn) {
+          pool.push_back({s->dist->DistanceBetween(v, w), w});
+        }
+        s->graph.SetNeighbors(v,
+                              RobustPrune(v, std::move(pool), alpha, r,
+                                          s->dist));
+      }
+    }
+    evaluated.clear();
+  }
+  return Status::OK();
+}
+
+/// Connectivity assurance: repeatedly attach components unreachable from
+/// the medoid, NSG-style (link the nearest reachable vertex to one
+/// unreachable vertex per round, falling back to a direct medoid edge).
+Status StageConnect(dag::DagContext* ctx) {
+  MQA_ASSIGN_OR_RETURN(BuildState * s, GetState(ctx));
+  const uint32_t n = s->graph.num_nodes();
+  for (int round = 0; round < 64; ++round) {
+    // BFS from the medoid.
+    std::vector<bool> reachable(n, false);
+    std::queue<uint32_t> frontier;
+    frontier.push(s->medoid);
+    reachable[s->medoid] = true;
+    while (!frontier.empty()) {
+      const uint32_t u = frontier.front();
+      frontier.pop();
+      for (uint32_t v : s->graph.neighbors(u)) {
+        if (!reachable[v]) {
+          reachable[v] = true;
+          frontier.push(v);
+        }
+      }
+    }
+    uint32_t unreachable = n;
+    for (uint32_t u = 0; u < n; ++u) {
+      if (!reachable[u]) {
+        unreachable = u;
+        break;
+      }
+    }
+    if (unreachable == n) return Status::OK();
+
+    // Find the reachable vertex nearest to it and link from there.
+    std::vector<Neighbor> near =
+        BeamSearch(s->graph, s->dist, s->store->data(unreachable),
+                   {s->medoid}, 1, s->config.build_beam, nullptr);
+    uint32_t attach = near.empty() ? s->medoid : near[0].id;
+    if (attach == unreachable) attach = s->medoid;
+    s->graph.AddEdge(attach, unreachable);
+  }
+  // Give up gracefully: link any remaining stragglers straight to the
+  // medoid so search never dead-ends.
+  std::vector<bool> reachable(n, false);
+  std::queue<uint32_t> frontier;
+  frontier.push(s->medoid);
+  reachable[s->medoid] = true;
+  while (!frontier.empty()) {
+    const uint32_t u = frontier.front();
+    frontier.pop();
+    for (uint32_t v : s->graph.neighbors(u)) {
+      if (!reachable[v]) {
+        reachable[v] = true;
+        frontier.push(v);
+      }
+    }
+  }
+  for (uint32_t u = 0; u < n; ++u) {
+    if (!reachable[u]) s->graph.AddEdge(s->medoid, u);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<uint32_t> RobustPrune(uint32_t node,
+                                  std::vector<Neighbor> candidates,
+                                  float alpha, uint32_t max_degree,
+                                  DistanceComputer* dist) {
+  std::sort(candidates.begin(), candidates.end(), NeighborLess);
+  // Dedupe (sorted by distance; equal ids may appear at different ranks,
+  // so dedupe by id with a set).
+  std::unordered_set<uint32_t> seen;
+  std::vector<Neighbor> pool;
+  pool.reserve(candidates.size());
+  for (const Neighbor& c : candidates) {
+    if (c.id == node) continue;
+    if (seen.insert(c.id).second) pool.push_back(c);
+  }
+
+  std::vector<uint32_t> selected;
+  std::vector<bool> occluded(pool.size(), false);
+  for (size_t i = 0; i < pool.size() && selected.size() < max_degree; ++i) {
+    if (occluded[i]) continue;
+    const Neighbor& p = pool[i];
+    selected.push_back(p.id);
+    for (size_t j = i + 1; j < pool.size(); ++j) {
+      if (occluded[j]) continue;
+      const float d_pc = dist->DistanceBetween(p.id, pool[j].id);
+      if (alpha * d_pc <= pool[j].distance) occluded[j] = true;
+    }
+  }
+  return selected;
+}
+
+Result<std::unique_ptr<GraphIndex>> BuildGraphIndex(
+    const GraphBuildConfig& config, const VectorStore* store,
+    std::unique_ptr<DistanceComputer> dist, BuildReport* report) {
+  if (store == nullptr || dist == nullptr) {
+    return Status::InvalidArgument("store and distance computer are required");
+  }
+  if (store->size() == 0) {
+    return Status::FailedPrecondition("cannot build an index over 0 vectors");
+  }
+  if (config.max_degree == 0) {
+    return Status::InvalidArgument("max_degree must be > 0");
+  }
+  const std::string& algo = config.algorithm;
+  const bool known = algo == "kgraph" || algo == "nsg" || algo == "vamana" ||
+                     algo == "mqa-hybrid";
+  if (!known) {
+    return Status::InvalidArgument("unknown graph algorithm: " + algo);
+  }
+
+  dag::DagContext ctx;
+  {
+    BuildState state;
+    state.config = config;
+    state.store = store;
+    state.dist = dist.get();
+    state.rng = Rng(config.seed);
+    ctx.Put(kStateKey, std::move(state));
+  }
+
+  // Assemble the five-part pipeline for the chosen algorithm.
+  dag::DagPipeline pipeline(algo);
+  const bool nn_init = algo != "vamana";
+  MQA_RETURN_NOT_OK(pipeline.AddNode(
+      "initialization", {}, nn_init ? StageInitNNDescent : StageInitRandom));
+  MQA_RETURN_NOT_OK(
+      pipeline.AddNode("seed_acquisition", {"initialization"}, StageSeed));
+  std::string tail = "seed_acquisition";
+  if (algo == "kgraph") {
+    MQA_RETURN_NOT_OK(pipeline.AddNode("neighbor_selection", {tail},
+                                       StageTruncate));
+    tail = "neighbor_selection";
+  } else if (algo == "nsg") {
+    MQA_RETURN_NOT_OK(pipeline.AddNode(
+        "refinement", {tail},
+        [](dag::DagContext* c) { return StageRefine(c, 1.0f); }));
+    tail = "refinement";
+  } else if (algo == "vamana") {
+    MQA_RETURN_NOT_OK(pipeline.AddNode(
+        "refinement_pass1", {tail},
+        [](dag::DagContext* c) { return StageRefine(c, 1.0f); }));
+    const float alpha = config.alpha;
+    MQA_RETURN_NOT_OK(pipeline.AddNode(
+        "refinement_pass2", {"refinement_pass1"},
+        [alpha](dag::DagContext* c) { return StageRefine(c, alpha); }));
+    tail = "refinement_pass2";
+  } else {  // mqa-hybrid
+    const float alpha = config.alpha;
+    MQA_RETURN_NOT_OK(pipeline.AddNode(
+        "refinement", {tail},
+        [alpha](dag::DagContext* c) { return StageRefine(c, alpha); }));
+    tail = "refinement";
+  }
+  if (algo != "kgraph") {
+    MQA_RETURN_NOT_OK(pipeline.AddNode("connectivity", {tail}, StageConnect));
+  }
+
+  Timer timer;
+  MQA_RETURN_NOT_OK(ctx.Contains(kStateKey)
+                        ? Status::OK()
+                        : Status::Internal("missing build state"));
+  // The stage chain is linear; run sequentially for determinism.
+  MQA_RETURN_NOT_OK(pipeline.Run(&ctx, /*parallel=*/false));
+  const double total = timer.ElapsedSeconds();
+
+  MQA_ASSIGN_OR_RETURN(BuildState * state, ctx.Get<BuildState>(kStateKey));
+  if (report != nullptr) {
+    report->algorithm = algo;
+    report->total_seconds = total;
+    report->stages = pipeline.reports();
+    report->avg_degree = state->graph.AverageDegree();
+    report->max_degree = state->graph.MaxDegree();
+    report->medoid = state->medoid;
+    report->connected = state->graph.IsConnectedFrom(state->medoid);
+  }
+
+  // Entry points: the medoid. A raw kNN graph (kgraph) has no long-range
+  // links, so searches also start from random restarts to reach every
+  // cluster — the standard KGraph search recipe.
+  std::vector<uint32_t> entries{state->medoid};
+  if (algo == "kgraph") {
+    Rng entry_rng(config.seed ^ 0xe27);
+    const uint32_t n = state->graph.num_nodes();
+    for (uint32_t e : entry_rng.SampleWithoutReplacement(
+             n, std::min<uint32_t>(n, 16))) {
+      entries.push_back(e);
+    }
+  }
+  return std::make_unique<GraphIndex>(algo, std::move(state->graph),
+                                      std::move(dist), std::move(entries));
+}
+
+std::vector<std::string> GraphAlgorithms() {
+  return {"kgraph", "nsg", "vamana", "mqa-hybrid"};
+}
+
+Status InsertIntoGraphIndex(GraphIndex* index, const VectorStore* store,
+                            uint32_t new_id, const GraphBuildConfig& config) {
+  if (index == nullptr || store == nullptr) {
+    return Status::InvalidArgument("index and store are required");
+  }
+  AdjacencyGraph* graph = index->mutable_graph();
+  if (new_id != graph->num_nodes()) {
+    return Status::InvalidArgument("ids must stay dense: expected id " +
+                                   std::to_string(graph->num_nodes()));
+  }
+  if (new_id >= store->size()) {
+    return Status::FailedPrecondition(
+        "the new vector must be in the store before insertion");
+  }
+  DistanceComputer* dist = index->distance();
+  graph->AddNode();
+
+  // Candidate acquisition: search for the new vector from the entries.
+  std::vector<Neighbor> evaluated;
+  BeamSearch(*graph, dist, store->data(new_id), index->entry_points(),
+             /*k=*/1, config.build_beam, nullptr, &evaluated);
+  std::vector<uint32_t> selected = RobustPrune(
+      new_id, std::move(evaluated), config.alpha, config.max_degree, dist);
+  graph->SetNeighbors(new_id, selected);
+
+  // Pruned backlinks so the new node is reachable.
+  for (uint32_t v : selected) {
+    auto* vn = graph->mutable_neighbors(v);
+    if (std::find(vn->begin(), vn->end(), new_id) != vn->end()) continue;
+    vn->push_back(new_id);
+    if (vn->size() > config.max_degree) {
+      std::vector<Neighbor> pool;
+      pool.reserve(vn->size());
+      for (uint32_t w : *vn) {
+        pool.push_back({dist->DistanceBetween(v, w), w});
+      }
+      graph->SetNeighbors(
+          v, RobustPrune(v, std::move(pool), config.alpha,
+                         config.max_degree, dist));
+    }
+  }
+  // Degenerate safety: an empty selection (e.g. first insert into a
+  // 1-node graph) still needs reachability.
+  if (selected.empty() && new_id > 0) {
+    graph->AddEdge(index->entry_points().empty()
+                       ? 0
+                       : index->entry_points()[0],
+                   new_id);
+  }
+  return Status::OK();
+}
+
+}  // namespace mqa

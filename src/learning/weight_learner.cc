@@ -1,0 +1,201 @@
+#include "learning/weight_learner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/topk.h"
+#include "vector/distance.h"
+
+namespace mqa {
+
+WeightLearner::WeightLearner(WeightLearnerConfig config,
+                             size_t num_modalities)
+    : config_(config), num_modalities_(num_modalities) {}
+
+std::vector<float> WeightLearner::PerModalityDistances(
+    const VectorSchema& schema, const float* a, const float* b) {
+  std::vector<float> out(schema.num_modalities());
+  size_t off = 0;
+  for (size_t m = 0; m < schema.num_modalities(); ++m) {
+    out[m] = L2Sq(a + off, b + off, schema.dims[m]);
+    off += schema.dims[m];
+  }
+  return out;
+}
+
+Result<WeightTrainReport> WeightLearner::Fit(
+    const std::vector<TripletDistances>& data) {
+  if (data.empty()) return Status::InvalidArgument("no training triplets");
+  for (const auto& t : data) {
+    if (t.pos.size() != num_modalities_ || t.neg.size() != num_modalities_) {
+      return Status::InvalidArgument("triplet modality count mismatch");
+    }
+  }
+
+  std::vector<double> w(num_modalities_, 1.0);
+  Rng rng(config_.seed);
+  WeightTrainReport report;
+
+  auto project = [&] {
+    for (auto& x : w) x = std::max<double>(x, config_.min_weight);
+    if (config_.normalize) {
+      double sum = 0.0;
+      for (double x : w) sum += x;
+      const double target = static_cast<double>(num_modalities_);
+      if (sum > 0.0) {
+        for (auto& x : w) x = x * target / sum;
+      }
+    }
+  };
+
+  for (uint32_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::vector<uint32_t> order =
+        rng.Permutation(static_cast<uint32_t>(data.size()));
+    double epoch_loss = 0.0;
+    for (uint32_t idx : order) {
+      const TripletDistances& t = data[idx];
+      double dp = 0.0;
+      double dn = 0.0;
+      for (size_t m = 0; m < num_modalities_; ++m) {
+        dp += w[m] * t.pos[m];
+        dn += w[m] * t.neg[m];
+      }
+      const double loss = config_.margin + dp - dn;
+      if (loss > 0.0) {
+        epoch_loss += loss;
+        // dL/dw_m = pos_m - neg_m on the active hinge.
+        for (size_t m = 0; m < num_modalities_; ++m) {
+          w[m] -= config_.learning_rate *
+                  (static_cast<double>(t.pos[m]) - t.neg[m]);
+        }
+        project();
+      }
+    }
+    report.loss_per_epoch.push_back(epoch_loss / data.size());
+    ++report.epochs_run;
+    // Early stop when an epoch had no active triplets.
+    if (epoch_loss == 0.0) break;
+  }
+
+  project();
+  report.weights.assign(w.begin(), w.end());
+
+  size_t correct = 0;
+  for (const auto& t : data) {
+    double dp = 0.0;
+    double dn = 0.0;
+    for (size_t m = 0; m < num_modalities_; ++m) {
+      dp += w[m] * t.pos[m];
+      dn += w[m] * t.neg[m];
+    }
+    if (dp < dn) ++correct;
+  }
+  report.triplet_accuracy =
+      static_cast<double>(correct) / static_cast<double>(data.size());
+  return report;
+}
+
+Result<std::vector<TripletDistances>> SampleTriplets(
+    const VectorStore& store, const std::vector<uint32_t>& labels,
+    size_t count, Rng* rng) {
+  const uint32_t n = store.size();
+  if (labels.size() != n) {
+    return Status::InvalidArgument("labels size does not match store");
+  }
+  if (n < 3) return Status::InvalidArgument("store too small for triplets");
+
+  // Group ids by label.
+  std::unordered_map<uint32_t, std::vector<uint32_t>> by_label;
+  for (uint32_t i = 0; i < n; ++i) by_label[labels[i]].push_back(i);
+  if (by_label.size() < 2) {
+    return Status::InvalidArgument("need at least two distinct labels");
+  }
+
+  const VectorSchema& schema = store.schema();
+  std::vector<TripletDistances> out;
+  out.reserve(count);
+  size_t attempts = 0;
+  while (out.size() < count && attempts < count * 20) {
+    ++attempts;
+    const uint32_t anchor = static_cast<uint32_t>(rng->NextUint64(n));
+    const auto& same = by_label[labels[anchor]];
+    if (same.size() < 2) continue;
+    uint32_t positive = anchor;
+    while (positive == anchor) {
+      positive = same[rng->NextUint64(same.size())];
+    }
+    uint32_t negative = anchor;
+    while (labels[negative] == labels[anchor]) {
+      negative = static_cast<uint32_t>(rng->NextUint64(n));
+    }
+    TripletDistances t;
+    t.pos = WeightLearner::PerModalityDistances(schema, store.data(anchor),
+                                                store.data(positive));
+    t.neg = WeightLearner::PerModalityDistances(schema, store.data(anchor),
+                                                store.data(negative));
+    out.push_back(std::move(t));
+  }
+  if (out.empty()) {
+    return Status::Internal("failed to sample any triplets");
+  }
+  return out;
+}
+
+Result<std::vector<TripletDistances>> SampleTripletsByNeighborhood(
+    const VectorStore& store,
+    const std::vector<std::vector<float>>& positions, size_t count,
+    size_t positive_k, Rng* rng) {
+  const uint32_t n = store.size();
+  if (positions.size() != n) {
+    return Status::InvalidArgument("positions size does not match store");
+  }
+  if (n < positive_k + 2 || positive_k == 0) {
+    return Status::InvalidArgument("store too small for neighborhood triplets");
+  }
+  const VectorSchema& schema = store.schema();
+  const size_t pos_dim = positions[0].size();
+
+  std::vector<TripletDistances> out;
+  out.reserve(count);
+  for (size_t t = 0; t < count; ++t) {
+    const uint32_t anchor = static_cast<uint32_t>(rng->NextUint64(n));
+    // The anchor's nearest rows in ground-truth space (excluding itself).
+    TopK topk(positive_k + 1);
+    for (uint32_t i = 0; i < n; ++i) {
+      if (positions[i].size() != pos_dim) {
+        return Status::InvalidArgument("ragged positions");
+      }
+      topk.Push(L2Sq(positions[anchor].data(), positions[i].data(), pos_dim),
+                i);
+    }
+    std::vector<Neighbor> near = topk.TakeSorted();
+    // Positive: a random true neighbor; negative: a random row that is not
+    // in the neighbor set.
+    uint32_t positive = anchor;
+    for (int attempt = 0; attempt < 16 && positive == anchor; ++attempt) {
+      positive = near[rng->NextUint64(near.size())].id;
+    }
+    if (positive == anchor) continue;
+    uint32_t negative = anchor;
+    auto in_near = [&](uint32_t id) {
+      for (const Neighbor& m : near) {
+        if (m.id == id) return true;
+      }
+      return false;
+    };
+    while (negative == anchor || in_near(negative)) {
+      negative = static_cast<uint32_t>(rng->NextUint64(n));
+    }
+    TripletDistances triplet;
+    triplet.pos = WeightLearner::PerModalityDistances(
+        schema, store.data(anchor), store.data(positive));
+    triplet.neg = WeightLearner::PerModalityDistances(
+        schema, store.data(anchor), store.data(negative));
+    out.push_back(std::move(triplet));
+  }
+  if (out.empty()) return Status::Internal("failed to sample any triplets");
+  return out;
+}
+
+}  // namespace mqa

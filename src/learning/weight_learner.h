@@ -1,0 +1,87 @@
+#ifndef MQA_LEARNING_WEIGHT_LEARNER_H_
+#define MQA_LEARNING_WEIGHT_LEARNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "vector/vector_store.h"
+#include "vector/vector_types.h"
+
+namespace mqa {
+
+/// One contrastive training example, reduced to what the linear weight
+/// model consumes: the per-modality squared distances from the anchor to a
+/// positive (same semantics) and to a negative (different semantics).
+struct TripletDistances {
+  std::vector<float> pos;  ///< d_m(anchor, positive), one per modality
+  std::vector<float> neg;  ///< d_m(anchor, negative)
+};
+
+/// Weight-learning hyperparameters.
+struct WeightLearnerConfig {
+  float margin = 0.1f;      ///< hinge margin of the triplet loss
+  float learning_rate = 0.05f;
+  uint32_t epochs = 50;
+  float min_weight = 1e-3f;  ///< projection floor (weights stay positive)
+  bool normalize = true;     ///< rescale so weights sum to num_modalities
+  uint64_t seed = 42;
+};
+
+/// Per-epoch training trace plus the result.
+struct WeightTrainReport {
+  std::vector<float> weights;          ///< learned modality weights
+  std::vector<double> loss_per_epoch;  ///< mean hinge loss
+  double triplet_accuracy = 0.0;       ///< frac. with D(a,p) < D(a,n)
+  uint32_t epochs_run = 0;
+};
+
+/// The paper's "vector weight learning model": learns one nonnegative
+/// importance weight per modality by minimizing a contrastive (triplet
+/// hinge) loss
+///
+///     L = max(0, margin + D_w(a, p) - D_w(a, n)),
+///     D_w(x, y) = sum_m w_m * ||x_m - y_m||^2,
+///
+/// which is linear in w, so plain projected SGD converges quickly. The
+/// learned weights feed both similarity evaluation and index construction.
+class WeightLearner {
+ public:
+  WeightLearner(WeightLearnerConfig config, size_t num_modalities);
+
+  /// Runs projected SGD over the triplets. Fails on empty/ragged input.
+  Result<WeightTrainReport> Fit(const std::vector<TripletDistances>& data);
+
+  /// Per-modality squared distances between two flattened multi-vectors.
+  static std::vector<float> PerModalityDistances(const VectorSchema& schema,
+                                                 const float* a,
+                                                 const float* b);
+
+ private:
+  WeightLearnerConfig config_;
+  size_t num_modalities_;
+};
+
+/// Samples training triplets from an encoded corpus: anchor and positive
+/// share a label (concept), the negative has a different one. Requires at
+/// least two distinct labels. Trains *category-level* weights — the right
+/// relevance signal for concept-seeking QA dialogues.
+Result<std::vector<TripletDistances>> SampleTriplets(
+    const VectorStore& store, const std::vector<uint32_t>& labels,
+    size_t count, Rng* rng);
+
+/// Samples training triplets from ground-truth coordinates: the positive
+/// is one of the anchor's `positive_k` nearest rows in `positions` (e.g.
+/// true latent vectors, or click/relevance feedback embeddings), the
+/// negative a random distant row. Trains *instance-level* weights — the
+/// right signal for fine-grained similar-item search. `positions` has one
+/// coordinate vector per store row.
+Result<std::vector<TripletDistances>> SampleTripletsByNeighborhood(
+    const VectorStore& store,
+    const std::vector<std::vector<float>>& positions, size_t count,
+    size_t positive_k, Rng* rng);
+
+}  // namespace mqa
+
+#endif  // MQA_LEARNING_WEIGHT_LEARNER_H_

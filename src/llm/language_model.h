@@ -1,0 +1,39 @@
+#ifndef MQA_LLM_LANGUAGE_MODEL_H_
+#define MQA_LLM_LANGUAGE_MODEL_H_
+
+#include <string>
+
+#include "common/result.h"
+
+namespace mqa {
+
+/// One completion request. `prompt` is the fully assembled retrieval-
+/// augmented prompt (see PromptBuilder); `temperature` controls output
+/// variability exactly as the configuration panel's temperature slider.
+struct LlmRequest {
+  std::string system;
+  std::string prompt;
+  float temperature = 0.2f;
+};
+
+/// A completion.
+struct LlmResponse {
+  std::string text;
+};
+
+/// The pluggable LLM interface ("LLM options present a selection of
+/// models"). A production deployment would implement this against GPT-4 or
+/// a local model; this repo ships SimLlm, a deterministic grounded
+/// generator, so the full answer-generation path runs offline.
+class LanguageModel {
+ public:
+  virtual ~LanguageModel() = default;
+
+  virtual Result<LlmResponse> Complete(const LlmRequest& request) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_LLM_LANGUAGE_MODEL_H_

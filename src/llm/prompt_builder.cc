@@ -1,0 +1,45 @@
+#include "llm/prompt_builder.h"
+
+#include "common/string_util.h"
+
+namespace mqa {
+
+void PromptBuilder::AddTurn(const std::string& user,
+                            const std::string& assistant) {
+  history_.push_back(Turn{user, assistant});
+}
+
+std::string PromptBuilder::Build(
+    const std::string& query,
+    const std::vector<RetrievedItem>& context) const {
+  std::string out;
+  out += kSystemMarker;
+  out += " ";
+  out += system_;
+  out += "\n";
+  if (!history_.empty()) {
+    out += kHistoryMarker;
+    out += "\n";
+    for (const Turn& t : history_) {
+      out += "user: " + t.user + "\n";
+      out += "assistant: " + t.assistant + "\n";
+    }
+  }
+  if (!context.empty()) {
+    out += kContextMarker;
+    out += "\n";
+    for (size_t i = 0; i < context.size(); ++i) {
+      out += std::to_string(i + 1) + ". " + context[i].description +
+             " (distance " + FormatDouble(context[i].distance, 3) + ")";
+      if (context[i].preferred) out += " [matches your preference]";
+      out += "\n";
+    }
+  }
+  out += kQueryMarker;
+  out += " ";
+  out += query;
+  out += "\n";
+  return out;
+}
+
+}  // namespace mqa

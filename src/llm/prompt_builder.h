@@ -1,0 +1,64 @@
+#ifndef MQA_LLM_PROMPT_BUILDER_H_
+#define MQA_LLM_PROMPT_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mqa {
+
+/// One retrieved object as it enters the prompt.
+struct RetrievedItem {
+  uint64_t id = 0;
+  std::string description;  ///< human-readable content (caption/summary)
+  float distance = 0.0f;    ///< retrieval distance (smaller = closer)
+  /// Preference marker: set when the item matches the user's expressed
+  /// preference (e.g. shares the concept of their clicked result). The
+  /// answer generator surfaces it to the user.
+  bool preferred = false;
+};
+
+/// Assembles retrieval-augmented prompts with the layout
+///
+///   [SYSTEM] ...
+///   [HISTORY] user:/assistant: turns
+///   [CONTEXT] numbered retrieved items (omitted when retrieval is off)
+///   [QUERY] the current user utterance
+///
+/// The section markers form the contract between the answer-generation
+/// component and any LanguageModel implementation.
+class PromptBuilder {
+ public:
+  static constexpr const char* kSystemMarker = "[SYSTEM]";
+  static constexpr const char* kHistoryMarker = "[HISTORY]";
+  static constexpr const char* kContextMarker = "[CONTEXT]";
+  static constexpr const char* kQueryMarker = "[QUERY]";
+
+  /// Sets the system instruction (defaults to a grounded-answer policy).
+  void SetSystem(std::string system) { system_ = std::move(system); }
+
+  /// Appends a completed dialogue turn to the history.
+  void AddTurn(const std::string& user, const std::string& assistant);
+
+  void ClearHistory() { history_.clear(); }
+  size_t history_size() const { return history_.size(); }
+
+  /// Builds the full prompt. An empty `context` omits the [CONTEXT]
+  /// section entirely (retrieval disabled / no knowledge base).
+  std::string Build(const std::string& query,
+                    const std::vector<RetrievedItem>& context) const;
+
+ private:
+  struct Turn {
+    std::string user;
+    std::string assistant;
+  };
+
+  std::string system_ =
+      "You answer using only the retrieved context when it is present.";
+  std::vector<Turn> history_;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_LLM_PROMPT_BUILDER_H_

@@ -1,0 +1,47 @@
+#ifndef MQA_LLM_QUERY_REWRITER_H_
+#define MQA_LLM_QUERY_REWRITER_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace mqa {
+
+/// Resolves vague follow-up utterances against the dialogue history — part
+/// of the paper's "intelligent multi-modal search procedure": when the
+/// current turn carries almost no content words ("show me more of those"),
+/// topical words from recent user turns are appended so the retrieval
+/// query still points at the conversation's subject.
+///
+/// Deterministic and purely lexical: content words are the tokens outside
+/// a small built-in stop list of conversational filler.
+class ContextualQueryRewriter {
+ public:
+  /// `history_window` = how many recent user turns are remembered.
+  explicit ContextualQueryRewriter(size_t history_window = 4)
+      : history_window_(history_window) {}
+
+  /// Records a user utterance (call once per round, before Rewrite of the
+  /// *next* round).
+  void ObserveTurn(const std::string& user_text);
+
+  /// Returns `text`, possibly augmented with recent topical words. The
+  /// input is returned unchanged when it already carries enough content
+  /// (>= 2 content words) or when there is no usable history.
+  std::string Rewrite(const std::string& text) const;
+
+  /// Content words of an utterance (tokens outside the stop list), in
+  /// order of appearance, deduplicated.
+  static std::vector<std::string> ContentWords(const std::string& text);
+
+  void Clear() { history_.clear(); }
+  size_t history_size() const { return history_.size(); }
+
+ private:
+  size_t history_window_;
+  std::deque<std::string> history_;  // most recent last
+};
+
+}  // namespace mqa
+
+#endif  // MQA_LLM_QUERY_REWRITER_H_

@@ -1,0 +1,38 @@
+#include "llm/sim_image_generator.h"
+
+#include "vector/distance.h"
+
+namespace mqa {
+
+Result<GeneratedImage> SimImageGenerator::Generate(
+    const std::string& prompt) {
+  if (prompt.empty()) return Status::InvalidArgument("empty prompt");
+  GeneratedImage out;
+  // Understand the prompt through the same language grounding the
+  // encoders use, then add generation noise: the image is on-topic but not
+  // a real corpus member.
+  out.latent = world_->TextToLatent(prompt);
+  for (auto& x : out.latent) {
+    x += 0.15f * static_cast<float>(rng_.Gaussian());
+  }
+  NormalizeVector(&out.latent);
+  out.features = world_->RenderFeatures(out.latent, /*modality_slot=*/0,
+                                        &rng_);
+  out.caption = "a generated image for: " + prompt;
+  out.in_knowledge_base = false;
+  return out;
+}
+
+Result<std::vector<GeneratedImage>> SimImageGenerator::GenerateBatch(
+    const std::string& prompt, size_t count) {
+  if (count == 0) return Status::InvalidArgument("count must be > 0");
+  std::vector<GeneratedImage> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    MQA_ASSIGN_OR_RETURN(GeneratedImage img, Generate(prompt));
+    out.push_back(std::move(img));
+  }
+  return out;
+}
+
+}  // namespace mqa

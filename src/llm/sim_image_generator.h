@@ -1,0 +1,48 @@
+#ifndef MQA_LLM_SIM_IMAGE_GENERATOR_H_
+#define MQA_LLM_SIM_IMAGE_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "storage/world.h"
+
+namespace mqa {
+
+/// A synthetic image produced by the generative baseline. Unlike retrieval
+/// results it is NOT a member of the knowledge base (`in_knowledge_base`
+/// is always false) — matching the paper's Figure 5 observation that
+/// GPT-4/DALL·E "generates synthetic images that miss a touch of realism".
+struct GeneratedImage {
+  std::vector<float> features;  ///< raw image features (image modality)
+  std::string caption;
+  std::vector<float> latent;    ///< where the generation landed semantically
+  bool in_knowledge_base = false;
+};
+
+/// The DALL·E-2 stand-in: text prompt -> latent (through the world's
+/// vocabulary) -> rendered image features plus generation noise. On-topic
+/// but synthetic, so membership-based metrics score it at zero.
+class SimImageGenerator {
+ public:
+  SimImageGenerator(const World* world, uint64_t seed = 99)
+      : world_(world), rng_(seed) {}
+
+  /// Generates one image for a text prompt. Fails on an empty prompt.
+  Result<GeneratedImage> Generate(const std::string& prompt);
+
+  /// Generates `count` images (diverse via generation noise).
+  Result<std::vector<GeneratedImage>> GenerateBatch(const std::string& prompt,
+                                                    size_t count);
+
+  std::string name() const { return "sim-dalle"; }
+
+ private:
+  const World* world_;
+  Rng rng_;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_LLM_SIM_IMAGE_GENERATOR_H_

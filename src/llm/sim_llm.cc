@@ -1,0 +1,150 @@
+#include "llm/sim_llm.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "llm/prompt_builder.h"
+#include "storage/word_lists.h"
+
+namespace mqa {
+
+namespace {
+
+enum class Section { kNone, kSystem, kHistory, kContext, kQuery };
+
+constexpr const char* kGroundedOpeners[] = {
+    "Here is what I found in the knowledge base for you:",
+    "I searched the knowledge base and these match best:",
+    "Based on the retrieved results, you may like:",
+};
+
+constexpr const char* kGroundedClosers[] = {
+    "You can select one of these and refine your request further.",
+    "Let me know if you would like me to adjust the search.",
+    "Pick a favourite and I can look for more like it.",
+};
+
+constexpr const char* kUngroundedOpeners[] = {
+    "I do not have a knowledge base attached, but from what I know,",
+    "Answering from general knowledge (no retrieval configured):",
+    "Without retrieval I can only guess, but",
+};
+
+size_t PickVariant(Rng* rng, float temperature, size_t num_variants) {
+  if (temperature <= 0.0f || num_variants <= 1) return 0;
+  const float t = std::min(temperature, 1.0f);
+  const size_t span =
+      std::max<size_t>(1, static_cast<size_t>(t * num_variants + 0.5f));
+  return rng->NextUint64(std::min(span, num_variants));
+}
+
+}  // namespace
+
+ParsedPrompt ParsePrompt(const std::string& prompt) {
+  ParsedPrompt out;
+  Section section = Section::kNone;
+  for (const std::string& raw_line : Split(prompt, '\n')) {
+    std::string line = raw_line;
+    if (line.rfind(PromptBuilder::kSystemMarker, 0) == 0) {
+      out.system = Trim(line.substr(std::string(
+          PromptBuilder::kSystemMarker).size()));
+      section = Section::kSystem;
+      continue;
+    }
+    if (line == PromptBuilder::kHistoryMarker) {
+      section = Section::kHistory;
+      continue;
+    }
+    if (line == PromptBuilder::kContextMarker) {
+      section = Section::kContext;
+      continue;
+    }
+    if (line.rfind(PromptBuilder::kQueryMarker, 0) == 0) {
+      out.query = Trim(line.substr(std::string(
+          PromptBuilder::kQueryMarker).size()));
+      section = Section::kQuery;
+      continue;
+    }
+    switch (section) {
+      case Section::kHistory:
+        if (!line.empty()) out.history_lines.push_back(line);
+        break;
+      case Section::kContext: {
+        if (line.empty()) break;
+        // Strip the "N. " prefix.
+        const size_t dot = line.find(". ");
+        out.context_items.push_back(
+            dot == std::string::npos ? line : line.substr(dot + 2));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+Result<LlmResponse> SimLlm::Complete(const LlmRequest& request) {
+  if (request.prompt.empty()) {
+    return Status::InvalidArgument("empty prompt");
+  }
+  if (request.temperature < 0.0f || request.temperature > 2.0f) {
+    return Status::InvalidArgument("temperature must be in [0, 2]");
+  }
+  const ParsedPrompt parsed = ParsePrompt(request.prompt);
+  Rng rng(seed_ ^ std::hash<std::string>{}(request.prompt));
+
+  LlmResponse response;
+  if (!parsed.context_items.empty()) {
+    // Grounded path: summarize only what retrieval provided.
+    const size_t opener = PickVariant(&rng, request.temperature, 3);
+    response.text = kGroundedOpeners[opener];
+    response.text += "\n";
+    const size_t show = std::min<size_t>(parsed.context_items.size(), 5);
+    for (size_t i = 0; i < show; ++i) {
+      response.text += "  " + std::to_string(i + 1) + ") " +
+                       parsed.context_items[i] + "\n";
+    }
+    if (parsed.context_items.size() > show) {
+      response.text += "  (and " +
+                       std::to_string(parsed.context_items.size() - show) +
+                       " more)\n";
+    }
+    const size_t closer = PickVariant(&rng, request.temperature, 3);
+    response.text += kGroundedClosers[closer];
+    return response;
+  }
+
+  // Ungrounded path: hallucinate plausible content from the parametric
+  // vocabulary, echoing query words when they look topical.
+  const size_t opener = PickVariant(&rng, request.temperature, 3);
+  response.text = kUngroundedOpeners[opener];
+  response.text += " you might be thinking of ";
+  size_t num_nouns = 0;
+  size_t num_adjs = 0;
+  const char* const* nouns = BuiltinNouns(&num_nouns);
+  const char* const* adjs = BuiltinAdjectives(&num_adjs);
+  const std::vector<std::string> query_tokens = Tokenize(parsed.query);
+  for (int i = 0; i < 3; ++i) {
+    std::string adj = adjs[rng.NextUint64(num_adjs)];
+    std::string noun = nouns[rng.NextUint64(num_nouns)];
+    // Sometimes pick up a word from the query, as a real LLM would.
+    for (const std::string& tok : query_tokens) {
+      for (size_t a = 0; a < num_adjs; ++a) {
+        if (tok == adjs[a] && rng.Bernoulli(0.5)) adj = tok;
+      }
+      for (size_t v = 0; v < num_nouns; ++v) {
+        if (tok == nouns[v] && rng.Bernoulli(0.5)) noun = tok;
+      }
+    }
+    response.text += adj + " " + noun;
+    response.text += i < 2 ? ", " : ".";
+  }
+  response.text +=
+      " I cannot verify these against a knowledge base right now.";
+  return response;
+}
+
+}  // namespace mqa

@@ -1,0 +1,49 @@
+#ifndef MQA_LLM_SIM_LLM_H_
+#define MQA_LLM_SIM_LLM_H_
+
+#include <string>
+#include <vector>
+
+#include "llm/language_model.h"
+
+namespace mqa {
+
+/// A deterministic, offline stand-in for GPT-4-class models. It parses the
+/// PromptBuilder sections and:
+///
+///  * with [CONTEXT] present, produces a grounded conversational summary
+///    that mentions only retrieved items (the retrieval-augmented path);
+///  * without context, answers from "parametric knowledge" — plausible
+///    word-list content that is frequently wrong about the actual
+///    knowledge base. This is the hallucination behaviour the paper's
+///    retrieval augmentation exists to fix, and what the grounding
+///    benchmark (E8) measures.
+///
+/// Temperature selects among phrasing variants: 0 is fully deterministic;
+/// higher values draw the variant from a prompt-seeded PRNG, mimicking the
+/// configuration panel's variability slider without losing replayability.
+class SimLlm : public LanguageModel {
+ public:
+  explicit SimLlm(uint64_t seed = 1234) : seed_(seed) {}
+
+  Result<LlmResponse> Complete(const LlmRequest& request) override;
+
+  std::string name() const override { return "sim-llm"; }
+
+ private:
+  uint64_t seed_;
+};
+
+/// Splits a built prompt back into its sections. Exposed for tests and for
+/// SimLlm itself.
+struct ParsedPrompt {
+  std::string system;
+  std::vector<std::string> history_lines;
+  std::vector<std::string> context_items;  ///< without the "N. " prefix
+  std::string query;
+};
+ParsedPrompt ParsePrompt(const std::string& prompt);
+
+}  // namespace mqa
+
+#endif  // MQA_LLM_SIM_LLM_H_

@@ -1,0 +1,25 @@
+#ifndef MQA_RETRIEVAL_FACTORY_H_
+#define MQA_RETRIEVAL_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "retrieval/framework.h"
+
+namespace mqa {
+
+/// Builds a retrieval framework by name ("must", "mr", "je") over the
+/// encoded corpus. `weights` are the default modality weights (ignored by
+/// JE). `report` (optional) receives the primary index's build report.
+Result<std::unique_ptr<RetrievalFramework>> CreateRetrievalFramework(
+    const std::string& name, std::shared_ptr<const VectorStore> corpus,
+    std::vector<float> weights, const IndexConfig& index_config,
+    BuildReport* report = nullptr);
+
+/// Names accepted by CreateRetrievalFramework.
+std::vector<std::string> RetrievalFrameworkNames();
+
+}  // namespace mqa
+
+#endif  // MQA_RETRIEVAL_FACTORY_H_

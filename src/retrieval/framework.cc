@@ -1,0 +1,94 @@
+#include "retrieval/framework.h"
+
+#include "encoder/encoder.h"
+
+namespace mqa {
+
+Result<VectorStore> SlicePerModality(const VectorStore& multi, size_t slot) {
+  const VectorSchema& schema = multi.schema();
+  if (slot >= schema.num_modalities()) {
+    return Status::OutOfRange("modality slot out of range");
+  }
+  VectorSchema single;
+  single.dims = {schema.dims[slot]};
+  const size_t offset = schema.OffsetOf(slot);
+  VectorStore out(single);
+  out.Reserve(multi.size());
+  Vector row(schema.dims[slot]);
+  for (uint32_t i = 0; i < multi.size(); ++i) {
+    const float* src = multi.data(i) + offset;
+    row.assign(src, src + schema.dims[slot]);
+    MQA_RETURN_NOT_OK(out.Add(row).status());
+  }
+  return out;
+}
+
+Result<VectorStore> FuseJointStore(const VectorStore& multi) {
+  const VectorSchema& schema = multi.schema();
+  const uint32_t dim = schema.dims[0];
+  for (uint32_t d : schema.dims) {
+    if (d != dim) {
+      return Status::FailedPrecondition(
+          "joint embedding requires aligned per-modality dimensions");
+    }
+  }
+  VectorSchema single;
+  single.dims = {dim};
+  VectorStore out(single);
+  out.Reserve(multi.size());
+  for (uint32_t i = 0; i < multi.size(); ++i) {
+    MultiVector mv;
+    const float* src = multi.data(i);
+    for (size_t m = 0; m < schema.num_modalities(); ++m) {
+      mv.parts.emplace_back(src + m * dim, src + (m + 1) * dim);
+    }
+    MQA_RETURN_NOT_OK(out.Add(FuseJoint(mv)).status());
+  }
+  return out;
+}
+
+void CrossModalFill(MultiVector* query) {
+  // Plain (unnormalized) mean of the present parts, so that with a single
+  // present modality the fill is an exact copy and low-energy signals are
+  // not inflated.
+  size_t dim = 0;
+  size_t used = 0;
+  for (const Vector& part : query->parts) {
+    if (part.empty()) continue;
+    if (dim == 0) {
+      dim = part.size();
+    } else if (part.size() != dim) {
+      return;  // misaligned spaces: nothing sensible to fill with
+    }
+    ++used;
+  }
+  if (used == 0) return;
+  Vector mean(dim, 0.0f);
+  for (const Vector& part : query->parts) {
+    if (part.empty()) continue;
+    for (size_t d = 0; d < dim; ++d) mean[d] += part[d];
+  }
+  for (auto& x : mean) x /= static_cast<float>(used);
+  for (Vector& part : query->parts) {
+    if (part.empty()) part = mean;
+  }
+}
+
+std::vector<float> NormalizeWeights(std::vector<float> weights) {
+  double sum = 0.0;
+  for (auto& w : weights) {
+    if (w < 0.0f) w = 0.0f;
+    sum += w;
+  }
+  const float target = static_cast<float>(weights.size());
+  if (sum <= 0.0) {
+    for (auto& w : weights) w = 1.0f;
+    return weights;
+  }
+  for (auto& w : weights) {
+    w = static_cast<float>(w * target / sum);
+  }
+  return weights;
+}
+
+}  // namespace mqa

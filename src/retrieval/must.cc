@@ -1,0 +1,170 @@
+#include "retrieval/must.h"
+
+#include <cstring>
+
+#include "common/timer.h"
+#include "graph/hnsw.h"
+#include "graph/pipeline.h"
+
+namespace mqa {
+
+namespace {
+
+/// Flattens a (possibly partial) query multi-vector: absent parts become
+/// zero blocks, and the returned mask records which modalities are present.
+Result<Vector> FlattenQuery(const VectorSchema& schema,
+                            const MultiVector& mv,
+                            std::vector<bool>* present) {
+  if (mv.parts.size() != schema.num_modalities()) {
+    return Status::InvalidArgument("query modality count mismatch");
+  }
+  Vector flat(schema.TotalDim(), 0.0f);
+  present->assign(schema.num_modalities(), false);
+  size_t off = 0;
+  for (size_t m = 0; m < schema.num_modalities(); ++m) {
+    const Vector& part = mv.parts[m];
+    if (!part.empty()) {
+      if (part.size() != schema.dims[m]) {
+        return Status::InvalidArgument("query modality dimension mismatch");
+      }
+      std::memcpy(flat.data() + off, part.data(),
+                  part.size() * sizeof(float));
+      (*present)[m] = true;
+    }
+    off += schema.dims[m];
+  }
+  return flat;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<MustFramework>> MustFramework::Create(
+    std::shared_ptr<const VectorStore> corpus, std::vector<float> weights,
+    const IndexConfig& index_config, bool enable_pruning,
+    BuildReport* report) {
+  if (corpus == nullptr || corpus->size() == 0) {
+    return Status::InvalidArgument("empty corpus");
+  }
+  weights = NormalizeWeights(std::move(weights));
+  if (weights.size() != corpus->schema().num_modalities()) {
+    return Status::InvalidArgument("weights do not match corpus schema");
+  }
+
+  MQA_ASSIGN_OR_RETURN(
+      WeightedMultiDistance wdist,
+      WeightedMultiDistance::Create(corpus->schema(), weights));
+  auto dist = std::make_unique<MultiVectorDistanceComputer>(
+      corpus.get(), std::move(wdist), enable_pruning);
+  MultiVectorDistanceComputer* dist_raw = dist.get();
+
+  std::unique_ptr<MustFramework> fw(new MustFramework());
+  fw->corpus_ = std::move(corpus);
+  fw->weights_ = std::move(weights);
+  MQA_ASSIGN_OR_RETURN(fw->index_,
+                       CreateIndex(index_config, fw->corpus_.get(),
+                                   std::move(dist), report));
+  // For disk-resident indexes the source distance computer is destroyed
+  // with the temporary in-memory graph; the disk index owns its own copy.
+  fw->disk_ = dynamic_cast<DiskGraphIndex*>(fw->index_.get());
+  if (fw->disk_ == nullptr) fw->dist_ = dist_raw;
+  return fw;
+}
+
+Result<std::unique_ptr<MustFramework>> MustFramework::CreateFromSavedIndex(
+    std::shared_ptr<const VectorStore> corpus, std::vector<float> weights,
+    std::istream* index_blob, bool enable_pruning) {
+  if (corpus == nullptr || corpus->size() == 0) {
+    return Status::InvalidArgument("empty corpus");
+  }
+  if (index_blob == nullptr) {
+    return Status::InvalidArgument("no index blob to load");
+  }
+  weights = NormalizeWeights(std::move(weights));
+  MQA_ASSIGN_OR_RETURN(
+      WeightedMultiDistance wdist,
+      WeightedMultiDistance::Create(corpus->schema(), weights));
+  auto dist = std::make_unique<MultiVectorDistanceComputer>(
+      corpus.get(), std::move(wdist), enable_pruning);
+  MultiVectorDistanceComputer* dist_raw = dist.get();
+  MQA_ASSIGN_OR_RETURN(std::unique_ptr<GraphIndex> index,
+                       GraphIndex::Load(*index_blob, std::move(dist)));
+  std::unique_ptr<MustFramework> fw(new MustFramework());
+  fw->corpus_ = std::move(corpus);
+  fw->weights_ = std::move(weights);
+  fw->index_ = std::move(index);
+  fw->dist_ = dist_raw;
+  return fw;
+}
+
+bool MustFramework::SupportsLiveIngestion() const {
+  return dynamic_cast<DiskGraphIndex*>(index_.get()) == nullptr;
+}
+
+Status MustFramework::IngestAppended(const GraphBuildConfig& config) {
+  if (corpus_->size() == 0) {
+    return Status::FailedPrecondition("append the encoded vector first");
+  }
+  const uint32_t new_id = corpus_->size() - 1;
+  if (auto* graph = dynamic_cast<GraphIndex*>(index_.get())) {
+    return InsertIntoGraphIndex(graph, corpus_.get(), new_id, config);
+  }
+  if (auto* hnsw = dynamic_cast<HnswIndex*>(index_.get())) {
+    return hnsw->InsertAppended();
+  }
+  if (dynamic_cast<BruteForceIndex*>(index_.get()) != nullptr) {
+    return Status::OK();  // scans the store; nothing to update
+  }
+  return Status::Unimplemented(
+      "the disk-resident index is immutable; rebuild to ingest");
+}
+
+const DistanceStats& MustFramework::distance_stats() const {
+  static const DistanceStats kEmpty;
+  return dist_ != nullptr ? dist_->stats() : kEmpty;
+}
+
+Status MustFramework::ApplyWeights(const std::vector<float>& weights) {
+  if (dist_ != nullptr) return dist_->SetWeights(weights);
+  if (disk_ != nullptr) return disk_->SetWeights(weights);
+  return Status::Internal("no distance owner configured");
+}
+
+Result<RetrievalResult> MustFramework::Retrieve(const RetrievalQuery& query,
+                                                const SearchParams& params) {
+  std::vector<bool> present;
+  MQA_ASSIGN_OR_RETURN(Vector flat,
+                       FlattenQuery(schema(), query.modalities, &present));
+
+  std::vector<float> w = query.weights.empty() ? weights_ : query.weights;
+  if (w.size() != present.size()) {
+    return Status::InvalidArgument("query weights size mismatch");
+  }
+  for (size_t m = 0; m < present.size(); ++m) {
+    if (!present[m]) w[m] = 0.0f;
+  }
+  bool any = false;
+  for (float x : w) any = any || x > 0.0f;
+  if (!any) {
+    return Status::InvalidArgument("query has no present modality");
+  }
+  MQA_RETURN_NOT_OK(ApplyWeights(NormalizeWeights(std::move(w))));
+
+  RetrievalResult result;
+  Timer timer;
+  MQA_ASSIGN_OR_RETURN(result.neighbors,
+                       index_->Search(flat.data(), params, &result.stats));
+  result.latency_ms = timer.ElapsedMillis();
+  // Restore the build-time weights for subsequent callers.
+  MQA_RETURN_NOT_OK(ApplyWeights(weights_));
+  return result;
+}
+
+Status MustFramework::SetWeights(std::vector<float> weights) {
+  if (weights.size() != schema().num_modalities()) {
+    return Status::InvalidArgument("weights do not match corpus schema");
+  }
+  weights_ = NormalizeWeights(std::move(weights));
+  return ApplyWeights(weights_);
+}
+
+}  // namespace mqa

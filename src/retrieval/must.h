@@ -1,0 +1,81 @@
+#ifndef MQA_RETRIEVAL_MUST_H_
+#define MQA_RETRIEVAL_MUST_H_
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "diskindex/disk_index.h"
+#include "retrieval/framework.h"
+
+namespace mqa {
+
+/// The MUST framework (the paper's contribution): multi-vector object
+/// representation with learned modality weights, one unified navigation
+/// graph over all modalities, and *merging-free* search — a single graph
+/// traversal computes the weighted multi-vector distance with incremental
+/// scanning, instead of merging per-modality result lists.
+class MustFramework : public RetrievalFramework {
+ public:
+  /// Builds the unified index over the encoded corpus with the given
+  /// modality weights (typically from the weight learner). `enable_pruning`
+  /// toggles the incremental-scanning distance (ablation knob).
+  static Result<std::unique_ptr<MustFramework>> Create(
+      std::shared_ptr<const VectorStore> corpus, std::vector<float> weights,
+      const IndexConfig& index_config, bool enable_pruning = true,
+      BuildReport* report = nullptr);
+
+  /// Restores a framework from a GraphIndex blob written by
+  /// GraphIndex::Save (see core/persistence.h) — no rebuild.
+  static Result<std::unique_ptr<MustFramework>> CreateFromSavedIndex(
+      std::shared_ptr<const VectorStore> corpus, std::vector<float> weights,
+      std::istream* index_blob, bool enable_pruning = true);
+
+  Result<RetrievalResult> Retrieve(const RetrievalQuery& query,
+                                   const SearchParams& params) override;
+
+  std::string name() const override { return "must"; }
+  const VectorSchema& schema() const override { return corpus_->schema(); }
+  const std::vector<float>& weights() const override { return weights_; }
+  Status SetWeights(std::vector<float> weights) override;
+
+  /// Whether IngestAppended can succeed for the underlying index type.
+  bool SupportsLiveIngestion() const;
+
+  /// The underlying flat graph index, or nullptr for other index kinds
+  /// (used by system persistence).
+  const GraphIndex* flat_graph_index() const {
+    return dynamic_cast<const GraphIndex*>(index_.get());
+  }
+
+  /// Incremental ingestion: after the caller appended one encoded
+  /// multi-vector row to the shared corpus store, links it into the
+  /// underlying index. Supported for flat graph indexes, HNSW and
+  /// bruteforce; the disk-resident index is immutable (rebuild instead).
+  Status IngestAppended(const GraphBuildConfig& config);
+
+  /// Pruning counters accumulated by the incremental scan (MUST-E4).
+  /// Empty when the index manages distances itself (starling).
+  const DistanceStats& distance_stats() const;
+  void ResetDistanceStats() {
+    if (dist_ != nullptr) dist_->ResetStats();
+  }
+
+ private:
+  MustFramework() = default;
+
+  /// Routes a weight change to whoever owns the distance function.
+  Status ApplyWeights(const std::vector<float>& weights);
+
+  std::shared_ptr<const VectorStore> corpus_;
+  std::vector<float> weights_;
+  std::unique_ptr<VectorIndex> index_;
+  // Exactly one of these is set, depending on the index kind; both are
+  // owned by index_ (or are index_ itself).
+  MultiVectorDistanceComputer* dist_ = nullptr;
+  DiskGraphIndex* disk_ = nullptr;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_RETRIEVAL_MUST_H_

@@ -1,0 +1,156 @@
+#include "storage/knowledge_base.h"
+
+#include <istream>
+#include <ostream>
+
+namespace mqa {
+
+namespace {
+
+constexpr uint32_t kKbMagic = 0x4d51414b;  // "MQAK"
+
+template <typename T>
+void WritePod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+void WriteString(std::ostream& out, const std::string& s) {
+  WritePod(out, static_cast<uint64_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadString(std::istream& in, std::string* s) {
+  uint64_t n = 0;
+  if (!ReadPod(in, &n) || n > (1ULL << 32)) return false;
+  s->resize(n);
+  in.read(s->data(), static_cast<std::streamsize>(n));
+  return static_cast<bool>(in);
+}
+
+void WriteFloats(std::ostream& out, const std::vector<float>& v) {
+  WritePod(out, static_cast<uint64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+bool ReadFloats(std::istream& in, std::vector<float>* v) {
+  uint64_t n = 0;
+  if (!ReadPod(in, &n) || n > (1ULL << 30)) return false;
+  v->resize(n);
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(n * sizeof(float)));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+const char* ModalityTypeToString(ModalityType type) {
+  switch (type) {
+    case ModalityType::kText:
+      return "text";
+    case ModalityType::kImage:
+      return "image";
+    case ModalityType::kAudio:
+      return "audio";
+  }
+  return "unknown";
+}
+
+Result<uint64_t> KnowledgeBase::Ingest(Object object) {
+  if (object.modalities.size() != schema_.num_modalities()) {
+    return Status::InvalidArgument(
+        "object modality count does not match schema");
+  }
+  for (size_t m = 0; m < schema_.num_modalities(); ++m) {
+    if (object.modalities[m].type != schema_.types[m]) {
+      return Status::InvalidArgument("object modality type mismatch at slot " +
+                                     std::to_string(m));
+    }
+  }
+  object.id = objects_.size();
+  objects_.push_back(std::move(object));
+  return objects_.back().id;
+}
+
+Result<const Object*> KnowledgeBase::Get(uint64_t id) const {
+  if (id >= objects_.size()) {
+    return Status::NotFound("object id out of range: " + std::to_string(id));
+  }
+  return &objects_[id];
+}
+
+Status KnowledgeBase::Save(std::ostream& out) const {
+  WritePod(out, kKbMagic);
+  WriteString(out, name_);
+  WritePod(out, static_cast<uint32_t>(schema_.num_modalities()));
+  for (ModalityType t : schema_.types) WritePod(out, static_cast<uint8_t>(t));
+  WritePod(out, static_cast<uint64_t>(objects_.size()));
+  for (const Object& obj : objects_) {
+    WritePod(out, obj.id);
+    WritePod(out, obj.concept_id);
+    WriteFloats(out, obj.latent);
+    for (const Payload& p : obj.modalities) {
+      WritePod(out, static_cast<uint8_t>(p.type));
+      WriteString(out, p.text);
+      WriteFloats(out, p.features);
+    }
+  }
+  if (!out) return Status::IoError("failed to write knowledge base");
+  return Status::OK();
+}
+
+Result<KnowledgeBase> KnowledgeBase::Load(std::istream& in) {
+  uint32_t magic = 0;
+  if (!ReadPod(in, &magic) || magic != kKbMagic) {
+    return Status::IoError("bad knowledge base header");
+  }
+  std::string name;
+  if (!ReadString(in, &name)) return Status::IoError("truncated kb name");
+  uint32_t num_m = 0;
+  if (!ReadPod(in, &num_m) || num_m == 0 || num_m > 64) {
+    return Status::IoError("bad modality count");
+  }
+  ModalitySchema schema;
+  schema.types.resize(num_m);
+  for (auto& t : schema.types) {
+    uint8_t raw = 0;
+    if (!ReadPod(in, &raw)) return Status::IoError("truncated schema");
+    t = static_cast<ModalityType>(raw);
+  }
+  uint64_t n = 0;
+  if (!ReadPod(in, &n)) return Status::IoError("truncated object count");
+  KnowledgeBase kb(schema, name);
+  kb.objects_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Object obj;
+    if (!ReadPod(in, &obj.id)) return Status::IoError("truncated object id");
+    if (!ReadPod(in, &obj.concept_id)) {
+      return Status::IoError("truncated concept id");
+    }
+    if (!ReadFloats(in, &obj.latent)) {
+      return Status::IoError("truncated latent");
+    }
+    obj.modalities.resize(num_m);
+    for (auto& p : obj.modalities) {
+      uint8_t raw = 0;
+      if (!ReadPod(in, &raw)) return Status::IoError("truncated payload type");
+      p.type = static_cast<ModalityType>(raw);
+      if (!ReadString(in, &p.text)) {
+        return Status::IoError("truncated payload text");
+      }
+      if (!ReadFloats(in, &p.features)) {
+        return Status::IoError("truncated payload features");
+      }
+    }
+    kb.objects_.push_back(std::move(obj));
+  }
+  return kb;
+}
+
+}  // namespace mqa

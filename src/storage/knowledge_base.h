@@ -1,0 +1,50 @@
+#ifndef MQA_STORAGE_KNOWLEDGE_BASE_H_
+#define MQA_STORAGE_KNOWLEDGE_BASE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/object.h"
+
+namespace mqa {
+
+/// The multi-modal knowledge base: a collection of objects with a fixed
+/// modality schema and dense ids [0, size). This is the paper's "Data
+/// Preprocessing" target representation — e.g. a movie's film, poster and
+/// synopsis stored as one object with multiple modalities.
+class KnowledgeBase {
+ public:
+  explicit KnowledgeBase(ModalitySchema schema, std::string name = "kb")
+      : schema_(std::move(schema)), name_(std::move(name)) {}
+
+  /// Ingests an object. Its id is assigned (= current size) and returned.
+  /// The object's modality slots must match the schema.
+  Result<uint64_t> Ingest(Object object);
+
+  /// Object lookup. Precondition enforced: id < size().
+  Result<const Object*> Get(uint64_t id) const;
+
+  const Object& at(uint64_t id) const { return objects_[id]; }
+
+  uint64_t size() const { return objects_.size(); }
+  bool empty() const { return objects_.empty(); }
+  const ModalitySchema& schema() const { return schema_; }
+  const std::string& name() const { return name_; }
+  const std::vector<Object>& objects() const { return objects_; }
+
+  /// Binary (de)serialization of schema + objects.
+  Status Save(std::ostream& out) const;
+  static Result<KnowledgeBase> Load(std::istream& in);
+
+ private:
+  ModalitySchema schema_;
+  std::string name_;
+  std::vector<Object> objects_;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_STORAGE_KNOWLEDGE_BASE_H_

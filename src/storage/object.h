@@ -1,0 +1,51 @@
+#ifndef MQA_STORAGE_OBJECT_H_
+#define MQA_STORAGE_OBJECT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mqa {
+
+/// The kind of content held by one modality slot of an object.
+enum class ModalityType : uint8_t {
+  kText = 0,   ///< natural-language content (caption, synopsis, ...)
+  kImage = 1,  ///< synthetic raw image features + a displayable description
+  kAudio = 2,  ///< synthetic raw audio features + a displayable description
+};
+
+const char* ModalityTypeToString(ModalityType type);
+
+/// Content of one modality of one object. Text modalities use `text`;
+/// feature modalities (image/audio) carry a raw signal in `features` and a
+/// human-readable `text` description used for display and LLM grounding.
+struct Payload {
+  ModalityType type = ModalityType::kText;
+  std::string text;
+  std::vector<float> features;
+};
+
+/// A multi-modal object in the knowledge base — e.g. a product with a photo
+/// and a caption, or a movie with a poster and a synopsis. `concept_id` is
+/// the generator's ground-truth semantic cluster, used only for evaluation.
+struct Object {
+  uint64_t id = 0;
+  std::vector<Payload> modalities;
+  uint32_t concept_id = 0;
+
+  /// Ground-truth latent semantics (simulation bookkeeping; never visible
+  /// to encoders or retrieval — used to compute exact ground truth).
+  std::vector<float> latent;
+};
+
+/// Per-slot modality layout shared by all objects in a knowledge base.
+struct ModalitySchema {
+  std::vector<ModalityType> types;
+
+  size_t num_modalities() const { return types.size(); }
+  bool operator==(const ModalitySchema&) const = default;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_STORAGE_OBJECT_H_

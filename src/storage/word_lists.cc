@@ -1,0 +1,52 @@
+#include "storage/word_lists.h"
+
+namespace mqa {
+
+namespace {
+
+constexpr const char* kNouns[] = {
+    "cheese",  "clouds",   "coat",    "dress",   "sofa",    "lamp",
+    "teapot",  "guitar",   "bridge",  "castle",  "garden",  "forest",
+    "river",   "mountain", "beach",   "desert",  "scarf",   "boots",
+    "hat",     "vase",     "mirror",  "carpet",  "curtain", "table",
+    "chair",   "bicycle",  "kite",    "lantern", "bowl",    "basket",
+    "jacket",  "sweater",  "painting","statue",  "fountain","tower",
+    "cabin",   "meadow",   "orchard", "harbor",  "canyon",  "glacier",
+    "island",  "valley",   "pond",    "waterfall","mug",    "clock",
+    "pillow",  "blanket",  "candle",  "bookshelf","fence",  "gate",
+    "roof",    "window",   "door",    "staircase","balcony", "chimney",
+};
+
+constexpr const char* kAdjectives[] = {
+    "moldy",    "foggy",    "floral",   "striped",  "wooden",  "rustic",
+    "glossy",   "velvet",   "faded",    "bright",   "ancient", "modern",
+    "misty",    "snowy",    "sunny",    "stormy",   "knitted", "leather",
+    "ceramic",  "marble",   "golden",   "silver",   "crimson", "azure",
+    "emerald",  "ivory",    "charcoal", "amber",    "woven",   "polished",
+    "weathered","ornate",   "minimal",  "checkered","dotted",  "embroidered",
+    "frosted",  "lacquered","braided",  "quilted",
+};
+
+constexpr const char* kFillers[] = {
+    "really", "quite", "very", "lovely", "nice", "wonderful", "simple",
+    "classic", "everyday", "typical", "plain", "common", "ordinary",
+};
+
+}  // namespace
+
+const char* const* BuiltinNouns(size_t* count) {
+  *count = sizeof(kNouns) / sizeof(kNouns[0]);
+  return kNouns;
+}
+
+const char* const* BuiltinAdjectives(size_t* count) {
+  *count = sizeof(kAdjectives) / sizeof(kAdjectives[0]);
+  return kAdjectives;
+}
+
+const char* const* BuiltinFillers(size_t* count) {
+  *count = sizeof(kFillers) / sizeof(kFillers[0]);
+  return kFillers;
+}
+
+}  // namespace mqa

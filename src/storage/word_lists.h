@@ -1,0 +1,18 @@
+#ifndef MQA_STORAGE_WORD_LISTS_H_
+#define MQA_STORAGE_WORD_LISTS_H_
+
+#include <cstddef>
+
+namespace mqa {
+
+/// Shared word pools: the world model names concepts from these, and the
+/// simulated LLM "knows" them as its parametric vocabulary (which is what
+/// lets it hallucinate plausible-but-ungrounded answers when retrieval is
+/// disabled).
+const char* const* BuiltinNouns(size_t* count);
+const char* const* BuiltinAdjectives(size_t* count);
+const char* const* BuiltinFillers(size_t* count);
+
+}  // namespace mqa
+
+#endif  // MQA_STORAGE_WORD_LISTS_H_

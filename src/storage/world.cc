@@ -1,0 +1,495 @@
+#include "storage/world.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/string_util.h"
+#include "storage/word_lists.h"
+#include "common/topk.h"
+#include "vector/distance.h"
+
+namespace mqa {
+
+namespace {
+
+// Word pools for human-readable concept names (shared with the simulated
+// LLM). Exhausting a pool falls back to synthetic names ("noun61"), so any
+// num_concepts is supported.
+void NormalizeInPlace(Vector* v) { NormalizeVector(v); }
+
+Vector RandomUnit(size_t dim, Rng* rng) {
+  Vector v(dim);
+  for (auto& x : v) x = static_cast<float>(rng->Gaussian());
+  NormalizeVector(&v);
+  return v;
+}
+
+// Deterministic pseudo-latent for out-of-vocabulary words: the same word
+// always maps to the same small vector, acting as benign noise.
+Vector HashWordVector(const std::string& word, size_t dim, float scale) {
+  Rng rng(std::hash<std::string>{}(word) ^ 0x9e3779b97f4a7c15ULL);
+  Vector v(dim);
+  for (auto& x : v) x = static_cast<float>(rng.Gaussian()) * scale;
+  return v;
+}
+
+// Solves inv(A) for a small dense matrix via Gauss-Jordan with partial
+// pivoting. A is n x n row-major. Returns false if singular.
+bool InvertMatrix(std::vector<double>* a_inout, size_t n) {
+  std::vector<double>& a = *a_inout;
+  std::vector<double> inv(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) inv[i * n + i] = 1.0;
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    double best = std::fabs(a[col * n + col]);
+    for (size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(a[r * n + col]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) return false;
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) {
+        std::swap(a[pivot * n + c], a[col * n + c]);
+        std::swap(inv[pivot * n + c], inv[col * n + c]);
+      }
+    }
+    const double d = a[col * n + col];
+    for (size_t c = 0; c < n; ++c) {
+      a[col * n + c] /= d;
+      inv[col * n + c] /= d;
+    }
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = a[r * n + col];
+      if (f == 0.0) continue;
+      for (size_t c = 0; c < n; ++c) {
+        a[r * n + c] -= f * a[col * n + c];
+        inv[r * n + c] -= f * inv[col * n + c];
+      }
+    }
+  }
+  a = std::move(inv);
+  return true;
+}
+
+}  // namespace
+
+Result<World> World::Create(const WorldConfig& config) {
+  if (config.num_concepts == 0) {
+    return Status::InvalidArgument("num_concepts must be > 0");
+  }
+  if (config.latent_dim < 4) {
+    return Status::InvalidArgument("latent_dim must be >= 4");
+  }
+  if (config.raw_image_dim < config.latent_dim) {
+    return Status::InvalidArgument(
+        "raw_image_dim must be >= latent_dim for invertible rendering");
+  }
+  if (config.adjectives_per_noun == 0) {
+    return Status::InvalidArgument("adjectives_per_noun must be > 0");
+  }
+
+  World world;
+  world.config_ = config;
+  world.noun_dim_ = config.latent_dim / 2;
+  Rng rng(config.seed);
+
+  const uint32_t apn = config.adjectives_per_noun;
+  const uint32_t num_nouns = (config.num_concepts + apn - 1) / apn;
+  const uint32_t latent_dim = config.latent_dim;
+  const uint32_t noun_dim = world.noun_dim_;
+  const uint32_t adj_dim = latent_dim - noun_dim;
+
+  // Noun directions (noun subspace) and names.
+  world.noun_words_.reserve(num_nouns);
+  world.noun_vectors_.reserve(num_nouns);
+  for (uint32_t j = 0; j < num_nouns; ++j) {
+    size_t num_noun_words = 0;
+    const char* const* nouns = BuiltinNouns(&num_noun_words);
+    world.noun_words_.push_back(j < num_noun_words
+                                    ? nouns[j]
+                                    : "noun" + std::to_string(j));
+    world.noun_vectors_.push_back(RandomUnit(noun_dim, &rng));
+  }
+
+  // Adjective directions; pool large enough that every noun can draw `apn`
+  // distinct adjectives.
+  const uint32_t num_adjs = std::max<uint32_t>(apn * 2, 16);
+  world.adjective_words_.reserve(num_adjs);
+  world.adjective_vectors_.reserve(num_adjs);
+  for (uint32_t i = 0; i < num_adjs; ++i) {
+    size_t num_adj_words = 0;
+    const char* const* adjectives = BuiltinAdjectives(&num_adj_words);
+    world.adjective_words_.push_back(i < num_adj_words
+                                         ? adjectives[i]
+                                         : "style" + std::to_string(i));
+    world.adjective_vectors_.push_back(RandomUnit(adj_dim, &rng));
+  }
+
+  // Concepts: noun j paired with `apn` adjectives drawn per noun.
+  world.noun_to_concepts_.resize(num_nouns);
+  world.concepts_.reserve(config.num_concepts);
+  world.prototypes_.reserve(config.num_concepts);
+  for (uint32_t c = 0; c < config.num_concepts; ++c) {
+    const uint32_t noun_id = c / apn;
+    // A deterministic shuffled adjective assignment per noun.
+    Rng adj_rng(config.seed ^ (0xabcdef1234ULL + noun_id));
+    std::vector<uint32_t> adj_perm = adj_rng.Permutation(num_adjs);
+    const uint32_t adjective_id = adj_perm[c % apn];
+
+    ConceptInfo info;
+    info.noun_id = noun_id;
+    info.adjective_id = adjective_id;
+    for (uint32_t w = 0; w < config.words_per_concept; ++w) {
+      info.descriptor_words.push_back("d" + std::to_string(c) + "x" +
+                                      std::to_string(w));
+    }
+    world.noun_to_concepts_[noun_id].push_back(c);
+
+    // Prototype: noun direction in the first block, adjective direction in
+    // the second; unit overall.
+    Vector proto(latent_dim, 0.0f);
+    for (uint32_t d = 0; d < noun_dim; ++d) {
+      proto[d] = world.noun_vectors_[noun_id][d];
+    }
+    for (uint32_t d = 0; d < adj_dim; ++d) {
+      proto[noun_dim + d] = world.adjective_vectors_[adjective_id][d];
+    }
+    NormalizeInPlace(&proto);
+    world.prototypes_.push_back(std::move(proto));
+    world.concepts_.push_back(std::move(info));
+  }
+
+  // Vocabulary latents. A noun word carries only noun-subspace signal, an
+  // adjective word only adjective-subspace signal; descriptor words sit near
+  // their concept's prototype.
+  for (uint32_t j = 0; j < num_nouns; ++j) {
+    Vector v(latent_dim, 0.0f);
+    for (uint32_t d = 0; d < noun_dim; ++d) v[d] = world.noun_vectors_[j][d];
+    world.vocab_[world.noun_words_[j]] = std::move(v);
+  }
+  for (uint32_t i = 0; i < num_adjs; ++i) {
+    Vector v(latent_dim, 0.0f);
+    for (uint32_t d = 0; d < adj_dim; ++d) {
+      v[noun_dim + d] = world.adjective_vectors_[i][d];
+    }
+    world.vocab_[world.adjective_words_[i]] = std::move(v);
+  }
+  for (uint32_t c = 0; c < config.num_concepts; ++c) {
+    for (const std::string& w : world.concepts_[c].descriptor_words) {
+      Vector v = world.prototypes_[c];
+      for (auto& x : v) x += 0.25f * static_cast<float>(rng.Gaussian());
+      NormalizeInPlace(&v);
+      world.vocab_[w] = std::move(v);
+    }
+  }
+
+  // Rendering models: one for the image slot plus one per extra modality.
+  const size_t num_feature_modalities = 1 + config.num_extra_modalities;
+  world.render_.resize(num_feature_modalities);
+  for (size_t fm = 0; fm < num_feature_modalities; ++fm) {
+    RenderModel& model = world.render_[fm];
+    model.raw_dim = config.raw_image_dim;
+    const size_t rows = model.raw_dim;
+    const size_t cols = latent_dim;
+    model.forward.resize(rows * cols);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(cols));
+    for (auto& x : model.forward) {
+      x = static_cast<float>(rng.Gaussian()) * scale;
+    }
+    // Least-squares inverse: (M^T M)^-1 M^T, computed in double.
+    std::vector<double> mtm(cols * cols, 0.0);
+    for (size_t i = 0; i < cols; ++i) {
+      for (size_t j = 0; j < cols; ++j) {
+        double s = 0.0;
+        for (size_t r = 0; r < rows; ++r) {
+          s += static_cast<double>(model.forward[r * cols + i]) *
+               static_cast<double>(model.forward[r * cols + j]);
+        }
+        mtm[i * cols + j] = s;
+      }
+    }
+    if (!InvertMatrix(&mtm, cols)) {
+      return Status::Internal("rendering matrix is singular");
+    }
+    model.inverse.resize(cols * rows);
+    for (size_t i = 0; i < cols; ++i) {
+      for (size_t r = 0; r < rows; ++r) {
+        double s = 0.0;
+        for (size_t j = 0; j < cols; ++j) {
+          s += mtm[i * cols + j] *
+               static_cast<double>(model.forward[r * cols + j]);
+        }
+        model.inverse[i * rows + r] = static_cast<float>(s);
+      }
+    }
+  }
+
+  return world;
+}
+
+ModalitySchema World::Schema() const {
+  ModalitySchema schema;
+  schema.types.push_back(ModalityType::kImage);
+  schema.types.push_back(ModalityType::kText);
+  for (uint32_t m = 0; m < config_.num_extra_modalities; ++m) {
+    schema.types.push_back(ModalityType::kAudio);
+  }
+  return schema;
+}
+
+std::string World::ConceptName(uint32_t concept_id) const {
+  const ConceptInfo& c = concepts_[concept_id];
+  return adjective_words_[c.adjective_id] + " " + noun_words_[c.noun_id];
+}
+
+const std::vector<uint32_t>& World::SiblingConcepts(
+    uint32_t concept_id) const {
+  return noun_to_concepts_[concepts_[concept_id].noun_id];
+}
+
+static float ModalityNoiseAt(const WorldConfig& config, size_t slot) {
+  if (slot < config.modality_noise.size()) return config.modality_noise[slot];
+  return 0.1f;
+}
+
+std::vector<float> World::RenderFeatures(const Vector& latent,
+                                         size_t modality_slot,
+                                         Rng* rng) const {
+  // Slot 0 = image (render model 0); slots >= 2 are extra feature
+  // modalities (render model slot-1). Slot 1 is text and has no renderer.
+  const size_t fm = modality_slot == 0 ? 0 : modality_slot - 1;
+  const RenderModel& model = render_[fm];
+  const size_t cols = config_.latent_dim;
+  const float noise = ModalityNoiseAt(config_, modality_slot);
+  std::vector<float> out(model.raw_dim, 0.0f);
+  for (size_t r = 0; r < model.raw_dim; ++r) {
+    float s = 0.0f;
+    const float* row = model.forward.data() + r * cols;
+    for (size_t j = 0; j < cols; ++j) s += row[j] * latent[j];
+    out[r] = s + noise * static_cast<float>(rng->Gaussian());
+  }
+  return out;
+}
+
+std::string World::CaptionFor(uint32_t concept_id, Rng* rng) const {
+  const ConceptInfo& info = concepts_[concept_id];
+  const float text_noise = ModalityNoiseAt(config_, 1);
+  const float drop_adj =
+      std::min(0.95f, config_.text_adjective_dropout + text_noise);
+  const float drop_word = std::min(0.95f, text_noise);
+
+  std::string caption = "a photo of ";
+  if (!rng->Bernoulli(drop_adj)) {
+    caption += adjective_words_[info.adjective_id];
+    caption += " ";
+  }
+  // Severely noisy captions sometimes mis-describe the object entirely
+  // (wrong noun) — what "useless text" means in practice.
+  uint32_t noun_id = info.noun_id;
+  const float mislabel = std::max(0.0f, text_noise - 0.4f);
+  if (mislabel > 0.0f && rng->Bernoulli(mislabel)) {
+    noun_id = static_cast<uint32_t>(rng->NextUint64(noun_words_.size()));
+  }
+  caption += noun_words_[noun_id];
+  // One or two concept descriptor words, each subject to dropout.
+  const size_t num_desc =
+      std::min<size_t>(info.descriptor_words.size(), 1 + rng->NextUint64(2));
+  for (size_t i = 0; i < num_desc; ++i) {
+    if (rng->Bernoulli(drop_word)) continue;
+    const auto& w = info.descriptor_words[rng->NextUint64(
+        info.descriptor_words.size())];
+    caption += " " + w;
+  }
+  // A filler word for texture.
+  caption += " ";
+  size_t num_fillers = 0;
+  const char* const* fillers = BuiltinFillers(&num_fillers);
+  caption += fillers[rng->NextUint64(num_fillers)];
+  return caption;
+}
+
+Object World::MakeObject(uint32_t concept_id, Rng* rng) const {
+  Object obj;
+  obj.concept_id = concept_id;
+  obj.latent = prototypes_[concept_id];
+  for (auto& x : obj.latent) {
+    x += config_.object_noise * static_cast<float>(rng->Gaussian());
+  }
+  NormalizeInPlace(&obj.latent);
+  RenderModalities(&obj, rng);
+  return obj;
+}
+
+Object World::ReobserveObject(const Object& object, Rng* rng) const {
+  Object obj;
+  obj.id = object.id;
+  obj.concept_id = object.concept_id;
+  obj.latent = object.latent;
+  RenderModalities(&obj, rng);
+  return obj;
+}
+
+void World::RenderModalities(Object* out, Rng* rng) const {
+  Object& obj = *out;
+  const uint32_t concept_id = obj.concept_id;
+  obj.modalities.resize(num_modalities());
+  // Slot 0: image.
+  Payload& img = obj.modalities[0];
+  img.type = ModalityType::kImage;
+  img.features = RenderFeatures(obj.latent, 0, rng);
+  img.text = "an image of " + ConceptName(concept_id);
+  // Slot 1: text caption.
+  Payload& txt = obj.modalities[1];
+  txt.type = ModalityType::kText;
+  txt.text = CaptionFor(concept_id, rng);
+  // Extra feature modalities.
+  for (size_t m = 2; m < num_modalities(); ++m) {
+    Payload& p = obj.modalities[m];
+    p.type = ModalityType::kAudio;
+    p.features = RenderFeatures(obj.latent, m, rng);
+    p.text = "a recording of " + ConceptName(concept_id);
+  }
+}
+
+Result<KnowledgeBase> World::GenerateCorpus(uint64_t num_objects,
+                                            const std::string& name) const {
+  Rng rng(config_.seed ^ 0x5eedc0de);
+  KnowledgeBase kb(Schema(), name);
+  for (uint64_t i = 0; i < num_objects; ++i) {
+    const uint32_t c = static_cast<uint32_t>(i % config_.num_concepts);
+    MQA_ASSIGN_OR_RETURN(uint64_t id, kb.Ingest(MakeObject(c, &rng)));
+    (void)id;
+  }
+  return kb;
+}
+
+TextQuery World::MakeTextQuery(uint32_t concept_id, Rng* rng) const {
+  static constexpr const char* kTemplates[] = {
+      "i would like some images of ",
+      "could you show me ",
+      "please find pictures of ",
+      "i am looking for ",
+  };
+  TextQuery q;
+  q.concept_id = concept_id;
+  q.text = kTemplates[rng->NextUint64(4)];
+  q.text += ConceptName(concept_id);
+  // Sometimes add a descriptor word the user remembers.
+  const ConceptInfo& info = concepts_[concept_id];
+  if (!info.descriptor_words.empty() && rng->Bernoulli(0.5)) {
+    q.text += " " +
+              info.descriptor_words[rng->NextUint64(
+                  info.descriptor_words.size())];
+  }
+  q.target_latent = prototypes_[concept_id];
+  return q;
+}
+
+ModificationSpec World::MakeModification(uint32_t concept_id,
+                                         Rng* rng) const {
+  ModificationSpec mod;
+  const std::vector<uint32_t>& siblings = SiblingConcepts(concept_id);
+  if (siblings.size() > 1 && rng->Bernoulli(0.7)) {
+    // Change the adjective, keep the noun: "like this, but <new-style>".
+    uint32_t other = concept_id;
+    while (other == concept_id) {
+      other = siblings[rng->NextUint64(siblings.size())];
+    }
+    mod.kind = ModificationKind::kChangeAdjective;
+    mod.target_concept = other;
+    // Deliberately generic: the noun comes from the selected image, the
+    // text carries only the new attribute — the composed-retrieval setting
+    // where single-modality candidate lists cannot find the intersection.
+    mod.text = "i like this one, but could you find some that are more " +
+               adjective_words_[concepts_[other].adjective_id] + "?";
+  } else {
+    mod.kind = ModificationKind::kRefineSame;
+    mod.target_concept = concept_id;
+    mod.text = "i like this one, could you locate more " +
+               ConceptName(concept_id) + " similar to it?";
+  }
+  return mod;
+}
+
+std::vector<float> World::ModifiedTarget(const Object& selected,
+                                         const ModificationSpec& mod) const {
+  if (mod.kind == ModificationKind::kRefineSame) return selected.latent;
+  // Keep the selected object's noun-subspace identity; swap in the new
+  // adjective direction.
+  Vector target = selected.latent;
+  const Vector& proto = prototypes_[mod.target_concept];
+  for (uint32_t d = noun_dim_; d < config_.latent_dim; ++d) {
+    target[d] = proto[d];
+  }
+  NormalizeInPlace(&target);
+  return target;
+}
+
+std::vector<uint32_t> World::GroundTruth(
+    const KnowledgeBase& kb, const std::vector<float>& target_latent,
+    size_t k, std::optional<uint64_t> exclude) const {
+  TopK topk(k);
+  for (const Object& obj : kb.objects()) {
+    if (exclude.has_value() && obj.id == *exclude) continue;
+    const float d = L2Sq(target_latent.data(), obj.latent.data(),
+                         target_latent.size());
+    topk.Push(d, static_cast<uint32_t>(obj.id));
+  }
+  std::vector<uint32_t> ids;
+  for (const Neighbor& n : topk.TakeSorted()) ids.push_back(n.id);
+  return ids;
+}
+
+Vector World::TextToLatent(const std::string& text) const {
+  Vector acc(config_.latent_dim, 0.0f);
+  size_t known = 0;
+  for (const std::string& token : Tokenize(text)) {
+    auto it = vocab_.find(token);
+    if (it != vocab_.end()) {
+      for (size_t d = 0; d < acc.size(); ++d) acc[d] += it->second[d];
+      ++known;
+    } else {
+      // Out-of-vocabulary words contribute small deterministic noise.
+      const Vector v = HashWordVector(token, config_.latent_dim, 0.12f);
+      for (size_t d = 0; d < acc.size(); ++d) acc[d] += v[d];
+    }
+  }
+  if (known > 0) {
+    NormalizeInPlace(&acc);
+  } else {
+    // No vocabulary word recognized: a low-energy latent (capped norm), so
+    // downstream consumers can tell "this text carries no signal".
+    const float n = Norm(acc.data(), acc.size());
+    if (n > 0.3f) {
+      for (auto& x : acc) x *= 0.3f / n;
+    }
+  }
+  return acc;
+}
+
+Vector World::FeaturesToLatent(const std::vector<float>& features,
+                               size_t modality_slot) const {
+  const size_t fm = modality_slot == 0 ? 0 : modality_slot - 1;
+  const RenderModel& model = render_[fm];
+  Vector out(config_.latent_dim, 0.0f);
+  if (features.size() != model.raw_dim) return out;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const float* row = model.inverse.data() + i * model.raw_dim;
+    float s = 0.0f;
+    for (size_t r = 0; r < model.raw_dim; ++r) s += row[r] * features[r];
+    out[i] = s;
+  }
+  return out;
+}
+
+const Vector* World::WordLatent(const std::string& word) const {
+  auto it = vocab_.find(word);
+  return it == vocab_.end() ? nullptr : &it->second;
+}
+
+}  // namespace mqa

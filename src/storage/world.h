@@ -1,0 +1,194 @@
+#ifndef MQA_STORAGE_WORLD_H_
+#define MQA_STORAGE_WORLD_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "storage/knowledge_base.h"
+#include "storage/object.h"
+#include "vector/vector_types.h"
+
+namespace mqa {
+
+/// Parameters of the synthetic multi-modal world.
+///
+/// The world is a generative model standing in for the real image/text
+/// corpora the paper demos on (fashion items, scenes, ...). Semantics live
+/// in a latent space split into a *noun* subspace (what the thing is) and an
+/// *adjective* subspace (its style/attribute) — so "moldy cheese" and
+/// "fresh cheese" are near in noun dimensions and far in adjective
+/// dimensions, which is exactly the structure the paper's round-2
+/// "change the attribute" interactions exercise.
+struct WorldConfig {
+  uint32_t num_concepts = 50;    ///< distinct (adjective, noun) semantics
+  uint32_t latent_dim = 32;      ///< total latent dimensionality
+  uint32_t raw_image_dim = 64;   ///< raw feature dim of image payloads
+  uint32_t words_per_concept = 5;  ///< extra descriptor words per concept
+  uint32_t adjectives_per_noun = 4;  ///< concepts sharing each noun
+  uint32_t num_extra_modalities = 0;  ///< audio-like slots beyond image+text
+
+  float object_noise = 0.18f;  ///< latent spread of objects within a concept
+
+  /// Observation noise per modality slot (slot 0 = image, 1 = text,
+  /// 2.. = extra). Larger noise = less informative modality; the weight
+  /// learner should then down-weight it. Missing entries default to 0.1.
+  /// Defaults are skewed (captions are vaguer than pixels), mirroring the
+  /// real datasets where modality importance is unequal — the property
+  /// MUST's weight learning exploits.
+  std::vector<float> modality_noise = {0.06f, 0.25f};
+
+  /// Probability that a caption omits the adjective (text degradation).
+  float text_adjective_dropout = 0.0f;
+
+  uint64_t seed = 42;
+};
+
+/// A round-1 (text-only) query together with its ground-truth intent.
+struct TextQuery {
+  std::string text;                 ///< user utterance
+  uint32_t concept_id = 0;          ///< intended concept
+  std::vector<float> target_latent; ///< intended point in latent space
+};
+
+/// How the user refines the search in round 2, after selecting a result.
+enum class ModificationKind {
+  kRefineSame,       ///< "more like this one"
+  kChangeAdjective,  ///< "like this, but <new adjective>"
+};
+
+/// A round-2 refinement: an utterance plus the semantics needed to compute
+/// the ground-truth target once a result has been selected.
+struct ModificationSpec {
+  ModificationKind kind = ModificationKind::kRefineSame;
+  uint32_t target_concept = 0;  ///< concept after modification
+  std::string text;             ///< user utterance (without the selection)
+};
+
+/// The generative world: concept prototypes, a compositional vocabulary,
+/// and per-modality rendering processes. Also provides the inverse maps the
+/// simulated "pretrained" encoders use, and exact ground-truth computation
+/// for evaluation.
+class World {
+ public:
+  /// Builds a world from the config. Fails on degenerate parameters.
+  static Result<World> Create(const WorldConfig& config);
+
+  const WorldConfig& config() const { return config_; }
+  uint32_t num_concepts() const { return config_.num_concepts; }
+  size_t num_modalities() const { return 2 + config_.num_extra_modalities; }
+
+  /// Modality schema of corpora from this world: slot 0 image, slot 1 text,
+  /// then extra feature (audio-like) slots.
+  ModalitySchema Schema() const;
+
+  /// Human-readable concept name, e.g. "moldy cheese".
+  std::string ConceptName(uint32_t concept_id) const;
+
+  /// Concepts that share concept_id's noun (including itself).
+  const std::vector<uint32_t>& SiblingConcepts(uint32_t concept_id) const;
+
+  /// Samples a fresh object of the given concept.
+  Object MakeObject(uint32_t concept_id, Rng* rng) const;
+
+  /// A fresh observation of an existing object: same underlying latent,
+  /// new modality renderings (new image noise, new caption wording). Used
+  /// to build queries whose exact answer is known.
+  Object ReobserveObject(const Object& object, Rng* rng) const;
+
+  /// Generates a corpus of `num_objects` objects with concepts assigned
+  /// round-robin (so every concept is populated).
+  Result<KnowledgeBase> GenerateCorpus(uint64_t num_objects,
+                                       const std::string& name = "kb") const;
+
+  /// Samples a round-1 text query for a concept.
+  TextQuery MakeTextQuery(uint32_t concept_id, Rng* rng) const;
+
+  /// Samples a round-2 modification for a dialogue that started at
+  /// `concept_id`. Picks kChangeAdjective when the concept has siblings.
+  ModificationSpec MakeModification(uint32_t concept_id, Rng* rng) const;
+
+  /// Ground-truth latent intent after the user selected `selected` and
+  /// uttered `mod`: a blend of the selected object's latent and the
+  /// modified concept prototype.
+  std::vector<float> ModifiedTarget(const Object& selected,
+                                    const ModificationSpec& mod) const;
+
+  /// Exact k-nearest objects to `target_latent` by true latent L2 distance.
+  /// `exclude` (optional) removes one id (e.g. the selected object).
+  std::vector<uint32_t> GroundTruth(const KnowledgeBase& kb,
+                                    const std::vector<float>& target_latent,
+                                    size_t k,
+                                    std::optional<uint64_t> exclude = {}) const;
+
+  // --- Inverse maps used by the simulated pretrained encoders. ---
+
+  /// Latent estimate from a text string: mean of known-word latents;
+  /// unknown words contribute small deterministic pseudo-noise.
+  Vector TextToLatent(const std::string& text) const;
+
+  /// Latent estimate from raw feature payloads: least-squares inversion of
+  /// the modality's rendering matrix. `modality_slot` 0 = image, 2.. extra.
+  Vector FeaturesToLatent(const std::vector<float>& features,
+                          size_t modality_slot) const;
+
+  /// Latent prototype of a concept (unit norm).
+  const Vector& ConceptPrototype(uint32_t concept_id) const {
+    return prototypes_[concept_id];
+  }
+
+  /// Renders a latent point into raw features of the given modality —
+  /// also used by the simulated generative-image baseline (DALL·E stand-in).
+  std::vector<float> RenderFeatures(const Vector& latent, size_t modality_slot,
+                                    Rng* rng) const;
+
+ private:
+  World() = default;
+
+  struct ConceptInfo {
+    uint32_t noun_id = 0;
+    uint32_t adjective_id = 0;
+    std::vector<std::string> descriptor_words;
+  };
+
+  /// Latent vector of a vocabulary word, or nullptr if unknown.
+  const Vector* WordLatent(const std::string& word) const;
+
+  /// Fills an object's modality payloads from its latent.
+  void RenderModalities(Object* out, Rng* rng) const;
+
+  std::string CaptionFor(uint32_t concept_id, Rng* rng) const;
+
+  WorldConfig config_;
+  uint32_t noun_dim_ = 0;  // latent split: [0, noun_dim) noun, rest adjective
+
+  std::vector<ConceptInfo> concepts_;
+  std::vector<Vector> prototypes_;             // per concept, unit norm
+  std::vector<std::string> noun_words_;        // per noun id
+  std::vector<std::string> adjective_words_;   // per adjective id
+  std::vector<Vector> noun_vectors_;           // noun-subspace direction
+  std::vector<Vector> adjective_vectors_;      // adjective-subspace direction
+  std::vector<std::vector<uint32_t>> noun_to_concepts_;
+
+  // word -> latent vocabulary (nouns, adjectives, descriptors)
+  std::unordered_map<std::string, Vector> vocab_;
+
+  // Per feature-modality rendering matrix (row-major raw_dim x latent_dim)
+  // and its precomputed least-squares inverse (latent_dim x raw_dim).
+  struct RenderModel {
+    uint32_t raw_dim = 0;
+    std::vector<float> forward;
+    std::vector<float> inverse;
+  };
+  std::vector<RenderModel> render_;  // index: feature modality (0 = image)
+
+  friend class WorldTestPeer;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_STORAGE_WORLD_H_

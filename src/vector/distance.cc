@@ -1,0 +1,117 @@
+#include "vector/distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace mqa {
+
+Metric MetricFromString(const std::string& name) {
+  const std::string n = ToLower(name);
+  if (n == "ip" || n == "innerproduct" || n == "inner_product") {
+    return Metric::kInnerProduct;
+  }
+  if (n == "cosine" || n == "cos") return Metric::kCosine;
+  return Metric::kL2;
+}
+
+const char* MetricToString(Metric metric) {
+  switch (metric) {
+    case Metric::kL2:
+      return "l2";
+    case Metric::kInnerProduct:
+      return "ip";
+    case Metric::kCosine:
+      return "cosine";
+  }
+  return "l2";
+}
+
+float L2Sq(const float* a, const float* b, size_t dim) {
+  // Four accumulators so the compiler can vectorize without reassociation
+  // concerns; the tail is handled scalar.
+  float s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    const float d0 = a[i] - b[i];
+    const float d1 = a[i + 1] - b[i + 1];
+    const float d2 = a[i + 2] - b[i + 2];
+    const float d3 = a[i + 3] - b[i + 3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  float sum = s0 + s1 + s2 + s3;
+  for (; i < dim; ++i) {
+    const float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+float Dot(const float* a, const float* b, size_t dim) {
+  float s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  float sum = s0 + s1 + s2 + s3;
+  for (; i < dim; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+float Norm(const float* a, size_t dim) { return std::sqrt(Dot(a, a, dim)); }
+
+float CosineDistance(const float* a, const float* b, size_t dim) {
+  const float na = Norm(a, dim);
+  const float nb = Norm(b, dim);
+  if (na == 0.0f || nb == 0.0f) return 1.0f;
+  return 1.0f - Dot(a, b, dim) / (na * nb);
+}
+
+float ComputeDistance(Metric metric, const float* a, const float* b,
+                      size_t dim) {
+  switch (metric) {
+    case Metric::kL2:
+      return L2Sq(a, b, dim);
+    case Metric::kInnerProduct:
+      return -Dot(a, b, dim);
+    case Metric::kCosine:
+      return CosineDistance(a, b, dim);
+  }
+  return L2Sq(a, b, dim);
+}
+
+float L2SqEarlyAbandon(const float* a, const float* b, size_t dim,
+                       float bound, size_t* dims_scanned) {
+  constexpr size_t kBlock = 16;
+  float sum = 0.0f;
+  size_t i = 0;
+  while (i < dim) {
+    const size_t begin = i;
+    const size_t end = std::min(dim, i + kBlock);
+    for (; i < end; ++i) {
+      const float d = a[i] - b[i];
+      sum += d * d;
+    }
+    if (dims_scanned != nullptr) *dims_scanned += end - begin;
+    if (sum > bound) return sum;
+  }
+  return sum;
+}
+
+void NormalizeVector(float* v, size_t dim) {
+  const float n = Norm(v, dim);
+  if (n == 0.0f) return;
+  const float inv = 1.0f / n;
+  for (size_t i = 0; i < dim; ++i) v[i] *= inv;
+}
+
+void NormalizeVector(Vector* v) { NormalizeVector(v->data(), v->size()); }
+
+}  // namespace mqa

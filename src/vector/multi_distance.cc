@@ -1,0 +1,133 @@
+#include "vector/multi_distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace mqa {
+
+Result<WeightedMultiDistance> WeightedMultiDistance::Create(
+    VectorSchema schema, std::vector<float> weights) {
+  if (schema.num_modalities() == 0) {
+    return Status::InvalidArgument("schema has no modalities");
+  }
+  if (weights.size() != schema.num_modalities()) {
+    return Status::InvalidArgument("weights size does not match schema");
+  }
+  for (float w : weights) {
+    if (w < 0.0f || !std::isfinite(w)) {
+      return Status::InvalidArgument("modality weights must be finite and >= 0");
+    }
+  }
+  return WeightedMultiDistance(std::move(schema), std::move(weights));
+}
+
+WeightedMultiDistance::WeightedMultiDistance(VectorSchema schema,
+                                             std::vector<float> weights)
+    : schema_(std::move(schema)), weights_(std::move(weights)) {
+  offsets_.resize(schema_.num_modalities());
+  size_t off = 0;
+  for (size_t m = 0; m < schema_.num_modalities(); ++m) {
+    offsets_[m] = off;
+    off += schema_.dims[m];
+  }
+  RecomputeScanOrder();
+}
+
+float WeightedMultiDistance::Exact(const float* q, const float* o) const {
+  float sum = 0.0f;
+  for (size_t m = 0; m < schema_.num_modalities(); ++m) {
+    sum += weights_[m] *
+           L2Sq(q + offsets_[m], o + offsets_[m], schema_.dims[m]);
+  }
+  return sum;
+}
+
+float WeightedMultiDistance::Pruned(const float* q, const float* o,
+                                    float bound, DistanceStats* stats) const {
+  // Modalities are scanned heaviest-weight first (see RecomputeScanOrder):
+  // the largest contributions accumulate earliest, so the running prefix
+  // crosses the abandon bound as soon as possible.
+  float sum = 0.0f;
+  for (size_t i = 0; i < scan_order_.size(); ++i) {
+    const size_t m = scan_order_[i];
+    const float w = weights_[m];
+    if (w == 0.0f) continue;
+    const size_t dim = schema_.dims[m];
+    sum += w * L2Sq(q + offsets_[m], o + offsets_[m], dim);
+    if (stats != nullptr) stats->dims_scanned += dim;
+    if (sum > bound) {
+      if (stats != nullptr) {
+        // Only count a prune when work was actually skipped.
+        if (i + 1 < scan_order_.size()) {
+          ++stats->pruned_computations;
+        } else {
+          ++stats->full_computations;
+        }
+      }
+      return sum;
+    }
+  }
+  if (stats != nullptr) ++stats->full_computations;
+  return sum;
+}
+
+void WeightedMultiDistance::RecomputeScanOrder() {
+  scan_order_.resize(schema_.num_modalities());
+  for (size_t m = 0; m < scan_order_.size(); ++m) scan_order_[m] = m;
+  std::stable_sort(scan_order_.begin(), scan_order_.end(),
+                   [this](size_t a, size_t b) {
+                     return weights_[a] > weights_[b];
+                   });
+}
+
+Status WeightedMultiDistance::SetWeights(std::vector<float> weights) {
+  if (weights.size() != weights_.size()) {
+    return Status::InvalidArgument("weights size does not match schema");
+  }
+  for (float w : weights) {
+    if (w < 0.0f || !std::isfinite(w)) {
+      return Status::InvalidArgument("modality weights must be finite and >= 0");
+    }
+  }
+  weights_ = std::move(weights);
+  RecomputeScanOrder();
+  return Status::OK();
+}
+
+Result<Vector> FlattenMultiVector(const VectorSchema& schema,
+                                  const MultiVector& mv) {
+  if (mv.num_modalities() != schema.num_modalities()) {
+    return Status::InvalidArgument("multi-vector modality count mismatch");
+  }
+  Vector flat(schema.TotalDim());
+  size_t off = 0;
+  for (size_t m = 0; m < schema.num_modalities(); ++m) {
+    if (mv.parts[m].size() != schema.dims[m]) {
+      return Status::InvalidArgument("modality dimension mismatch");
+    }
+    std::memcpy(flat.data() + off, mv.parts[m].data(),
+                schema.dims[m] * sizeof(float));
+    off += schema.dims[m];
+  }
+  return flat;
+}
+
+Status ApplyWeightScaling(const VectorSchema& schema,
+                          const std::vector<float>& weights, float* flat) {
+  if (weights.size() != schema.num_modalities()) {
+    return Status::InvalidArgument("weights size does not match schema");
+  }
+  size_t off = 0;
+  for (size_t m = 0; m < schema.num_modalities(); ++m) {
+    if (weights[m] < 0.0f) {
+      return Status::InvalidArgument("modality weights must be >= 0");
+    }
+    const float s = std::sqrt(weights[m]);
+    for (size_t i = 0; i < schema.dims[m]; ++i) flat[off + i] *= s;
+    off += schema.dims[m];
+  }
+  return Status::OK();
+}
+
+}  // namespace mqa

@@ -1,0 +1,84 @@
+#ifndef MQA_VECTOR_MULTI_DISTANCE_H_
+#define MQA_VECTOR_MULTI_DISTANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "vector/distance.h"
+#include "vector/vector_types.h"
+
+namespace mqa {
+
+/// Counters for the computational-pruning ablation (MUST-E4). Accumulated by
+/// the incremental multi-vector scan.
+struct DistanceStats {
+  uint64_t full_computations = 0;    ///< distances computed to completion
+  uint64_t pruned_computations = 0;  ///< distances abandoned early
+  uint64_t dims_scanned = 0;         ///< float components actually visited
+
+  void Reset() { *this = DistanceStats{}; }
+
+  uint64_t TotalComputations() const {
+    return full_computations + pruned_computations;
+  }
+};
+
+/// Weighted multi-vector distance (the MUST similarity):
+///
+///   D(q, o) = sum_m w_m * d(q_m, o_m)
+///
+/// with d = squared L2 per modality. Because every term is nonnegative, the
+/// running prefix sum is a lower bound on the final value, which enables
+/// *incremental scanning*: modality blocks are accumulated in order and the
+/// computation is abandoned as soon as the prefix exceeds a caller-supplied
+/// bound (the current top-k worst distance during search).
+class WeightedMultiDistance {
+ public:
+  /// `weights` must have one nonnegative entry per modality in `schema`.
+  static Result<WeightedMultiDistance> Create(VectorSchema schema,
+                                              std::vector<float> weights);
+
+  /// Exact distance between two flattened multi-vectors (length
+  /// schema.TotalDim() each).
+  float Exact(const float* q, const float* o) const;
+
+  /// Distance with early abandonment at `bound`. Returns a value > bound
+  /// (not necessarily exact) when abandoned. `stats` may be null.
+  float Pruned(const float* q, const float* o, float bound,
+               DistanceStats* stats) const;
+
+  const VectorSchema& schema() const { return schema_; }
+  const std::vector<float>& weights() const { return weights_; }
+
+  /// Replaces the modality weights (e.g. after weight learning or a user
+  /// override at query time). Size must match; values must be >= 0.
+  Status SetWeights(std::vector<float> weights);
+
+ private:
+  WeightedMultiDistance(VectorSchema schema, std::vector<float> weights);
+
+  /// Re-sorts scan_order_ by descending weight.
+  void RecomputeScanOrder();
+
+  VectorSchema schema_;
+  std::vector<float> weights_;
+  std::vector<size_t> offsets_;  // modality start offsets in the flat layout
+  std::vector<size_t> scan_order_;  // modality indices, heaviest first
+};
+
+/// Flattens a MultiVector into one contiguous buffer in schema order.
+/// Returns InvalidArgument if dimensions do not match the schema.
+Result<Vector> FlattenMultiVector(const VectorSchema& schema,
+                                  const MultiVector& mv);
+
+/// Scales each modality block of a flattened vector by sqrt(w_m), in place.
+/// After this transform, *plain* L2 on the concatenated vectors equals the
+/// weighted multi-vector distance — the trick that lets MUST reuse a
+/// single-vector navigation graph for multi-modal search.
+Status ApplyWeightScaling(const VectorSchema& schema,
+                          const std::vector<float>& weights, float* flat);
+
+}  // namespace mqa
+
+#endif  // MQA_VECTOR_MULTI_DISTANCE_H_

@@ -1,0 +1,144 @@
+#ifndef MQA_VECTOR_VECTOR_STORE_H_
+#define MQA_VECTOR_VECTOR_STORE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "vector/multi_distance.h"
+#include "vector/vector_types.h"
+
+namespace mqa {
+
+/// Row-major flat storage for N fixed-schema (multi-)vectors. Row i occupies
+/// `schema.TotalDim()` consecutive floats. Ids are dense [0, size).
+class VectorStore {
+ public:
+  explicit VectorStore(VectorSchema schema) : schema_(std::move(schema)) {}
+
+  /// Appends a flattened vector; returns its id. The vector length must be
+  /// schema().TotalDim().
+  Result<uint32_t> Add(const Vector& flat);
+
+  /// Appends a structured multi-vector (flattened internally).
+  Result<uint32_t> AddMultiVector(const MultiVector& mv);
+
+  /// Pointer to row `id`. Precondition: id < size().
+  const float* data(uint32_t id) const {
+    return flat_.data() + static_cast<size_t>(id) * row_dim();
+  }
+
+  /// Copies row `id` out as a Vector.
+  Vector Row(uint32_t id) const {
+    const float* p = data(id);
+    return Vector(p, p + row_dim());
+  }
+
+  uint32_t size() const { return static_cast<uint32_t>(count_); }
+  size_t row_dim() const { return schema_.TotalDim(); }
+  const VectorSchema& schema() const { return schema_; }
+
+  void Reserve(size_t n) { flat_.reserve(n * row_dim()); }
+
+  /// Binary serialization (schema + rows).
+  Status Save(std::ostream& out) const;
+  static Result<VectorStore> Load(std::istream& in);
+
+ private:
+  VectorSchema schema_;
+  std::vector<float> flat_;
+  size_t count_ = 0;
+};
+
+/// Query-to-stored-vector distance abstraction used by all graph searches.
+/// Implementations may prune with a bound and may accumulate statistics, so
+/// the methods are non-const.
+class DistanceComputer {
+ public:
+  virtual ~DistanceComputer() = default;
+
+  /// Exact distance from query `q` (flattened, row_dim floats) to row `id`.
+  virtual float Distance(const float* q, uint32_t id) = 0;
+
+  /// Distance with an early-abandon bound. May return any value > bound
+  /// when the true distance exceeds `bound`.
+  virtual float DistanceWithBound(const float* q, uint32_t id, float bound) {
+    (void)bound;
+    return Distance(q, id);
+  }
+
+  /// Exact distance between two stored rows (used at build time).
+  virtual float DistanceBetween(uint32_t a, uint32_t b) = 0;
+
+  virtual size_t dim() const = 0;
+  virtual uint32_t size() const = 0;
+};
+
+/// Single-vector distance over a store with a standard metric — the path
+/// used by JE and by per-modality MR indexes.
+class FlatDistanceComputer : public DistanceComputer {
+ public:
+  FlatDistanceComputer(const VectorStore* store, Metric metric)
+      : store_(store), metric_(metric) {}
+
+  float Distance(const float* q, uint32_t id) override {
+    return ComputeDistance(metric_, q, store_->data(id), store_->row_dim());
+  }
+  float DistanceBetween(uint32_t a, uint32_t b) override {
+    return ComputeDistance(metric_, store_->data(a), store_->data(b),
+                           store_->row_dim());
+  }
+  size_t dim() const override { return store_->row_dim(); }
+  uint32_t size() const override { return store_->size(); }
+
+ private:
+  const VectorStore* store_;
+  Metric metric_;
+};
+
+/// Weighted multi-vector distance with incremental-scanning pruning — the
+/// MUST path. Accumulates DistanceStats for the pruning ablation.
+class MultiVectorDistanceComputer : public DistanceComputer {
+ public:
+  MultiVectorDistanceComputer(const VectorStore* store,
+                              WeightedMultiDistance dist, bool enable_pruning)
+      : store_(store), dist_(std::move(dist)), pruning_(enable_pruning) {}
+
+  float Distance(const float* q, uint32_t id) override {
+    float d = dist_.Exact(q, store_->data(id));
+    ++stats_.full_computations;
+    stats_.dims_scanned += store_->row_dim();
+    return d;
+  }
+
+  float DistanceWithBound(const float* q, uint32_t id, float bound) override {
+    if (!pruning_) return Distance(q, id);
+    return dist_.Pruned(q, store_->data(id), bound, &stats_);
+  }
+
+  float DistanceBetween(uint32_t a, uint32_t b) override {
+    return dist_.Exact(store_->data(a), store_->data(b));
+  }
+
+  size_t dim() const override { return store_->row_dim(); }
+  uint32_t size() const override { return store_->size(); }
+
+  const DistanceStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+  const WeightedMultiDistance& weighted_distance() const { return dist_; }
+  Status SetWeights(std::vector<float> w) {
+    return dist_.SetWeights(std::move(w));
+  }
+
+ private:
+  const VectorStore* store_;
+  WeightedMultiDistance dist_;
+  bool pruning_;
+  DistanceStats stats_;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_VECTOR_VECTOR_STORE_H_

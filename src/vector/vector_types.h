@@ -1,0 +1,51 @@
+#ifndef MQA_VECTOR_VECTOR_TYPES_H_
+#define MQA_VECTOR_VECTOR_TYPES_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace mqa {
+
+/// A dense float vector. MQA keeps vectors as plain contiguous floats; all
+/// kernels take raw pointers + dimension so they work on flat storage too.
+using Vector = std::vector<float>;
+
+/// One vector per modality for a single object or query — the paper's
+/// "multi-vector representation". Modality order is fixed system-wide by the
+/// schema (e.g. 0 = image, 1 = text).
+struct MultiVector {
+  std::vector<Vector> parts;
+
+  size_t num_modalities() const { return parts.size(); }
+
+  /// Total dimensionality across modalities.
+  size_t TotalDim() const {
+    size_t d = 0;
+    for (const auto& p : parts) d += p.size();
+    return d;
+  }
+};
+
+/// Per-modality dimensions of a multi-vector collection.
+struct VectorSchema {
+  std::vector<uint32_t> dims;
+
+  size_t num_modalities() const { return dims.size(); }
+  size_t TotalDim() const {
+    return std::accumulate(dims.begin(), dims.end(), size_t{0});
+  }
+
+  /// Offset of modality m inside a flattened (concatenated) vector.
+  size_t OffsetOf(size_t m) const {
+    size_t off = 0;
+    for (size_t i = 0; i < m; ++i) off += dims[i];
+    return off;
+  }
+
+  bool operator==(const VectorSchema&) const = default;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_VECTOR_VECTOR_TYPES_H_

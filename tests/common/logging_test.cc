@@ -1,0 +1,33 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace mqa {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrips) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, EmittingBelowThresholdDoesNotCrash) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  MQA_LOG(Debug) << "suppressed " << 42;
+  MQA_LOG(Info) << "also suppressed";
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, EmittingAboveThresholdDoesNotCrash) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  MQA_LOG(Warning) << "visible " << 3.14 << " mixed " << "types";
+  SetLogLevel(original);
+}
+
+}  // namespace
+}  // namespace mqa

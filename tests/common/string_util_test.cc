@@ -1,0 +1,56 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace mqa {
+namespace {
+
+TEST(SplitTest, BasicAndEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  const std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(Join(parts, "-"), "x-y-z");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(ToLowerTest, AsciiOnly) {
+  EXPECT_EQ(ToLower("HeLLo 123!"), "hello 123!");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(TrimTest, StripsWhitespaceBothEnds) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("\t\na b\n"), "a b");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(TokenizeTest, LowercasesAndSplitsOnPunctuation) {
+  EXPECT_EQ(Tokenize("I like Moldy-Cheese!"),
+            (std::vector<std::string>{"i", "like", "moldy", "cheese"}));
+  EXPECT_EQ(Tokenize("a1 b2"), (std::vector<std::string>{"a1", "b2"}));
+  EXPECT_TRUE(Tokenize("...!!!").empty());
+  EXPECT_TRUE(Tokenize("").empty());
+}
+
+TEST(ContainsIgnoreCaseTest, Matches) {
+  EXPECT_TRUE(ContainsIgnoreCase("Foggy Clouds", "foggy"));
+  EXPECT_TRUE(ContainsIgnoreCase("Foggy Clouds", "CLOUD"));
+  EXPECT_FALSE(ContainsIgnoreCase("Foggy Clouds", "rain"));
+  EXPECT_TRUE(ContainsIgnoreCase("anything", ""));
+}
+
+TEST(FormatDoubleTest, RespectsDecimals) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace mqa

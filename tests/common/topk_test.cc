@@ -1,0 +1,84 @@
+#include "common/topk.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace mqa {
+namespace {
+
+TEST(TopKTest, KeepsSmallestK) {
+  TopK topk(3);
+  for (float d : {5.f, 1.f, 4.f, 2.f, 3.f}) {
+    topk.Push(d, static_cast<uint32_t>(d));
+  }
+  const auto sorted = topk.TakeSorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_FLOAT_EQ(sorted[0].distance, 1.f);
+  EXPECT_FLOAT_EQ(sorted[1].distance, 2.f);
+  EXPECT_FLOAT_EQ(sorted[2].distance, 3.f);
+}
+
+TEST(TopKTest, PushReportsAcceptance) {
+  TopK topk(2);
+  EXPECT_TRUE(topk.Push(5.f, 0));
+  EXPECT_TRUE(topk.Push(3.f, 1));
+  EXPECT_FALSE(topk.Push(9.f, 2));  // worse than worst
+  EXPECT_TRUE(topk.Push(1.f, 3));   // displaces 5
+  const auto sorted = topk.TakeSorted();
+  EXPECT_EQ(sorted[0].id, 3u);
+  EXPECT_EQ(sorted[1].id, 1u);
+}
+
+TEST(TopKTest, WorstDistanceTracksHeapRoot) {
+  TopK topk(2);
+  topk.Push(4.f, 0);
+  EXPECT_FALSE(topk.Full());
+  topk.Push(2.f, 1);
+  ASSERT_TRUE(topk.Full());
+  EXPECT_FLOAT_EQ(topk.WorstDistance(), 4.f);
+  topk.Push(1.f, 2);
+  EXPECT_FLOAT_EQ(topk.WorstDistance(), 2.f);
+}
+
+TEST(TopKTest, TiesBrokenByIdDeterministically) {
+  TopK topk(2);
+  topk.Push(1.f, 7);
+  topk.Push(1.f, 3);
+  topk.Push(1.f, 5);  // same distance; only lower ids survive
+  const auto sorted = topk.TakeSorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].id, 3u);
+  EXPECT_EQ(sorted[1].id, 5u);
+}
+
+TEST(TopKTest, FewerElementsThanK) {
+  TopK topk(10);
+  topk.Push(2.f, 0);
+  topk.Push(1.f, 1);
+  const auto sorted = topk.TakeSorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].id, 1u);
+}
+
+TEST(TopKTest, AgreesWithFullSortOnRandomInput) {
+  Rng rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t k = 1 + rng.NextUint64(20);
+    std::vector<Neighbor> all;
+    TopK topk(k);
+    for (uint32_t i = 0; i < 500; ++i) {
+      const float d = static_cast<float>(rng.UniformDouble());
+      all.push_back({d, i});
+      topk.Push(d, i);
+    }
+    std::sort(all.begin(), all.end(), NeighborLess);
+    all.resize(k);
+    EXPECT_EQ(topk.TakeSorted(), all);
+  }
+}
+
+}  // namespace
+}  // namespace mqa

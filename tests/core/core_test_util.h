@@ -1,0 +1,27 @@
+#ifndef MQA_TESTS_CORE_CORE_TEST_UTIL_H_
+#define MQA_TESTS_CORE_CORE_TEST_UTIL_H_
+
+#include "core/config.h"
+
+namespace mqa::testing {
+
+/// A small, fast system configuration shared by the core tests.
+inline MqaConfig SmallConfig() {
+  MqaConfig config;
+  config.world.num_concepts = 12;
+  config.world.latent_dim = 16;
+  config.world.raw_image_dim = 32;
+  config.world.seed = 5;
+  config.corpus_size = 600;
+  config.embedding_dim = 16;
+  config.num_training_triplets = 400;
+  config.index.algorithm = "mqa-hybrid";
+  config.index.graph.max_degree = 12;
+  config.search.k = 5;
+  config.search.beam_width = 48;
+  return config;
+}
+
+}  // namespace mqa::testing
+
+#endif  // MQA_TESTS_CORE_CORE_TEST_UTIL_H_

@@ -1,0 +1,119 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "retrieval/factory.h"
+
+namespace mqa {
+namespace {
+
+class ExperimentTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorldConfig wc;
+    wc.num_concepts = 12;
+    wc.latent_dim = 16;
+    wc.raw_image_dim = 32;
+    wc.seed = 21;
+    auto corpus = MakeExperimentCorpus(wc, 600, "sim-clip", 16, true, 400);
+    ASSERT_TRUE(corpus.ok());
+    corpus_ = new ExperimentCorpus(std::move(corpus).Value());
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+
+  static ExperimentCorpus* corpus_;
+};
+
+ExperimentCorpus* ExperimentTest::corpus_ = nullptr;
+
+TEST_F(ExperimentTest, CorpusIsFullyPopulated) {
+  EXPECT_EQ(corpus_->kb->size(), 600u);
+  EXPECT_EQ(corpus_->represented.store->size(), 600u);
+  EXPECT_EQ(corpus_->represented.labels.size(), 600u);
+  EXPECT_EQ(corpus_->represented.weights.size(), 2u);
+}
+
+TEST_F(ExperimentTest, EncodeTextQueryFillsCrossModally) {
+  auto filled = EncodeTextQuery(*corpus_, "hello", true);
+  auto unfilled = EncodeTextQuery(*corpus_, "hello", false);
+  ASSERT_TRUE(filled.ok() && unfilled.ok());
+  EXPECT_FALSE(filled->modalities.parts[0].empty());
+  EXPECT_TRUE(unfilled->modalities.parts[0].empty());
+}
+
+TEST_F(ExperimentTest, MetricsBehave) {
+  std::vector<Neighbor> results = {{0.1f, 0}, {0.2f, 1}};
+  // Objects 0 and 1 have concepts 0 and 1 (round-robin corpus).
+  EXPECT_DOUBLE_EQ(ConceptPrecision(results, *corpus_->kb, 0), 0.5);
+  EXPECT_DOUBLE_EQ(ConceptPrecision({}, *corpus_->kb, 0), 0.0);
+  EXPECT_DOUBLE_EQ(GroundTruthHitRate(results, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(GroundTruthHitRate(results, {5, 6}), 0.0);
+  EXPECT_DOUBLE_EQ(GroundTruthHitRate(results, {1, 7}), 0.5);
+}
+
+TEST_F(ExperimentTest, NdcgRewardsEarlyHits) {
+  const std::vector<uint32_t> gt = {1, 2, 3};
+  // Perfect ordering.
+  EXPECT_DOUBLE_EQ(Ndcg({{0.1f, 1}, {0.2f, 2}, {0.3f, 3}}, gt), 1.0);
+  // Hits later in the list score less than hits at the top.
+  const double top = Ndcg({{0.1f, 1}, {0.2f, 8}, {0.3f, 9}}, gt);
+  const double tail = Ndcg({{0.1f, 8}, {0.2f, 9}, {0.3f, 1}}, gt);
+  EXPECT_GT(top, tail);
+  EXPECT_GT(tail, 0.0);
+  // No hits, or empty inputs.
+  EXPECT_DOUBLE_EQ(Ndcg({{0.1f, 7}}, gt), 0.0);
+  EXPECT_DOUBLE_EQ(Ndcg({}, gt), 0.0);
+  EXPECT_DOUBLE_EQ(Ndcg({{0.1f, 1}}, {}), 0.0);
+}
+
+TEST_F(ExperimentTest, ReciprocalRankFindsFirstHit) {
+  const std::vector<uint32_t> gt = {4, 5};
+  EXPECT_DOUBLE_EQ(ReciprocalRank({{0.1f, 4}}, gt), 1.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({{0.1f, 9}, {0.2f, 5}}, gt), 0.5);
+  EXPECT_DOUBLE_EQ(
+      ReciprocalRank({{0.1f, 9}, {0.2f, 8}, {0.3f, 4}}, gt), 1.0 / 3);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({{0.1f, 9}}, gt), 0.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({}, gt), 0.0);
+}
+
+TEST_F(ExperimentTest, DialogueSuiteProducesSaneMetrics) {
+  IndexConfig index;
+  index.algorithm = "mqa-hybrid";
+  index.graph.max_degree = 12;
+  auto fw = CreateRetrievalFramework("must", corpus_->represented.store,
+                                     corpus_->represented.weights, index);
+  ASSERT_TRUE(fw.ok());
+  SearchParams params;
+  params.k = 5;
+  params.beam_width = 48;
+  auto outcome = RunDialogueSuite(*corpus_, fw->get(), 12, 1, params);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GT(outcome->round1_precision, 0.5);
+  EXPECT_GE(outcome->round2_precision, 0.0);
+  EXPECT_LE(outcome->round1_precision, 1.0);
+  EXPECT_LE(outcome->round2_precision, 1.0);
+  EXPECT_GT(outcome->dist_comps, 0u);
+  EXPECT_GT(outcome->round1_ms, 0.0);
+}
+
+TEST_F(ExperimentTest, DialogueIsDeterministicGivenSeed) {
+  IndexConfig index;
+  index.algorithm = "bruteforce";
+  auto fw = CreateRetrievalFramework("must", corpus_->represented.store,
+                                     corpus_->represented.weights, index);
+  ASSERT_TRUE(fw.ok());
+  SearchParams params;
+  params.k = 5;
+  auto a = RunDialogueSuite(*corpus_, fw->get(), 6, 7, params);
+  auto b = RunDialogueSuite(*corpus_, fw->get(), 6, 7, params);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->round1_precision, b->round1_precision);
+  EXPECT_DOUBLE_EQ(a->round2_precision, b->round2_precision);
+  EXPECT_DOUBLE_EQ(a->round2_hit, b->round2_hit);
+}
+
+}  // namespace
+}  // namespace mqa

@@ -1,0 +1,74 @@
+// User-level attribute filtering: "only show me <noun>" constraints
+// applied through UserQuery::object_filter.
+
+#include <gtest/gtest.h>
+
+#include "core/coordinator.h"
+#include "core_test_util.h"
+
+namespace mqa {
+namespace {
+
+using ::mqa::testing::SmallConfig;
+
+TEST(FilteredQueryTest, ObjectFilterRestrictsResults) {
+  MqaConfig config = SmallConfig();
+  config.corpus_size = 400;
+  auto c = Coordinator::Create(config);
+  ASSERT_TRUE(c.ok());
+
+  // Constrain to a single concept; the text steers the search into that
+  // concept's region so the filter has admissible candidates nearby.
+  const uint32_t wanted = 3;
+  UserQuery query;
+  query.text = "show me " + (*c)->world().ConceptName(wanted);
+  query.object_filter = [wanted](const Object& obj) {
+    return obj.concept_id == wanted;
+  };
+  auto turn = (*c)->Ask(query);
+  ASSERT_TRUE(turn.ok()) << turn.status().ToString();
+  ASSERT_FALSE(turn->items.empty());
+  for (const RetrievedItem& item : turn->items) {
+    EXPECT_EQ((*c)->kb().at(item.id).concept_id, wanted);
+  }
+}
+
+TEST(FilteredQueryTest, FilterCombinesWithSelection) {
+  MqaConfig config = SmallConfig();
+  config.corpus_size = 400;
+  auto c = Coordinator::Create(config);
+  ASSERT_TRUE(c.ok());
+
+  UserQuery q1;
+  q1.text = "find " + (*c)->world().ConceptName(0);
+  auto t1 = (*c)->Ask(q1);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_FALSE(t1->items.empty());
+
+  UserQuery q2;
+  q2.text = "more like this";
+  q2.selected_object = t1->items[0].id;
+  q2.object_filter = [](const Object& obj) { return obj.id % 2 == 0; };
+  auto t2 = (*c)->Ask(q2);
+  ASSERT_TRUE(t2.ok());
+  for (const RetrievedItem& item : t2->items) {
+    EXPECT_EQ(item.id % 2, 0u);
+  }
+}
+
+TEST(FilteredQueryTest, RejectAllFilterYieldsNoResultsButStillAnswers) {
+  MqaConfig config = SmallConfig();
+  config.corpus_size = 300;
+  auto c = Coordinator::Create(config);
+  ASSERT_TRUE(c.ok());
+  UserQuery query;
+  query.text = "find " + (*c)->world().ConceptName(1);
+  query.object_filter = [](const Object&) { return false; };
+  auto turn = (*c)->Ask(query);
+  ASSERT_TRUE(turn.ok());
+  EXPECT_TRUE(turn->items.empty());
+  EXPECT_FALSE(turn->answer.empty());  // the LLM still responds gracefully
+}
+
+}  // namespace
+}  // namespace mqa

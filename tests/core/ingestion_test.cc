@@ -1,0 +1,112 @@
+// Live ingestion through the coordinator: new objects become retrievable
+// without a rebuild.
+
+#include <gtest/gtest.h>
+
+#include "core/coordinator.h"
+#include "core_test_util.h"
+
+namespace mqa {
+namespace {
+
+using ::mqa::testing::SmallConfig;
+
+TEST(IngestionTest, NewObjectIsRetrievableImmediately) {
+  MqaConfig config = SmallConfig();
+  config.corpus_size = 300;
+  auto c = Coordinator::Create(config);
+  ASSERT_TRUE(c.ok());
+
+  const uint64_t before = (*c)->kb().size();
+  Rng rng(1);
+  Object fresh = (*c)->world().MakeObject(2, &rng);
+  auto id = (*c)->IngestObject(std::move(fresh));
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(*id, before);
+  EXPECT_EQ((*c)->kb().size(), before + 1);
+
+  // Query with the new object's own image: it should surface itself.
+  UserQuery query;
+  query.selected_object = *id;
+  auto turn = (*c)->Ask(query);
+  ASSERT_TRUE(turn.ok());
+  bool found = false;
+  for (const RetrievedItem& item : turn->items) {
+    found = found || item.id == *id;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(IngestionTest, ManyIngestionsKeepSystemHealthy) {
+  MqaConfig config = SmallConfig();
+  config.corpus_size = 200;
+  auto c = Coordinator::Create(config);
+  ASSERT_TRUE(c.ok());
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const uint32_t concept_id =
+        static_cast<uint32_t>(i % (*c)->world().num_concepts());
+    ASSERT_TRUE(
+        (*c)->IngestObject((*c)->world().MakeObject(concept_id, &rng)).ok());
+  }
+  EXPECT_EQ((*c)->kb().size(), 250u);
+  UserQuery query;
+  query.text = "find " + (*c)->world().ConceptName(0);
+  auto turn = (*c)->Ask(query);
+  ASSERT_TRUE(turn.ok());
+  EXPECT_EQ(turn->items.size(), 5u);
+}
+
+TEST(IngestionTest, RejectsSchemaMismatchAndNonMustFrameworks) {
+  MqaConfig config = SmallConfig();
+  config.corpus_size = 200;
+  auto c = Coordinator::Create(config);
+  ASSERT_TRUE(c.ok());
+  // Schema mismatch fails inside the KB.
+  Object malformed;
+  malformed.modalities.resize(1);
+  EXPECT_FALSE((*c)->IngestObject(std::move(malformed)).ok());
+
+  // MR cannot ingest live.
+  ASSERT_TRUE((*c)->SetFramework("mr").ok());
+  Rng rng(3);
+  auto st = (*c)->IngestObject((*c)->world().MakeObject(0, &rng));
+  EXPECT_EQ(st.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(IngestionTest, HnswIndexAlsoSupportsLiveIngestion) {
+  MqaConfig config = SmallConfig();
+  config.corpus_size = 200;
+  config.index.algorithm = "hnsw";
+  auto c = Coordinator::Create(config);
+  ASSERT_TRUE(c.ok());
+  Rng rng(4);
+  auto id = (*c)->IngestObject((*c)->world().MakeObject(1, &rng));
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  UserQuery query;
+  query.selected_object = *id;
+  auto turn = (*c)->Ask(query);
+  ASSERT_TRUE(turn.ok());
+  bool found = false;
+  for (const RetrievedItem& item : turn->items) {
+    found = found || item.id == *id;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(IngestionTest, DiskIndexRefusesLiveIngestion) {
+  MqaConfig config = SmallConfig();
+  config.corpus_size = 200;
+  config.index.algorithm = "starling";
+  auto c = Coordinator::Create(config);
+  ASSERT_TRUE(c.ok());
+  Rng rng(5);
+  const uint64_t before = (*c)->kb().size();
+  auto st = (*c)->IngestObject((*c)->world().MakeObject(0, &rng));
+  EXPECT_EQ(st.status().code(), StatusCode::kUnimplemented);
+  // The refusal left every component untouched.
+  EXPECT_EQ((*c)->kb().size(), before);
+}
+
+}  // namespace
+}  // namespace mqa

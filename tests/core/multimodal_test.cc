@@ -1,0 +1,110 @@
+// End-to-end coverage beyond the default two-modality setup: a third
+// (audio-like) modality slot, and the coordinator running on every index
+// algorithm.
+
+#include <gtest/gtest.h>
+
+#include "core/coordinator.h"
+#include "core/experiment.h"
+#include "core_test_util.h"
+#include "retrieval/factory.h"
+
+namespace mqa {
+namespace {
+
+TEST(ThreeModalityTest, FullPipelineWorks) {
+  WorldConfig wc;
+  wc.num_concepts = 8;
+  wc.latent_dim = 16;
+  wc.raw_image_dim = 32;
+  wc.num_extra_modalities = 1;
+  wc.seed = 77;
+  auto corpus = MakeExperimentCorpus(wc, 400, "sim-clip", 16, true, 300);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+  EXPECT_EQ(corpus->represented.store->schema().num_modalities(), 3u);
+  EXPECT_EQ(corpus->represented.weights.size(), 3u);
+
+  IndexConfig index;
+  index.algorithm = "mqa-hybrid";
+  index.graph.max_degree = 12;
+  auto fw = CreateRetrievalFramework("must", corpus->represented.store,
+                                     corpus->represented.weights, index);
+  ASSERT_TRUE(fw.ok());
+
+  // Text query cross-modal fills all three slots.
+  auto q = EncodeTextQuery(*corpus, corpus->world->MakeTextQuery(
+                                        2, [] {
+                                          static Rng rng(1);
+                                          return &rng;
+                                        }()).text);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->modalities.parts.size(), 3u);
+  for (const auto& part : q->modalities.parts) {
+    EXPECT_FALSE(part.empty());
+  }
+  SearchParams params;
+  params.k = 5;
+  params.beam_width = 48;
+  auto r = (*fw)->Retrieve(*q, params);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(ConceptPrecision(r->neighbors, *corpus->kb, 2), 0.5);
+}
+
+TEST(ThreeModalityTest, MrAndJeAlsoHandleThreeModalities) {
+  WorldConfig wc;
+  wc.num_concepts = 8;
+  wc.latent_dim = 16;
+  wc.raw_image_dim = 32;
+  wc.num_extra_modalities = 1;
+  wc.seed = 78;
+  auto corpus = MakeExperimentCorpus(wc, 300, "sim-clip", 16, false, 0);
+  ASSERT_TRUE(corpus.ok());
+  IndexConfig index;
+  index.algorithm = "hnsw";
+  SearchParams params;
+  params.k = 5;
+  Rng rng(2);
+  for (const std::string& name : {"mr", "je"}) {
+    auto fw = CreateRetrievalFramework(name, corpus->represented.store,
+                                       corpus->represented.weights, index);
+    ASSERT_TRUE(fw.ok()) << name;
+    auto q = EncodeTextQuery(*corpus,
+                             corpus->world->MakeTextQuery(1, &rng).text);
+    ASSERT_TRUE(q.ok());
+    auto r = (*fw)->Retrieve(*q, params);
+    ASSERT_TRUE(r.ok()) << name;
+    EXPECT_EQ(r->neighbors.size(), 5u) << name;
+  }
+}
+
+class CoordinatorIndexTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CoordinatorIndexTest, AskWorksOnEveryIndexAlgorithm) {
+  MqaConfig config = ::mqa::testing::SmallConfig();
+  config.corpus_size = 300;
+  config.index.algorithm = GetParam();
+  config.index.graph.max_degree = 10;
+  config.index.graph.nn_descent_k = 10;
+  auto c = Coordinator::Create(config);
+  ASSERT_TRUE(c.ok()) << GetParam() << ": " << c.status().ToString();
+  UserQuery query;
+  query.text = "find " + (*c)->world().ConceptName(0);
+  auto turn = (*c)->Ask(query);
+  ASSERT_TRUE(turn.ok()) << GetParam();
+  EXPECT_EQ(turn->items.size(), 5u) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, CoordinatorIndexTest,
+                         ::testing::Values("mqa-hybrid", "nsg", "vamana",
+                                           "kgraph", "hnsw", "bruteforce",
+                                           "starling"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           std::string name = i.param;
+                           for (char& ch : name) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace mqa

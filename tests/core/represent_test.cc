@@ -1,0 +1,81 @@
+#include "core/represent.h"
+
+#include <gtest/gtest.h>
+
+#include "encoder/sim_encoders.h"
+
+namespace mqa {
+namespace {
+
+class RepresentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    WorldConfig c;
+    c.num_concepts = 10;
+    c.latent_dim = 16;
+    c.raw_image_dim = 32;
+    c.seed = 3;
+    auto world = World::Create(c);
+    ASSERT_TRUE(world.ok());
+    world_ = std::make_unique<World>(std::move(world).Value());
+    auto kb = world_->GenerateCorpus(300);
+    ASSERT_TRUE(kb.ok());
+    kb_ = std::make_unique<KnowledgeBase>(std::move(kb).Value());
+    auto encoders = MakeSimEncoderSet(world_.get(), "sim-clip", 16);
+    ASSERT_TRUE(encoders.ok());
+    encoders_ = std::make_unique<EncoderSet>(std::move(encoders).Value());
+  }
+
+  std::unique_ptr<World> world_;
+  std::unique_ptr<KnowledgeBase> kb_;
+  std::unique_ptr<EncoderSet> encoders_;
+};
+
+TEST_F(RepresentTest, EncodesEveryObject) {
+  auto rep = RepresentCorpus(*kb_, *encoders_, /*learn_weights=*/false,
+                             WeightLearnerConfig{}, 0);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->store->size(), kb_->size());
+  EXPECT_EQ(rep->labels.size(), kb_->size());
+  EXPECT_EQ(rep->store->schema().dims, (std::vector<uint32_t>{16, 16}));
+  EXPECT_EQ(rep->weights, (std::vector<float>{1.0f, 1.0f}));
+  EXPECT_EQ(rep->labels[0], kb_->at(0).concept_id);
+}
+
+TEST_F(RepresentTest, LearnsNonUniformWeightsOnSkewedWorld) {
+  auto rep = RepresentCorpus(*kb_, *encoders_, /*learn_weights=*/true,
+                             WeightLearnerConfig{}, 600);
+  ASSERT_TRUE(rep.ok());
+  ASSERT_EQ(rep->weights.size(), 2u);
+  EXPECT_NE(rep->weights[0], rep->weights[1]);
+  EXPECT_GT(rep->train_report.triplet_accuracy, 0.7);
+  EXPECT_GT(rep->train_report.epochs_run, 0u);
+  // Weights sum preserved by projection.
+  EXPECT_NEAR(rep->weights[0] + rep->weights[1], 2.0f, 1e-3);
+}
+
+TEST_F(RepresentTest, RejectsEmptyKb) {
+  KnowledgeBase empty(kb_->schema());
+  EXPECT_FALSE(RepresentCorpus(empty, *encoders_, false,
+                               WeightLearnerConfig{}, 0)
+                   .ok());
+}
+
+TEST_F(RepresentTest, RejectsMismatchedEncoderSet) {
+  // An encoder set from a 3-modality world does not match a 2-modality kb.
+  WorldConfig c;
+  c.num_concepts = 4;
+  c.latent_dim = 16;
+  c.raw_image_dim = 32;
+  c.num_extra_modalities = 1;
+  auto other_world = World::Create(c);
+  ASSERT_TRUE(other_world.ok());
+  auto other_encoders = MakeSimEncoderSet(&*other_world, "sim-clip", 16);
+  ASSERT_TRUE(other_encoders.ok());
+  EXPECT_FALSE(RepresentCorpus(*kb_, *other_encoders, false,
+                               WeightLearnerConfig{}, 0)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace mqa

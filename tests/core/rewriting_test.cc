@@ -1,0 +1,111 @@
+// Integration: vague follow-ups retrieve the conversation's subject when
+// query rewriting is on, and preference markers flag matching items.
+
+#include <gtest/gtest.h>
+
+#include "core/coordinator.h"
+#include "core_test_util.h"
+
+namespace mqa {
+namespace {
+
+using ::mqa::testing::SmallConfig;
+
+double ConceptFraction(const Coordinator& c,
+                       const std::vector<RetrievedItem>& items,
+                       uint32_t concept_id) {
+  if (items.empty()) return 0.0;
+  size_t n = 0;
+  for (const RetrievedItem& item : items) {
+    if (c.kb().at(item.id).concept_id == concept_id) ++n;
+  }
+  return static_cast<double>(n) / items.size();
+}
+
+TEST(RewritingTest, VagueFollowUpStaysOnTopic) {
+  MqaConfig config = SmallConfig();
+  config.corpus_size = 400;
+  auto c = Coordinator::Create(config);
+  ASSERT_TRUE(c.ok());
+  const std::string name = (*c)->world().ConceptName(2);
+
+  UserQuery q1;
+  q1.text = "i would like some images of " + name;
+  ASSERT_TRUE((*c)->Ask(q1).ok());
+
+  UserQuery q2;
+  q2.text = "show me more";  // no content words at all
+  auto t2 = (*c)->Ask(q2);
+  ASSERT_TRUE(t2.ok());
+  EXPECT_GT(ConceptFraction(**c, t2->items, 2), 0.5);
+  // The status panel recorded the rewrite.
+  EXPECT_NE((*c)->monitor().Render().find("rewrote vague query"),
+            std::string::npos);
+}
+
+TEST(RewritingTest, DisabledRewritingLeavesQueryAlone) {
+  MqaConfig config = SmallConfig();
+  config.corpus_size = 400;
+  config.rewrite_vague_queries = false;
+  auto c = Coordinator::Create(config);
+  ASSERT_TRUE(c.ok());
+  UserQuery q1;
+  q1.text = "i would like some images of " + (*c)->world().ConceptName(2);
+  ASSERT_TRUE((*c)->Ask(q1).ok());
+  UserQuery q2;
+  q2.text = "show me more";
+  ASSERT_TRUE((*c)->Ask(q2).ok());
+  EXPECT_EQ((*c)->monitor().Render().find("rewrote vague query"),
+            std::string::npos);
+}
+
+TEST(RewritingTest, ResetDialogueForgetsTopic) {
+  MqaConfig config = SmallConfig();
+  config.corpus_size = 300;
+  auto c = Coordinator::Create(config);
+  ASSERT_TRUE(c.ok());
+  UserQuery q1;
+  q1.text = "find " + (*c)->world().ConceptName(1);
+  ASSERT_TRUE((*c)->Ask(q1).ok());
+  (*c)->ResetDialogue();
+  (*c)->monitor().Clear();
+  UserQuery q2;
+  q2.text = "show me more";
+  ASSERT_TRUE((*c)->Ask(q2).ok());
+  EXPECT_EQ((*c)->monitor().Render().find("rewrote vague query"),
+            std::string::npos);
+}
+
+TEST(RewritingTest, PreferenceMarkersFlagMatchingItems) {
+  MqaConfig config = SmallConfig();
+  config.corpus_size = 400;
+  auto c = Coordinator::Create(config);
+  ASSERT_TRUE(c.ok());
+  UserQuery q1;
+  q1.text = "find " + (*c)->world().ConceptName(0);
+  auto t1 = (*c)->Ask(q1);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_FALSE(t1->items.empty());
+  // No selection yet: nothing flagged.
+  for (const RetrievedItem& item : t1->items) {
+    EXPECT_FALSE(item.preferred);
+  }
+  UserQuery q2;
+  q2.text = "more like this one";
+  q2.selected_object = t1->items[0].id;
+  auto t2 = (*c)->Ask(q2);
+  ASSERT_TRUE(t2.ok());
+  const uint32_t sel_concept = (*c)->kb().at(t1->items[0].id).concept_id;
+  size_t flagged = 0;
+  for (const RetrievedItem& item : t2->items) {
+    EXPECT_EQ(item.preferred,
+              (*c)->kb().at(item.id).concept_id == sel_concept);
+    flagged += item.preferred;
+  }
+  EXPECT_GT(flagged, 0u);
+  // The marker reaches the grounded answer.
+  EXPECT_NE(t2->answer.find("[matches your preference]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mqa

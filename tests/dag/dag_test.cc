@@ -1,0 +1,168 @@
+#include "dag/dag.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+namespace mqa::dag {
+namespace {
+
+Status Noop(DagContext*) { return Status::OK(); }
+
+TEST(DagContextTest, PutGetTyped) {
+  DagContext ctx;
+  ctx.Put("x", 42);
+  auto x = ctx.Get<int>("x");
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(**x, 42);
+  **x = 7;
+  EXPECT_EQ(**ctx.Get<int>("x"), 7);  // mutation is visible
+}
+
+TEST(DagContextTest, MissingKeyAndWrongType) {
+  DagContext ctx;
+  EXPECT_EQ(ctx.Get<int>("missing").status().code(), StatusCode::kNotFound);
+  ctx.Put("s", std::string("hello"));
+  EXPECT_EQ(ctx.Get<int>("s").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(ctx.Contains("s"));
+  EXPECT_FALSE(ctx.Contains("missing"));
+}
+
+TEST(DagPipelineTest, RejectsDuplicateAndEmptyNames) {
+  DagPipeline p;
+  ASSERT_TRUE(p.AddNode("a", {}, Noop).ok());
+  EXPECT_EQ(p.AddNode("a", {}, Noop).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(p.AddNode("", {}, Noop).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(p.AddNode("b", {}, nullptr).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DagPipelineTest, ValidateCatchesUnknownDepAndSelfLoop) {
+  DagPipeline p;
+  ASSERT_TRUE(p.AddNode("a", {"ghost"}, Noop).ok());
+  EXPECT_FALSE(p.Validate().ok());
+
+  DagPipeline q;
+  ASSERT_TRUE(q.AddNode("a", {"a"}, Noop).ok());
+  EXPECT_FALSE(q.Validate().ok());
+}
+
+TEST(DagPipelineTest, ValidateCatchesCycle) {
+  DagPipeline p;
+  ASSERT_TRUE(p.AddNode("a", {"b"}, Noop).ok());
+  ASSERT_TRUE(p.AddNode("b", {"a"}, Noop).ok());
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(DagPipelineTest, RunsInDependencyOrderSequential) {
+  DagPipeline p;
+  std::vector<std::string> order;
+  auto record = [&order](const std::string& name) {
+    return [&order, name](DagContext*) {
+      order.push_back(name);
+      return Status::OK();
+    };
+  };
+  ASSERT_TRUE(p.AddNode("c", {"b"}, record("c")).ok());
+  ASSERT_TRUE(p.AddNode("a", {}, record("a")).ok());
+  ASSERT_TRUE(p.AddNode("b", {"a"}, record("b")).ok());
+  DagContext ctx;
+  ASSERT_TRUE(p.Run(&ctx, /*parallel=*/false).ok());
+  EXPECT_EQ(order, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(p.reports().size(), 3u);
+}
+
+TEST(DagPipelineTest, DiamondRunsEveryNodeOnceParallel) {
+  DagPipeline p;
+  std::atomic<int> count{0};
+  auto body = [&count](DagContext*) {
+    ++count;
+    return Status::OK();
+  };
+  ASSERT_TRUE(p.AddNode("root", {}, body).ok());
+  ASSERT_TRUE(p.AddNode("left", {"root"}, body).ok());
+  ASSERT_TRUE(p.AddNode("right", {"root"}, body).ok());
+  ASSERT_TRUE(p.AddNode("sink", {"left", "right"}, body).ok());
+  DagContext ctx;
+  ASSERT_TRUE(p.Run(&ctx, /*parallel=*/true).ok());
+  EXPECT_EQ(count.load(), 4);
+  // Sink must come after left and right in the completion log.
+  const auto& reports = p.reports();
+  ASSERT_EQ(reports.size(), 4u);
+  EXPECT_EQ(reports.back().name, "sink");
+}
+
+TEST(DagPipelineTest, StagesShareDataThroughContext) {
+  DagPipeline p;
+  ASSERT_TRUE(p.AddNode("produce", {}, [](DagContext* ctx) {
+    ctx->Put("value", 21);
+    return Status::OK();
+  }).ok());
+  ASSERT_TRUE(p.AddNode("consume", {"produce"}, [](DagContext* ctx) {
+    auto v = ctx->Get<int>("value");
+    if (!v.ok()) return v.status();
+    **v *= 2;
+    return Status::OK();
+  }).ok());
+  DagContext ctx;
+  ASSERT_TRUE(p.Run(&ctx).ok());
+  EXPECT_EQ(**ctx.Get<int>("value"), 42);
+}
+
+TEST(DagPipelineTest, FailureStopsDownstreamNodes) {
+  DagPipeline p;
+  std::atomic<bool> downstream_ran{false};
+  ASSERT_TRUE(p.AddNode("bad", {}, [](DagContext*) {
+    return Status::Internal("stage exploded");
+  }).ok());
+  ASSERT_TRUE(p.AddNode("after", {"bad"}, [&](DagContext*) {
+    downstream_ran = true;
+    return Status::OK();
+  }).ok());
+  DagContext ctx;
+  const Status st = p.Run(&ctx, /*parallel=*/false);
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_FALSE(downstream_ran.load());
+}
+
+TEST(DagPipelineTest, FailureReportedInParallelModeToo) {
+  DagPipeline p;
+  ASSERT_TRUE(p.AddNode("a", {}, Noop).ok());
+  ASSERT_TRUE(p.AddNode("bad", {}, [](DagContext*) {
+    return Status::InvalidArgument("nope");
+  }).ok());
+  ASSERT_TRUE(p.AddNode("after_bad", {"bad"}, Noop).ok());
+  DagContext ctx;
+  const Status st = p.Run(&ctx, /*parallel=*/true);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(DagPipelineTest, EmptyPipelineSucceeds) {
+  DagPipeline p;
+  DagContext ctx;
+  EXPECT_TRUE(p.Run(&ctx).ok());
+}
+
+TEST(DagPipelineTest, ReportsIncludeTimings) {
+  DagPipeline p;
+  ASSERT_TRUE(p.AddNode("a", {}, Noop).ok());
+  DagContext ctx;
+  ASSERT_TRUE(p.Run(&ctx).ok());
+  ASSERT_EQ(p.reports().size(), 1u);
+  EXPECT_EQ(p.reports()[0].name, "a");
+  EXPECT_GE(p.reports()[0].elapsed_ms, 0.0);
+  EXPECT_TRUE(p.reports()[0].status.ok());
+}
+
+TEST(DagPipelineTest, NodeNamesInRegistrationOrder) {
+  DagPipeline p;
+  ASSERT_TRUE(p.AddNode("z", {}, Noop).ok());
+  ASSERT_TRUE(p.AddNode("a", {"z"}, Noop).ok());
+  EXPECT_EQ(p.NodeNames(), (std::vector<std::string>{"z", "a"}));
+  EXPECT_EQ(p.num_nodes(), 2u);
+}
+
+}  // namespace
+}  // namespace mqa::dag

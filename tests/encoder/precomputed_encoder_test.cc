@@ -1,0 +1,98 @@
+// The universal vector support function: plugging precomputed embeddings
+// (from any external model) straight into the representation pipeline.
+
+#include <gtest/gtest.h>
+
+#include "core/represent.h"
+#include "encoder/encoder.h"
+#include "retrieval/factory.h"
+#include "vector/distance.h"
+
+namespace mqa {
+namespace {
+
+Payload FeaturePayload(std::vector<float> v) {
+  Payload p;
+  p.type = ModalityType::kImage;
+  p.features = std::move(v);
+  return p;
+}
+
+TEST(PrecomputedEncoderTest, PassesThroughAndNormalizes) {
+  PrecomputedEncoder enc(2);
+  auto v = enc.Encode(FeaturePayload({3.0f, 4.0f}));
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR((*v)[0], 0.6f, 1e-6);
+  EXPECT_NEAR((*v)[1], 0.8f, 1e-6);
+
+  PrecomputedEncoder raw(2, /*normalize=*/false, "raw");
+  auto u = raw.Encode(FeaturePayload({3.0f, 4.0f}));
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(*u, (Vector{3.0f, 4.0f}));
+  EXPECT_EQ(raw.name(), "raw");
+}
+
+TEST(PrecomputedEncoderTest, RejectsWrongDimension) {
+  PrecomputedEncoder enc(4);
+  EXPECT_FALSE(enc.Encode(FeaturePayload({1.0f})).ok());
+  Payload text;
+  text.type = ModalityType::kText;
+  text.text = "no features";
+  EXPECT_FALSE(enc.Encode(text).ok());
+}
+
+TEST(PrecomputedEncoderTest, DrivesTheFullRetrievalPipeline) {
+  // A knowledge base whose payload features ARE the external embeddings:
+  // two clusters in two "modalities".
+  ModalitySchema schema;
+  schema.types = {ModalityType::kImage, ModalityType::kAudio};
+  KnowledgeBase kb(schema);
+  Rng rng(1);
+  for (int i = 0; i < 120; ++i) {
+    const uint32_t label = i % 2;
+    const float base = label == 0 ? 0.0f : 4.0f;
+    Object obj;
+    obj.concept_id = label;
+    obj.latent = {base, base};
+    Payload a = FeaturePayload({base + static_cast<float>(rng.Gaussian(0, 0.2)),
+                                static_cast<float>(rng.Gaussian(0, 0.2))});
+    Payload b = a;
+    b.type = ModalityType::kAudio;
+    obj.modalities = {a, b};
+    ASSERT_TRUE(kb.Ingest(std::move(obj)).ok());
+  }
+
+  std::vector<std::unique_ptr<ModalityEncoder>> encoders;
+  encoders.push_back(std::make_unique<PrecomputedEncoder>(2));
+  encoders.push_back(std::make_unique<PrecomputedEncoder>(2));
+  EncoderSet set(std::move(encoders));
+
+  auto rep = RepresentCorpus(kb, set, /*learn_weights=*/true,
+                             WeightLearnerConfig{}, 200);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  EXPECT_EQ(rep->store->size(), 120u);
+
+  IndexConfig index;
+  index.algorithm = "bruteforce";
+  auto fw = CreateRetrievalFramework("must", rep->store, rep->weights, index);
+  ASSERT_TRUE(fw.ok());
+
+  // Query with an external embedding near cluster 1.
+  RetrievalQuery query;
+  query.modalities.parts.resize(2);
+  auto q = set.EncodeModality(0, FeaturePayload({4.0f, 0.1f}));
+  ASSERT_TRUE(q.ok());
+  query.modalities.parts[0] = *q;
+  SearchParams params;
+  params.k = 10;
+  auto r = (*fw)->Retrieve(query, params);
+  ASSERT_TRUE(r.ok());
+  size_t cluster1 = 0;
+  for (const Neighbor& n : r->neighbors) {
+    if (kb.at(n.id).concept_id == 1u) ++cluster1;
+  }
+  EXPECT_GE(cluster1, 8u);
+}
+
+}  // namespace
+}  // namespace mqa

@@ -1,0 +1,175 @@
+#include "encoder/sim_encoders.h"
+
+#include <gtest/gtest.h>
+
+#include "vector/distance.h"
+
+namespace mqa {
+namespace {
+
+class SimEncodersTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    WorldConfig c;
+    c.num_concepts = 12;
+    c.latent_dim = 16;
+    c.raw_image_dim = 32;
+    c.seed = 5;
+    auto world = World::Create(c);
+    ASSERT_TRUE(world.ok());
+    world_ = std::make_unique<World>(std::move(world).Value());
+  }
+
+  std::unique_ptr<World> world_;
+};
+
+TEST_F(SimEncodersTest, PresetListMatchesFactory) {
+  for (const std::string& preset : SimEncoderPresets()) {
+    EXPECT_TRUE(MakeSimEncoderSet(world_.get(), preset).ok()) << preset;
+  }
+  EXPECT_FALSE(MakeSimEncoderSet(world_.get(), "gpt-42").ok());
+}
+
+TEST_F(SimEncodersTest, EncoderSetSchemaMatchesWorld) {
+  auto set = MakeSimEncoderSet(world_.get(), "sim-clip", 24);
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->num_modalities(), 2u);
+  const VectorSchema schema = set->Schema();
+  EXPECT_EQ(schema.dims, (std::vector<uint32_t>{24, 24}));
+}
+
+TEST_F(SimEncodersTest, EncodeObjectProducesUnitVectors) {
+  auto set = MakeSimEncoderSet(world_.get(), "sim-clip");
+  ASSERT_TRUE(set.ok());
+  Rng rng(1);
+  const Object obj = world_->MakeObject(0, &rng);
+  auto mv = set->EncodeObject(obj);
+  ASSERT_TRUE(mv.ok());
+  ASSERT_EQ(mv->num_modalities(), 2u);
+  for (const Vector& part : mv->parts) {
+    EXPECT_GT(Norm(part.data(), part.size()), 0.8f);
+    EXPECT_LE(Norm(part.data(), part.size()), 1.0001f);
+  }
+}
+
+TEST_F(SimEncodersTest, EncodingIsDeterministicPerInput) {
+  auto set = MakeSimEncoderSet(world_.get(), "sim-clip");
+  ASSERT_TRUE(set.ok());
+  Payload p;
+  p.type = ModalityType::kText;
+  p.text = "a photo of moldy cheese";
+  auto a = set->EncodeModality(1, p);
+  auto b = set->EncodeModality(1, p);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST_F(SimEncodersTest, TextEncoderRejectsNonText) {
+  auto set = MakeSimEncoderSet(world_.get(), "sim-clip");
+  ASSERT_TRUE(set.ok());
+  Payload img;
+  img.type = ModalityType::kImage;
+  img.features = {1.0f};
+  EXPECT_FALSE(set->EncodeModality(1, img).ok());
+}
+
+TEST_F(SimEncodersTest, FeatureEncoderRejectsEmptyFeatures) {
+  auto set = MakeSimEncoderSet(world_.get(), "sim-clip");
+  ASSERT_TRUE(set.ok());
+  Payload empty;
+  empty.type = ModalityType::kImage;
+  EXPECT_FALSE(set->EncodeModality(0, empty).ok());
+  EXPECT_FALSE(set->EncodeModality(5, empty).ok());  // out of range
+}
+
+TEST_F(SimEncodersTest, SameConceptEmbeddingsCloserThanDifferent) {
+  auto set = MakeSimEncoderSet(world_.get(), "sim-clip");
+  ASSERT_TRUE(set.ok());
+  Rng rng(2);
+  const Object a1 = world_->MakeObject(0, &rng);
+  const Object a2 = world_->MakeObject(0, &rng);
+  // Pick a concept with a different noun for clear separation.
+  const Object b = world_->MakeObject(8, &rng);
+  for (size_t slot : {size_t{0}, size_t{1}}) {
+    auto ea1 = set->EncodeModality(slot, a1.modalities[slot]);
+    auto ea2 = set->EncodeModality(slot, a2.modalities[slot]);
+    auto eb = set->EncodeModality(slot, b.modalities[slot]);
+    ASSERT_TRUE(ea1.ok() && ea2.ok() && eb.ok());
+    const float same = L2Sq(ea1->data(), ea2->data(), ea1->size());
+    const float diff = L2Sq(ea1->data(), eb->data(), ea1->size());
+    EXPECT_LT(same, diff) << "slot " << slot;
+  }
+}
+
+TEST_F(SimEncodersTest, AlignedPresetPutsModalitiesInSharedSpace) {
+  // For sim-clip, an object's image and text embeddings should be close
+  // (CLIP-style alignment): both approximately encode the object latent.
+  auto set = MakeSimEncoderSet(world_.get(), "sim-clip");
+  ASSERT_TRUE(set.ok());
+  Rng rng(3);
+  const Object obj = world_->MakeObject(0, &rng);
+  const Object other = world_->MakeObject(9, &rng);
+  auto img = set->EncodeModality(0, obj.modalities[0]);
+  auto txt = set->EncodeModality(1, obj.modalities[1]);
+  auto other_txt = set->EncodeModality(1, other.modalities[1]);
+  ASSERT_TRUE(img.ok() && txt.ok() && other_txt.ok());
+  const float aligned = L2Sq(img->data(), txt->data(), img->size());
+  const float cross = L2Sq(img->data(), other_txt->data(), img->size());
+  EXPECT_LT(aligned, cross);
+}
+
+TEST_F(SimEncodersTest, PerfectPresetIsLessNoisyThanDefault) {
+  auto noisy = MakeSimEncoderSet(world_.get(), "sim-resnet-lstm");
+  auto clean = MakeSimEncoderSet(world_.get(), "sim-perfect");
+  ASSERT_TRUE(noisy.ok() && clean.ok());
+  // Two objects of the same concept should embed closer under the perfect
+  // encoder on average.
+  Rng rng(4);
+  double noisy_sum = 0, clean_sum = 0;
+  for (int t = 0; t < 20; ++t) {
+    const Object a = world_->MakeObject(1, &rng);
+    const Object b = world_->MakeObject(1, &rng);
+    auto na = noisy->EncodeModality(0, a.modalities[0]);
+    auto nb = noisy->EncodeModality(0, b.modalities[0]);
+    auto ca = clean->EncodeModality(0, a.modalities[0]);
+    auto cb = clean->EncodeModality(0, b.modalities[0]);
+    ASSERT_TRUE(na.ok() && nb.ok() && ca.ok() && cb.ok());
+    noisy_sum += L2Sq(na->data(), nb->data(), na->size());
+    clean_sum += L2Sq(ca->data(), cb->data(), ca->size());
+  }
+  EXPECT_LT(clean_sum, noisy_sum);
+}
+
+TEST_F(SimEncodersTest, EncodeObjectChecksModalityCount) {
+  auto set = MakeSimEncoderSet(world_.get(), "sim-clip");
+  ASSERT_TRUE(set.ok());
+  Object obj;
+  obj.modalities.resize(1);
+  EXPECT_FALSE(set->EncodeObject(obj).ok());
+}
+
+TEST(FuseJointTest, AveragesAndNormalizes) {
+  MultiVector mv;
+  mv.parts = {{1, 0}, {0, 1}};
+  const Vector fused = FuseJoint(mv);
+  ASSERT_EQ(fused.size(), 2u);
+  EXPECT_NEAR(fused[0], fused[1], 1e-6);
+  EXPECT_NEAR(Norm(fused.data(), 2), 1.0f, 1e-6);
+}
+
+TEST(FuseJointTest, SkipsAbsentParts) {
+  MultiVector mv;
+  mv.parts = {{}, {0, 2}};
+  const Vector fused = FuseJoint(mv);
+  ASSERT_EQ(fused.size(), 2u);
+  EXPECT_NEAR(fused[1], 1.0f, 1e-6);
+}
+
+TEST(FuseJointTest, AllAbsentGivesEmpty) {
+  MultiVector mv;
+  mv.parts = {{}, {}};
+  EXPECT_TRUE(FuseJoint(mv).empty());
+}
+
+}  // namespace
+}  // namespace mqa

@@ -1,0 +1,117 @@
+// Attribute-constrained (filtered) search across every index type: the
+// filter restricts results while the graph remains navigable.
+
+#include <gtest/gtest.h>
+
+#include "graph/index_factory.h"
+#include "graph_test_util.h"
+
+namespace mqa {
+namespace {
+
+using ::mqa::testing::MakeClusteredStore;
+
+class FilteredSearchTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    store_ = std::make_unique<VectorStore>(
+        MakeClusteredStore(600, 8, 6, 71, &queries_, 5));
+    IndexConfig config;
+    config.algorithm = GetParam();
+    config.graph.max_degree = 12;
+    auto index = CreateIndex(
+        config, store_.get(),
+        std::make_unique<FlatDistanceComputer>(store_.get(), Metric::kL2));
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    index_ = std::move(index).Value();
+  }
+
+  std::unique_ptr<VectorStore> store_;
+  std::unique_ptr<VectorIndex> index_;
+  std::vector<Vector> queries_;
+};
+
+TEST_P(FilteredSearchTest, OnlyAdmittedIdsReturned) {
+  SearchParams params;
+  params.k = 10;
+  params.beam_width = 96;
+  // The store interleaves 6 clusters by id, so use a modulus coprime with
+  // 6: the filter then admits ~20% of every cluster. (A filter that
+  // anti-correlates with the query's cluster can legitimately return
+  // nothing — the known selectivity limitation of filtered graph search.)
+  params.filter = [](uint32_t id) { return id % 5 == 0; };
+  for (const Vector& q : queries_) {
+    auto results = index_->Search(q.data(), params, nullptr);
+    ASSERT_TRUE(results.ok());
+    EXPECT_FALSE(results->empty());
+    for (const Neighbor& n : *results) {
+      EXPECT_EQ(n.id % 5, 0u) << GetParam();
+    }
+  }
+}
+
+TEST_P(FilteredSearchTest, FilteredMatchesExactFilteredScan) {
+  SearchParams params;
+  params.k = 5;
+  params.beam_width = 128;
+  params.filter = [](uint32_t id) { return id % 7 == 0; };
+  const Vector& q = queries_[0];
+  auto results = index_->Search(q.data(), params, nullptr);
+  ASSERT_TRUE(results.ok());
+  // Exact filtered answer by linear scan.
+  TopK exact(5);
+  for (uint32_t i = 0; i < store_->size(); i += 7) {
+    exact.Push(L2Sq(q.data(), store_->data(i), 8), i);
+  }
+  const auto expected = exact.TakeSorted();
+  size_t hits = 0;
+  for (const Neighbor& e : expected) {
+    for (const Neighbor& g : *results) {
+      if (g.id == e.id) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  // Graph-filtered search is approximate, but with a wide beam it should
+  // recover most of the exact filtered answer (bruteforce: all of it).
+  if (std::string(GetParam()) == "bruteforce") {
+    EXPECT_EQ(hits, expected.size());
+  } else {
+    EXPECT_GE(hits, expected.size() / 2) << GetParam();
+  }
+}
+
+TEST_P(FilteredSearchTest, RejectAllFilterGivesEmpty) {
+  SearchParams params;
+  params.k = 5;
+  params.filter = [](uint32_t) { return false; };
+  auto results = index_->Search(queries_[0].data(), params, nullptr);
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->empty());
+}
+
+TEST_P(FilteredSearchTest, NoFilterUnchanged) {
+  SearchParams params;
+  params.k = 5;
+  params.beam_width = 64;
+  auto a = index_->Search(queries_[0].data(), params, nullptr);
+  params.filter = [](uint32_t) { return true; };
+  auto b = index_->Search(queries_[0].data(), params, nullptr);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Indexes, FilteredSearchTest,
+                         ::testing::Values("mqa-hybrid", "hnsw",
+                                           "bruteforce", "starling"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           std::string name = i.param;
+                           for (char& ch : name) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace mqa

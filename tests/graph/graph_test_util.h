@@ -1,0 +1,77 @@
+#ifndef MQA_TESTS_GRAPH_GRAPH_TEST_UTIL_H_
+#define MQA_TESTS_GRAPH_GRAPH_TEST_UTIL_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/topk.h"
+#include "vector/vector_store.h"
+
+namespace mqa::testing {
+
+/// Gaussian-mixture vectors: `num_clusters` centers, unit-ish spread —
+/// realistic enough for navigation graphs to shine over brute force.
+inline VectorStore MakeClusteredStore(uint32_t n, uint32_t dim,
+                                      uint32_t num_clusters, uint64_t seed,
+                                      std::vector<Vector>* queries = nullptr,
+                                      uint32_t num_queries = 0) {
+  Rng rng(seed);
+  std::vector<Vector> centers(num_clusters, Vector(dim));
+  for (auto& c : centers) {
+    for (auto& x : c) x = static_cast<float>(rng.Gaussian()) * 3.0f;
+  }
+  VectorSchema schema;
+  schema.dims = {dim};
+  VectorStore store(schema);
+  store.Reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const Vector& c = centers[i % num_clusters];
+    Vector v(dim);
+    for (uint32_t d = 0; d < dim; ++d) {
+      v[d] = c[d] + static_cast<float>(rng.Gaussian()) * 0.5f;
+    }
+    (void)store.Add(v);
+  }
+  if (queries != nullptr) {
+    for (uint32_t q = 0; q < num_queries; ++q) {
+      const Vector& c = centers[q % num_clusters];
+      Vector v(dim);
+      for (uint32_t d = 0; d < dim; ++d) {
+        v[d] = c[d] + static_cast<float>(rng.Gaussian()) * 0.5f;
+      }
+      queries->push_back(std::move(v));
+    }
+  }
+  return store;
+}
+
+/// Exact k-nearest neighbors by linear scan (L2).
+inline std::vector<Neighbor> ExactKnn(const VectorStore& store,
+                                      const Vector& query, size_t k) {
+  TopK topk(k);
+  for (uint32_t i = 0; i < store.size(); ++i) {
+    topk.Push(L2Sq(query.data(), store.data(i), store.row_dim()), i);
+  }
+  return topk.TakeSorted();
+}
+
+/// recall@k of `got` against exact `expected` (id-set overlap).
+inline double Recall(const std::vector<Neighbor>& got,
+                     const std::vector<Neighbor>& expected) {
+  if (expected.empty()) return 1.0;
+  size_t hits = 0;
+  for (const Neighbor& e : expected) {
+    for (const Neighbor& g : got) {
+      if (g.id == e.id) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / expected.size();
+}
+
+}  // namespace mqa::testing
+
+#endif  // MQA_TESTS_GRAPH_GRAPH_TEST_UTIL_H_

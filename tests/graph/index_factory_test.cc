@@ -1,0 +1,78 @@
+#include "graph/index_factory.h"
+
+#include <gtest/gtest.h>
+
+#include "graph_test_util.h"
+
+namespace mqa {
+namespace {
+
+using ::mqa::testing::ExactKnn;
+using ::mqa::testing::MakeClusteredStore;
+using ::mqa::testing::Recall;
+
+TEST(IndexFactoryTest, AllAlgorithmsAreCreatable) {
+  std::vector<Vector> queries;
+  VectorStore store = MakeClusteredStore(400, 8, 4, 1, &queries, 5);
+  for (const std::string& algo : AllIndexAlgorithms()) {
+    IndexConfig config;
+    config.algorithm = algo;
+    config.graph.max_degree = 12;
+    BuildReport report;
+    auto index = CreateIndex(
+        config, &store,
+        std::make_unique<FlatDistanceComputer>(&store, Metric::kL2),
+        &report);
+    ASSERT_TRUE(index.ok()) << algo << ": " << index.status().ToString();
+    EXPECT_EQ(report.algorithm, algo);
+    SearchParams params;
+    params.k = 5;
+    auto got = (*index)->Search(queries[0].data(), params, nullptr);
+    ASSERT_TRUE(got.ok()) << algo;
+    EXPECT_EQ(got->size(), 5u) << algo;
+  }
+}
+
+TEST(IndexFactoryTest, UnknownAlgorithmFails) {
+  VectorStore store = MakeClusteredStore(50, 4, 2, 2);
+  IndexConfig config;
+  config.algorithm = "faiss";  // not a thing here
+  auto index = CreateIndex(
+      config, &store,
+      std::make_unique<FlatDistanceComputer>(&store, Metric::kL2));
+  EXPECT_FALSE(index.ok());
+}
+
+TEST(IndexFactoryTest, GraphIndexesBeatBruteForceOnDistanceCount) {
+  std::vector<Vector> queries;
+  VectorStore store = MakeClusteredStore(2000, 8, 8, 3, &queries, 10);
+  IndexConfig brute;
+  brute.algorithm = "bruteforce";
+  auto bf = CreateIndex(
+      brute, &store,
+      std::make_unique<FlatDistanceComputer>(&store, Metric::kL2));
+  ASSERT_TRUE(bf.ok());
+  IndexConfig hnsw;
+  hnsw.algorithm = "hnsw";
+  auto graph = CreateIndex(
+      hnsw, &store,
+      std::make_unique<FlatDistanceComputer>(&store, Metric::kL2));
+  ASSERT_TRUE(graph.ok());
+
+  SearchParams params;
+  params.k = 10;
+  params.beam_width = 64;
+  SearchStats bf_stats, graph_stats;
+  double graph_recall = 0;
+  for (const Vector& q : queries) {
+    ASSERT_TRUE((*bf)->Search(q.data(), params, &bf_stats).ok());
+    auto got = (*graph)->Search(q.data(), params, &graph_stats);
+    ASSERT_TRUE(got.ok());
+    graph_recall += Recall(*got, ExactKnn(store, q, 10));
+  }
+  EXPECT_LT(graph_stats.dist_comps, bf_stats.dist_comps / 2);
+  EXPECT_GE(graph_recall / queries.size(), 0.9);
+}
+
+}  // namespace
+}  // namespace mqa

@@ -1,0 +1,131 @@
+// Incremental ingestion: inserting new vectors into a live graph index.
+
+#include <gtest/gtest.h>
+
+#include "graph/pipeline.h"
+#include "graph_test_util.h"
+
+namespace mqa {
+namespace {
+
+using ::mqa::testing::ExactKnn;
+using ::mqa::testing::MakeClusteredStore;
+using ::mqa::testing::Recall;
+
+TEST(InsertionTest, ValidatesArguments) {
+  VectorStore store = MakeClusteredStore(100, 8, 4, 81);
+  GraphBuildConfig config;
+  config.algorithm = "mqa-hybrid";
+  config.max_degree = 10;
+  auto index = BuildGraphIndex(
+      config, &store,
+      std::make_unique<FlatDistanceComputer>(&store, Metric::kL2));
+  ASSERT_TRUE(index.ok());
+  EXPECT_FALSE(InsertIntoGraphIndex(nullptr, &store, 100, config).ok());
+  // Wrong id (not dense).
+  EXPECT_FALSE(InsertIntoGraphIndex(index->get(), &store, 101, config).ok());
+  // Vector not in the store yet.
+  EXPECT_FALSE(InsertIntoGraphIndex(index->get(), &store, 100, config).ok());
+}
+
+TEST(InsertionTest, InsertedVectorsAreFindable) {
+  // Build over the first 300 vectors, then stream in 100 more.
+  std::vector<Vector> all_queries;
+  VectorStore full = MakeClusteredStore(400, 8, 4, 82);
+  VectorStore store(full.schema());
+  for (uint32_t i = 0; i < 300; ++i) ASSERT_TRUE(store.Add(full.Row(i)).ok());
+
+  GraphBuildConfig config;
+  config.algorithm = "mqa-hybrid";
+  config.max_degree = 12;
+  auto index = BuildGraphIndex(
+      config, &store,
+      std::make_unique<FlatDistanceComputer>(&store, Metric::kL2));
+  ASSERT_TRUE(index.ok());
+
+  for (uint32_t i = 300; i < 400; ++i) {
+    ASSERT_TRUE(store.Add(full.Row(i)).ok());
+    ASSERT_TRUE(InsertIntoGraphIndex(index->get(), &store, i, config).ok());
+  }
+  EXPECT_EQ((*index)->size(), 400u);
+
+  // Every inserted vector finds itself at rank 1.
+  SearchParams params;
+  params.k = 1;
+  params.beam_width = 48;
+  for (uint32_t i = 300; i < 400; ++i) {
+    const Vector q = store.Row(i);
+    auto r = (*index)->Search(q.data(), params, nullptr);
+    ASSERT_TRUE(r.ok());
+    ASSERT_FALSE(r->empty());
+    EXPECT_EQ((*r)[0].id, i);
+  }
+}
+
+TEST(InsertionTest, RecallComparableToFullRebuild) {
+  std::vector<Vector> queries;
+  VectorStore full = MakeClusteredStore(600, 8, 6, 83, &queries, 20);
+  GraphBuildConfig config;
+  config.algorithm = "mqa-hybrid";
+  config.max_degree = 14;
+
+  // Reference: built over everything at once.
+  auto rebuilt = BuildGraphIndex(
+      config, &full,
+      std::make_unique<FlatDistanceComputer>(&full, Metric::kL2));
+  ASSERT_TRUE(rebuilt.ok());
+
+  // Incremental: 70% built, 30% streamed.
+  VectorStore store(full.schema());
+  for (uint32_t i = 0; i < 420; ++i) ASSERT_TRUE(store.Add(full.Row(i)).ok());
+  auto incremental = BuildGraphIndex(
+      config, &store,
+      std::make_unique<FlatDistanceComputer>(&store, Metric::kL2));
+  ASSERT_TRUE(incremental.ok());
+  for (uint32_t i = 420; i < 600; ++i) {
+    ASSERT_TRUE(store.Add(full.Row(i)).ok());
+    ASSERT_TRUE(
+        InsertIntoGraphIndex(incremental->get(), &store, i, config).ok());
+  }
+
+  SearchParams params;
+  params.k = 10;
+  params.beam_width = 64;
+  double rebuilt_recall = 0;
+  double incremental_recall = 0;
+  for (const Vector& q : queries) {
+    const auto expected = ExactKnn(full, q, 10);
+    auto a = (*rebuilt)->Search(q.data(), params, nullptr);
+    auto b = (*incremental)->Search(q.data(), params, nullptr);
+    ASSERT_TRUE(a.ok() && b.ok());
+    rebuilt_recall += Recall(*a, expected);
+    incremental_recall += Recall(*b, expected);
+  }
+  // Incremental maintenance should stay within a few points of a rebuild.
+  EXPECT_GE(incremental_recall / queries.size(),
+            rebuilt_recall / queries.size() - 0.1);
+  EXPECT_GE(incremental_recall / queries.size(), 0.8);
+}
+
+TEST(InsertionTest, DegreeBoundRespectedAfterManyInserts) {
+  VectorStore full = MakeClusteredStore(300, 8, 4, 84);
+  VectorStore store(full.schema());
+  for (uint32_t i = 0; i < 100; ++i) ASSERT_TRUE(store.Add(full.Row(i)).ok());
+  GraphBuildConfig config;
+  config.algorithm = "vamana";
+  config.max_degree = 8;
+  auto index = BuildGraphIndex(
+      config, &store,
+      std::make_unique<FlatDistanceComputer>(&store, Metric::kL2));
+  ASSERT_TRUE(index.ok());
+  for (uint32_t i = 100; i < 300; ++i) {
+    ASSERT_TRUE(store.Add(full.Row(i)).ok());
+    ASSERT_TRUE(InsertIntoGraphIndex(index->get(), &store, i, config).ok());
+  }
+  // Backlink pruning keeps degrees bounded (connectivity repair from the
+  // original build may keep a handful slightly above).
+  EXPECT_LE((*index)->graph().MaxDegree(), config.max_degree + 4);
+}
+
+}  // namespace
+}  // namespace mqa

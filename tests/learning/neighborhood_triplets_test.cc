@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "learning/weight_learner.h"
+
+namespace mqa {
+namespace {
+
+// A store whose modality 0 mirrors the ground-truth positions and whose
+// modality 1 is noise: instance-level learning must upweight modality 0.
+struct NeighborhoodFixture {
+  VectorStore store{[] {
+    VectorSchema s;
+    s.dims = {2, 2};
+    return s;
+  }()};
+  std::vector<std::vector<float>> positions;
+
+  explicit NeighborhoodFixture(uint32_t n, uint64_t seed) {
+    Rng rng(seed);
+    for (uint32_t i = 0; i < n; ++i) {
+      const float x = static_cast<float>(rng.Gaussian());
+      const float y = static_cast<float>(rng.Gaussian());
+      positions.push_back({x, y});
+      Vector row = {x + 0.01f * static_cast<float>(rng.Gaussian()),
+                    y + 0.01f * static_cast<float>(rng.Gaussian()),
+                    static_cast<float>(rng.Gaussian()),
+                    static_cast<float>(rng.Gaussian())};
+      (void)store.Add(row);
+    }
+  }
+};
+
+TEST(SampleTripletsByNeighborhoodTest, ValidatesInput) {
+  NeighborhoodFixture fx(20, 1);
+  Rng rng(2);
+  // positions size mismatch
+  std::vector<std::vector<float>> wrong(fx.positions.begin(),
+                                        fx.positions.end() - 1);
+  EXPECT_FALSE(
+      SampleTripletsByNeighborhood(fx.store, wrong, 10, 3, &rng).ok());
+  // positive_k = 0
+  EXPECT_FALSE(
+      SampleTripletsByNeighborhood(fx.store, fx.positions, 10, 0, &rng)
+          .ok());
+  // ragged positions
+  std::vector<std::vector<float>> ragged = fx.positions;
+  ragged[5] = {1.0f};
+  EXPECT_FALSE(
+      SampleTripletsByNeighborhood(fx.store, ragged, 10, 3, &rng).ok());
+}
+
+TEST(SampleTripletsByNeighborhoodTest, PositivesCloserInInformativeModality) {
+  NeighborhoodFixture fx(100, 3);
+  Rng rng(4);
+  auto triplets =
+      SampleTripletsByNeighborhood(fx.store, fx.positions, 200, 5, &rng);
+  ASSERT_TRUE(triplets.ok());
+  EXPECT_EQ(triplets->size(), 200u);
+  size_t informative_correct = 0;
+  for (const auto& t : *triplets) {
+    ASSERT_EQ(t.pos.size(), 2u);
+    if (t.pos[0] < t.neg[0]) ++informative_correct;
+  }
+  // Modality 0 mirrors positions, so positives are closer there almost
+  // always; modality 1 is pure noise.
+  EXPECT_GT(informative_correct, 190u);
+}
+
+TEST(SampleTripletsByNeighborhoodTest, LearnerUpweightsInformativeModality) {
+  NeighborhoodFixture fx(200, 5);
+  Rng rng(6);
+  auto triplets =
+      SampleTripletsByNeighborhood(fx.store, fx.positions, 400, 5, &rng);
+  ASSERT_TRUE(triplets.ok());
+  WeightLearnerConfig config;
+  config.epochs = 100;
+  WeightLearner learner(config, 2);
+  auto report = learner.Fit(*triplets);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->weights[0], report->weights[1]);
+  EXPECT_GT(report->triplet_accuracy, 0.9);
+}
+
+}  // namespace
+}  // namespace mqa

@@ -1,0 +1,205 @@
+#include "learning/weight_learner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace mqa {
+namespace {
+
+TEST(WeightLearnerTest, FitRejectsEmptyAndRagged) {
+  WeightLearner wl(WeightLearnerConfig{}, 2);
+  EXPECT_FALSE(wl.Fit({}).ok());
+  TripletDistances ragged;
+  ragged.pos = {1.0f};
+  ragged.neg = {1.0f, 2.0f};
+  EXPECT_FALSE(wl.Fit({ragged}).ok());
+}
+
+TEST(WeightLearnerTest, PerModalityDistancesSplitsBlocks) {
+  VectorSchema schema;
+  schema.dims = {2, 3};
+  const Vector a = {0, 0, 0, 0, 0};
+  const Vector b = {1, 1, 2, 0, 0};
+  const auto d =
+      WeightLearner::PerModalityDistances(schema, a.data(), b.data());
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_FLOAT_EQ(d[0], 2.0f);
+  EXPECT_FLOAT_EQ(d[1], 4.0f);
+}
+
+// Builds triplets where modality `informative` separates positives from
+// negatives and the other modality is pure noise.
+std::vector<TripletDistances> SkewedTriplets(size_t informative, size_t count,
+                                             uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TripletDistances> out;
+  for (size_t i = 0; i < count; ++i) {
+    TripletDistances t;
+    t.pos.resize(2);
+    t.neg.resize(2);
+    for (size_t m = 0; m < 2; ++m) {
+      if (m == informative) {
+        t.pos[m] = static_cast<float>(0.1 + 0.1 * rng.UniformDouble());
+        t.neg[m] = static_cast<float>(0.6 + 0.2 * rng.UniformDouble());
+      } else {
+        // Noise: indistinguishable on average but with high variance, so
+        // uniform weights misrank a fraction of triplets.
+        t.pos[m] = static_cast<float>(0.5 + 1.0 * rng.UniformDouble());
+        t.neg[m] = static_cast<float>(0.5 + 1.0 * rng.UniformDouble());
+      }
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+TEST(WeightLearnerTest, LearnsToUpweightInformativeModality) {
+  for (size_t informative : {size_t{0}, size_t{1}}) {
+    WeightLearnerConfig config;
+    config.epochs = 100;
+    WeightLearner wl(config, 2);
+    auto report = wl.Fit(SkewedTriplets(informative, 500, 7));
+    ASSERT_TRUE(report.ok());
+    const auto& w = report->weights;
+    ASSERT_EQ(w.size(), 2u);
+    EXPECT_GT(w[informative], w[1 - informative])
+        << "informative modality should get the larger weight";
+    EXPECT_GT(report->triplet_accuracy, 0.95);
+  }
+}
+
+TEST(WeightLearnerTest, WeightsStayNonnegativeAndNormalized) {
+  WeightLearnerConfig config;
+  config.epochs = 200;
+  config.learning_rate = 0.5f;  // aggressive; projection must hold
+  WeightLearner wl(config, 2);
+  auto report = wl.Fit(SkewedTriplets(0, 300, 11));
+  ASSERT_TRUE(report.ok());
+  float sum = 0.0f;
+  for (float w : report->weights) {
+    EXPECT_GE(w, 0.0f);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 2.0f, 1e-3);
+}
+
+TEST(WeightLearnerTest, LossDecreasesOverTraining) {
+  WeightLearnerConfig config;
+  config.epochs = 50;
+  WeightLearner wl(config, 2);
+  auto report = wl.Fit(SkewedTriplets(1, 400, 13));
+  ASSERT_TRUE(report.ok());
+  ASSERT_GE(report->loss_per_epoch.size(), 2u);
+  EXPECT_LT(report->loss_per_epoch.back(), report->loss_per_epoch.front());
+}
+
+TEST(WeightLearnerTest, EarlyStopsWhenSeparable) {
+  WeightLearnerConfig config;
+  config.epochs = 1000;
+  WeightLearner wl(config, 2);
+  auto report = wl.Fit(SkewedTriplets(0, 200, 17));
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->epochs_run, 1000u);  // converged early
+}
+
+TEST(WeightLearnerTest, BalancedModalitiesGetSimilarWeights) {
+  // Both modalities equally informative -> roughly uniform weights.
+  Rng rng(19);
+  std::vector<TripletDistances> data;
+  for (int i = 0; i < 400; ++i) {
+    TripletDistances t;
+    for (size_t m = 0; m < 2; ++m) {
+      t.pos.push_back(static_cast<float>(0.2 + 0.1 * rng.UniformDouble()));
+      t.neg.push_back(static_cast<float>(1.0 + 0.3 * rng.UniformDouble()));
+    }
+    data.push_back(std::move(t));
+  }
+  WeightLearner wl(WeightLearnerConfig{}, 2);
+  auto report = wl.Fit(data);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->weights[0], report->weights[1], 0.4);
+}
+
+TEST(SampleTripletsTest, ValidatesInput) {
+  VectorSchema schema;
+  schema.dims = {2};
+  VectorStore store(schema);
+  Rng rng(1);
+  // Size mismatch.
+  ASSERT_TRUE(store.Add({0, 0}).ok());
+  EXPECT_FALSE(SampleTriplets(store, {0, 1}, 10, &rng).ok());
+  // Too small.
+  EXPECT_FALSE(SampleTriplets(store, {0}, 10, &rng).ok());
+}
+
+TEST(SampleTripletsTest, RequiresTwoLabels) {
+  VectorSchema schema;
+  schema.dims = {2};
+  VectorStore store(schema);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(store.Add({0, 0}).ok());
+  Rng rng(2);
+  EXPECT_FALSE(SampleTriplets(store, {7, 7, 7, 7, 7}, 10, &rng).ok());
+}
+
+TEST(SampleTripletsTest, ProducesRequestedCountWithCorrectGeometry) {
+  VectorSchema schema;
+  schema.dims = {1, 1};
+  VectorStore store(schema);
+  std::vector<uint32_t> labels;
+  Rng data_rng(3);
+  // Two clusters separated in modality 0 only.
+  for (int i = 0; i < 40; ++i) {
+    const uint32_t label = i % 2;
+    const float base = label == 0 ? 0.0f : 5.0f;
+    ASSERT_TRUE(store
+                    .Add({base + static_cast<float>(
+                                     data_rng.Gaussian(0, 0.1)),
+                          static_cast<float>(data_rng.Gaussian(0, 0.1))})
+                    .ok());
+    labels.push_back(label);
+  }
+  Rng rng(4);
+  auto triplets = SampleTriplets(store, labels, 100, &rng);
+  ASSERT_TRUE(triplets.ok());
+  EXPECT_EQ(triplets->size(), 100u);
+  // In modality 0, positives are closer than negatives almost always.
+  size_t correct = 0;
+  for (const auto& t : *triplets) {
+    if (t.pos[0] < t.neg[0]) ++correct;
+  }
+  EXPECT_GT(correct, 95u);
+}
+
+TEST(SampleTripletsTest, EndToEndLearningOnStoreData) {
+  // Full path: store with informative modality 1 -> sampled triplets ->
+  // learned weights favour modality 1.
+  VectorSchema schema;
+  schema.dims = {2, 2};
+  VectorStore store(schema);
+  std::vector<uint32_t> labels;
+  Rng data_rng(5);
+  for (int i = 0; i < 60; ++i) {
+    const uint32_t label = i % 3;
+    Vector v(4);
+    v[0] = static_cast<float>(data_rng.Gaussian());  // noise dims
+    v[1] = static_cast<float>(data_rng.Gaussian());
+    v[2] = label * 2.0f + static_cast<float>(data_rng.Gaussian(0, 0.1));
+    v[3] = label * -1.5f + static_cast<float>(data_rng.Gaussian(0, 0.1));
+    ASSERT_TRUE(store.Add(v).ok());
+    labels.push_back(label);
+  }
+  Rng rng(6);
+  auto triplets = SampleTriplets(store, labels, 300, &rng);
+  ASSERT_TRUE(triplets.ok());
+  WeightLearnerConfig config;
+  config.epochs = 100;
+  WeightLearner wl(config, 2);
+  auto report = wl.Fit(*triplets);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->weights[1], report->weights[0]);
+  EXPECT_GT(report->triplet_accuracy, 0.9);
+}
+
+}  // namespace
+}  // namespace mqa

@@ -1,0 +1,53 @@
+#include "llm/prompt_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace mqa {
+namespace {
+
+TEST(PromptBuilderTest, MinimalPromptHasSystemAndQuery) {
+  PromptBuilder builder;
+  const std::string prompt = builder.Build("find cheese", {});
+  EXPECT_NE(prompt.find("[SYSTEM]"), std::string::npos);
+  EXPECT_NE(prompt.find("[QUERY] find cheese"), std::string::npos);
+  EXPECT_EQ(prompt.find("[CONTEXT]"), std::string::npos);
+  EXPECT_EQ(prompt.find("[HISTORY]"), std::string::npos);
+}
+
+TEST(PromptBuilderTest, ContextItemsAreNumbered) {
+  PromptBuilder builder;
+  std::vector<RetrievedItem> items = {
+      {7, "object seven", 0.5f},
+      {9, "object nine", 0.75f},
+  };
+  const std::string prompt = builder.Build("q", items);
+  EXPECT_NE(prompt.find("[CONTEXT]"), std::string::npos);
+  EXPECT_NE(prompt.find("1. object seven (distance 0.500)"),
+            std::string::npos);
+  EXPECT_NE(prompt.find("2. object nine (distance 0.750)"),
+            std::string::npos);
+}
+
+TEST(PromptBuilderTest, HistoryAccumulates) {
+  PromptBuilder builder;
+  builder.AddTurn("hello", "hi there");
+  builder.AddTurn("more", "sure");
+  EXPECT_EQ(builder.history_size(), 2u);
+  const std::string prompt = builder.Build("q", {});
+  EXPECT_NE(prompt.find("[HISTORY]"), std::string::npos);
+  EXPECT_NE(prompt.find("user: hello"), std::string::npos);
+  EXPECT_NE(prompt.find("assistant: sure"), std::string::npos);
+  builder.ClearHistory();
+  EXPECT_EQ(builder.history_size(), 0u);
+  EXPECT_EQ(builder.Build("q", {}).find("[HISTORY]"), std::string::npos);
+}
+
+TEST(PromptBuilderTest, CustomSystemInstruction) {
+  PromptBuilder builder;
+  builder.SetSystem("be terse");
+  EXPECT_NE(builder.Build("q", {}).find("[SYSTEM] be terse"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mqa

@@ -1,0 +1,66 @@
+#include "llm/query_rewriter.h"
+
+#include <gtest/gtest.h>
+
+namespace mqa {
+namespace {
+
+TEST(QueryRewriterTest, ContentWordsFilterStopWords) {
+  EXPECT_EQ(ContextualQueryRewriter::ContentWords(
+                "i would like some images of moldy cheese"),
+            (std::vector<std::string>{"moldy", "cheese"}));
+  EXPECT_TRUE(
+      ContextualQueryRewriter::ContentWords("show me more of those").empty());
+  EXPECT_EQ(ContextualQueryRewriter::ContentWords("cheese cheese cheese"),
+            (std::vector<std::string>{"cheese"}));
+}
+
+TEST(QueryRewriterTest, InformativeQueriesPassThrough) {
+  ContextualQueryRewriter rewriter;
+  rewriter.ObserveTurn("find foggy clouds");
+  EXPECT_EQ(rewriter.Rewrite("show me striped dresses"),
+            "show me striped dresses");
+}
+
+TEST(QueryRewriterTest, VagueFollowUpGainsHistoryTopic) {
+  ContextualQueryRewriter rewriter;
+  rewriter.ObserveTurn("i would like some images of moldy cheese");
+  const std::string rewritten = rewriter.Rewrite("show me more");
+  EXPECT_NE(rewritten.find("moldy"), std::string::npos);
+  EXPECT_NE(rewritten.find("cheese"), std::string::npos);
+  EXPECT_EQ(rewritten.rfind("show me more", 0), 0u);  // original kept
+}
+
+TEST(QueryRewriterTest, NoHistoryNoChange) {
+  ContextualQueryRewriter rewriter;
+  EXPECT_EQ(rewriter.Rewrite("show me more"), "show me more");
+}
+
+TEST(QueryRewriterTest, MostRecentTopicWins) {
+  ContextualQueryRewriter rewriter;
+  rewriter.ObserveTurn("find moldy cheese");
+  rewriter.ObserveTurn("now find foggy clouds please");
+  const std::string rewritten = rewriter.Rewrite("any more like that?");
+  // At most three topical words, most recent turn first.
+  EXPECT_NE(rewritten.find("foggy"), std::string::npos);
+  EXPECT_NE(rewritten.find("clouds"), std::string::npos);
+}
+
+TEST(QueryRewriterTest, HistoryWindowEvictsOldTurns) {
+  ContextualQueryRewriter rewriter(1);
+  rewriter.ObserveTurn("find moldy cheese");
+  rewriter.ObserveTurn("thanks, that is nice");  // pushes cheese out
+  const std::string rewritten = rewriter.Rewrite("more of them");
+  EXPECT_EQ(rewritten.find("cheese"), std::string::npos);
+}
+
+TEST(QueryRewriterTest, ClearForgetsEverything) {
+  ContextualQueryRewriter rewriter;
+  rewriter.ObserveTurn("find moldy cheese");
+  rewriter.Clear();
+  EXPECT_EQ(rewriter.history_size(), 0u);
+  EXPECT_EQ(rewriter.Rewrite("more"), "more");
+}
+
+}  // namespace
+}  // namespace mqa

@@ -1,0 +1,68 @@
+#include "llm/sim_image_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "vector/distance.h"
+
+namespace mqa {
+namespace {
+
+class SimImageGeneratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    WorldConfig c;
+    c.num_concepts = 12;
+    c.latent_dim = 16;
+    c.raw_image_dim = 32;
+    c.seed = 5;
+    auto world = World::Create(c);
+    ASSERT_TRUE(world.ok());
+    world_ = std::make_unique<World>(std::move(world).Value());
+  }
+
+  std::unique_ptr<World> world_;
+};
+
+TEST_F(SimImageGeneratorTest, RejectsEmptyPrompt) {
+  SimImageGenerator gen(world_.get());
+  EXPECT_FALSE(gen.Generate("").ok());
+  EXPECT_FALSE(gen.GenerateBatch("x", 0).ok());
+}
+
+TEST_F(SimImageGeneratorTest, GeneratesOnTopicImages) {
+  SimImageGenerator gen(world_.get());
+  const std::string name = world_->ConceptName(0);
+  auto img = gen.Generate("please draw " + name);
+  ASSERT_TRUE(img.ok());
+  EXPECT_FALSE(img->in_knowledge_base);
+  EXPECT_EQ(img->features.size(), 32u);
+  EXPECT_NE(img->caption.find(name), std::string::npos);
+  // The generated latent is closer to the prompted concept than to a
+  // different-noun concept.
+  const float d_own = L2Sq(img->latent.data(),
+                           world_->ConceptPrototype(0).data(), 16);
+  const float d_far = L2Sq(img->latent.data(),
+                           world_->ConceptPrototype(8).data(), 16);
+  EXPECT_LT(d_own, d_far);
+}
+
+TEST_F(SimImageGeneratorTest, BatchIsDiverse) {
+  SimImageGenerator gen(world_.get());
+  auto batch = gen.GenerateBatch("some " + world_->ConceptName(1), 5);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 5u);
+  // Generation noise makes latents differ between samples.
+  EXPECT_GT(L2Sq((*batch)[0].latent.data(), (*batch)[1].latent.data(), 16),
+            0.0f);
+  for (const GeneratedImage& img : *batch) {
+    EXPECT_FALSE(img.in_knowledge_base);
+  }
+}
+
+TEST_F(SimImageGeneratorTest, NameIsStable) {
+  SimImageGenerator gen(world_.get());
+  EXPECT_EQ(gen.name(), "sim-dalle");
+}
+
+}  // namespace
+}  // namespace mqa

@@ -1,0 +1,134 @@
+#include "llm/sim_llm.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "llm/prompt_builder.h"
+
+namespace mqa {
+namespace {
+
+std::string GroundedPrompt() {
+  PromptBuilder builder;
+  std::vector<RetrievedItem> items = {
+      {1, "object #1 | an image of moldy cheese", 0.3f},
+      {2, "object #2 | an image of foggy clouds", 0.6f},
+  };
+  return builder.Build("show me moldy cheese", items);
+}
+
+TEST(ParsePromptTest, RoundTripsBuilderSections) {
+  PromptBuilder builder;
+  builder.SetSystem("sys text");
+  builder.AddTurn("u1", "a1");
+  std::vector<RetrievedItem> items = {{5, "five", 0.1f}};
+  const ParsedPrompt parsed = ParsePrompt(builder.Build("the query", items));
+  EXPECT_EQ(parsed.system, "sys text");
+  EXPECT_EQ(parsed.query, "the query");
+  ASSERT_EQ(parsed.context_items.size(), 1u);
+  EXPECT_NE(parsed.context_items[0].find("five"), std::string::npos);
+  ASSERT_EQ(parsed.history_lines.size(), 2u);
+  EXPECT_EQ(parsed.history_lines[0], "user: u1");
+}
+
+TEST(SimLlmTest, ValidatesRequest) {
+  SimLlm llm;
+  LlmRequest empty;
+  EXPECT_FALSE(llm.Complete(empty).ok());
+  LlmRequest bad_temp;
+  bad_temp.prompt = "x";
+  bad_temp.temperature = 5.0f;
+  EXPECT_FALSE(llm.Complete(bad_temp).ok());
+}
+
+TEST(SimLlmTest, GroundedAnswerMentionsOnlyContext) {
+  SimLlm llm;
+  LlmRequest request;
+  request.prompt = GroundedPrompt();
+  request.temperature = 0.0f;
+  auto response = llm.Complete(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_NE(response->text.find("moldy cheese"), std::string::npos);
+  EXPECT_NE(response->text.find("foggy clouds"), std::string::npos);
+  // No hallucination disclaimer on the grounded path.
+  EXPECT_EQ(response->text.find("cannot verify"), std::string::npos);
+}
+
+TEST(SimLlmTest, UngroundedAnswerAdmitsNoKnowledgeBase) {
+  SimLlm llm;
+  PromptBuilder builder;
+  LlmRequest request;
+  request.prompt = builder.Build("show me moldy cheese", {});
+  request.temperature = 0.0f;
+  auto response = llm.Complete(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_NE(response->text.find("cannot verify"), std::string::npos);
+}
+
+TEST(SimLlmTest, DeterministicAtTemperatureZero) {
+  SimLlm llm(42);
+  LlmRequest request;
+  request.prompt = GroundedPrompt();
+  request.temperature = 0.0f;
+  auto a = llm.Complete(request);
+  auto b = llm.Complete(request);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->text, b->text);
+  // Temperature zero always picks the first phrasing variant.
+  EXPECT_EQ(a->text.rfind("Here is what I found", 0), 0u);
+}
+
+TEST(SimLlmTest, SamePromptSameOutputEvenWithTemperature) {
+  // Replayability: the variant draw is seeded by the prompt, so identical
+  // requests give identical answers.
+  SimLlm llm(42);
+  LlmRequest request;
+  request.prompt = GroundedPrompt();
+  request.temperature = 1.0f;
+  auto a = llm.Complete(request);
+  auto b = llm.Complete(request);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->text, b->text);
+}
+
+TEST(SimLlmTest, TemperatureVariesPhrasingAcrossPrompts) {
+  SimLlm llm(42);
+  // At high temperature, different prompts should not all use the same
+  // opener.
+  std::set<std::string> openers;
+  for (int i = 0; i < 20; ++i) {
+    PromptBuilder builder;
+    std::vector<RetrievedItem> items = {
+        {static_cast<uint64_t>(i), "thing " + std::to_string(i), 0.1f}};
+    LlmRequest request;
+    request.prompt = builder.Build("query " + std::to_string(i), items);
+    request.temperature = 1.0f;
+    auto response = llm.Complete(request);
+    ASSERT_TRUE(response.ok());
+    openers.insert(Split(response->text, '\n')[0]);
+  }
+  EXPECT_GT(openers.size(), 1u);
+}
+
+TEST(SimLlmTest, LongContextIsTruncatedWithEllipsis) {
+  SimLlm llm;
+  PromptBuilder builder;
+  std::vector<RetrievedItem> items;
+  for (int i = 0; i < 9; ++i) {
+    items.push_back({static_cast<uint64_t>(i),
+                     "item " + std::to_string(i), 0.1f * i});
+  }
+  LlmRequest request;
+  request.prompt = builder.Build("q", items);
+  auto response = llm.Complete(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_NE(response->text.find("and 4 more"), std::string::npos);
+}
+
+TEST(SimLlmTest, NameIsStable) {
+  SimLlm llm;
+  EXPECT_EQ(llm.name(), "sim-llm");
+}
+
+}  // namespace
+}  // namespace mqa

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "retrieval/framework.h"
+
+namespace mqa {
+namespace {
+
+TEST(CrossModalFillTest, SinglePresentPartIsCopiedExactly) {
+  MultiVector mv;
+  mv.parts = {{}, {0.5f, -0.5f}};
+  CrossModalFill(&mv);
+  EXPECT_EQ(mv.parts[0], (Vector{0.5f, -0.5f}));
+  EXPECT_EQ(mv.parts[1], (Vector{0.5f, -0.5f}));
+}
+
+TEST(CrossModalFillTest, MeanOfMultiplePresentParts) {
+  MultiVector mv;
+  mv.parts = {{1.0f, 0.0f}, {0.0f, 1.0f}, {}};
+  CrossModalFill(&mv);
+  EXPECT_EQ(mv.parts[2], (Vector{0.5f, 0.5f}));
+  // Present parts untouched.
+  EXPECT_EQ(mv.parts[0], (Vector{1.0f, 0.0f}));
+}
+
+TEST(CrossModalFillTest, NothingPresentIsNoop) {
+  MultiVector mv;
+  mv.parts = {{}, {}};
+  CrossModalFill(&mv);
+  EXPECT_TRUE(mv.parts[0].empty());
+  EXPECT_TRUE(mv.parts[1].empty());
+}
+
+TEST(CrossModalFillTest, NothingAbsentIsNoop) {
+  MultiVector mv;
+  mv.parts = {{1.0f}, {2.0f}};
+  CrossModalFill(&mv);
+  EXPECT_EQ(mv.parts[0], (Vector{1.0f}));
+  EXPECT_EQ(mv.parts[1], (Vector{2.0f}));
+}
+
+TEST(CrossModalFillTest, MisalignedDimsLeaveAbsentPartsEmpty) {
+  MultiVector mv;
+  mv.parts = {{1.0f, 2.0f}, {3.0f}, {}};
+  CrossModalFill(&mv);
+  EXPECT_TRUE(mv.parts[2].empty());
+}
+
+TEST(CrossModalFillTest, LowEnergySignalIsNotInflated) {
+  // A weak (junk-text) part fills with the same weak magnitude — no
+  // normalization to unit length.
+  MultiVector mv;
+  mv.parts = {{}, {0.1f, 0.0f}};
+  CrossModalFill(&mv);
+  EXPECT_FLOAT_EQ(mv.parts[0][0], 0.1f);
+}
+
+}  // namespace
+}  // namespace mqa

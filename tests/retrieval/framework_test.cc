@@ -1,0 +1,66 @@
+#include "retrieval/framework.h"
+
+#include <gtest/gtest.h>
+
+#include "vector/distance.h"
+
+namespace mqa {
+namespace {
+
+VectorStore MakeMultiStore() {
+  VectorSchema schema;
+  schema.dims = {2, 2};
+  VectorStore store(schema);
+  (void)store.Add({1, 0, 0, 1});
+  (void)store.Add({0, 1, 1, 0});
+  (void)store.Add({1, 1, 1, 1});
+  return store;
+}
+
+TEST(SlicePerModalityTest, ExtractsBlocks) {
+  const VectorStore multi = MakeMultiStore();
+  auto slice0 = SlicePerModality(multi, 0);
+  auto slice1 = SlicePerModality(multi, 1);
+  ASSERT_TRUE(slice0.ok() && slice1.ok());
+  EXPECT_EQ(slice0->Row(0), (Vector{1, 0}));
+  EXPECT_EQ(slice1->Row(0), (Vector{0, 1}));
+  EXPECT_EQ(slice0->Row(2), (Vector{1, 1}));
+  EXPECT_EQ(slice0->size(), 3u);
+  EXPECT_FALSE(SlicePerModality(multi, 2).ok());
+}
+
+TEST(FuseJointStoreTest, FusesAlignedBlocks) {
+  const VectorStore multi = MakeMultiStore();
+  auto fused = FuseJointStore(multi);
+  ASSERT_TRUE(fused.ok());
+  EXPECT_EQ(fused->size(), 3u);
+  EXPECT_EQ(fused->row_dim(), 2u);
+  // Row 2 is (1,1)+(1,1) -> normalized (1/sqrt2, 1/sqrt2).
+  EXPECT_NEAR(fused->Row(2)[0], 0.7071f, 1e-3);
+}
+
+TEST(FuseJointStoreTest, RejectsMisalignedDims) {
+  VectorSchema schema;
+  schema.dims = {2, 3};
+  VectorStore store(schema);
+  (void)store.Add({1, 0, 0, 1, 0});
+  EXPECT_FALSE(FuseJointStore(store).ok());
+}
+
+TEST(NormalizeWeightsTest, SumsToModalityCount) {
+  const auto w = NormalizeWeights({1.0f, 3.0f});
+  EXPECT_NEAR(w[0] + w[1], 2.0f, 1e-5);
+  EXPECT_NEAR(w[1] / w[0], 3.0f, 1e-4);
+}
+
+TEST(NormalizeWeightsTest, ClampsNegativesAndHandlesZeroSum) {
+  const auto w = NormalizeWeights({-1.0f, 2.0f});
+  EXPECT_FLOAT_EQ(w[0], 0.0f);
+  EXPECT_NEAR(w[1], 2.0f, 1e-5);
+  const auto zero = NormalizeWeights({0.0f, 0.0f});
+  EXPECT_FLOAT_EQ(zero[0], 1.0f);
+  EXPECT_FLOAT_EQ(zero[1], 1.0f);
+}
+
+}  // namespace
+}  // namespace mqa

@@ -1,0 +1,46 @@
+#ifndef MQA_TESTS_RETRIEVAL_RETRIEVAL_TEST_UTIL_H_
+#define MQA_TESTS_RETRIEVAL_RETRIEVAL_TEST_UTIL_H_
+
+#include <memory>
+
+#include "core/experiment.h"
+
+namespace mqa::testing {
+
+using PreparedCorpus = ::mqa::ExperimentCorpus;
+
+/// A small, fast corpus for framework tests (16-dim embeddings).
+inline PreparedCorpus PrepareCorpus(uint64_t corpus_size = 1200,
+                                    uint32_t num_concepts = 16,
+                                    uint64_t seed = 9,
+                                    bool learn_weights = true) {
+  WorldConfig wc;
+  wc.num_concepts = num_concepts;
+  wc.latent_dim = 16;
+  wc.raw_image_dim = 32;
+  wc.seed = seed;
+  auto corpus = MakeExperimentCorpus(wc, corpus_size, "sim-clip", 16,
+                                     learn_weights, 800);
+  if (!corpus.ok()) return PreparedCorpus{};
+  return std::move(corpus).Value();
+}
+
+/// Fraction of `neighbors` whose ids appear in the ground-truth id list.
+inline double HitRate(const std::vector<Neighbor>& neighbors,
+                      const std::vector<uint32_t>& ground_truth) {
+  if (neighbors.empty()) return 0.0;
+  size_t hits = 0;
+  for (const Neighbor& n : neighbors) {
+    for (uint32_t id : ground_truth) {
+      if (n.id == id) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / neighbors.size();
+}
+
+}  // namespace mqa::testing
+
+#endif  // MQA_TESTS_RETRIEVAL_RETRIEVAL_TEST_UTIL_H_

@@ -1,0 +1,113 @@
+#include "storage/knowledge_base.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mqa {
+namespace {
+
+ModalitySchema ImageTextSchema() {
+  ModalitySchema s;
+  s.types = {ModalityType::kImage, ModalityType::kText};
+  return s;
+}
+
+Object MakeObject(uint32_t concept_id) {
+  Object obj;
+  obj.concept_id = concept_id;
+  obj.latent = {0.1f, 0.2f};
+  Payload img;
+  img.type = ModalityType::kImage;
+  img.features = {1.0f, 2.0f, 3.0f};
+  img.text = "an image";
+  Payload txt;
+  txt.type = ModalityType::kText;
+  txt.text = "a caption";
+  obj.modalities = {img, txt};
+  return obj;
+}
+
+TEST(KnowledgeBaseTest, IngestAssignsDenseIds) {
+  KnowledgeBase kb(ImageTextSchema(), "test");
+  auto id0 = kb.Ingest(MakeObject(0));
+  auto id1 = kb.Ingest(MakeObject(1));
+  ASSERT_TRUE(id0.ok());
+  ASSERT_TRUE(id1.ok());
+  EXPECT_EQ(*id0, 0u);
+  EXPECT_EQ(*id1, 1u);
+  EXPECT_EQ(kb.size(), 2u);
+  EXPECT_FALSE(kb.empty());
+  EXPECT_EQ(kb.name(), "test");
+}
+
+TEST(KnowledgeBaseTest, IngestValidatesSchema) {
+  KnowledgeBase kb(ImageTextSchema());
+  Object wrong_count = MakeObject(0);
+  wrong_count.modalities.pop_back();
+  EXPECT_FALSE(kb.Ingest(wrong_count).ok());
+
+  Object wrong_type = MakeObject(0);
+  wrong_type.modalities[0].type = ModalityType::kAudio;
+  EXPECT_FALSE(kb.Ingest(wrong_type).ok());
+  EXPECT_EQ(kb.size(), 0u);
+}
+
+TEST(KnowledgeBaseTest, GetChecksRange) {
+  KnowledgeBase kb(ImageTextSchema());
+  ASSERT_TRUE(kb.Ingest(MakeObject(5)).ok());
+  auto obj = kb.Get(0);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ((*obj)->concept_id, 5u);
+  EXPECT_EQ(kb.Get(1).status().code(), StatusCode::kNotFound);
+}
+
+TEST(KnowledgeBaseTest, SaveLoadRoundTrip) {
+  KnowledgeBase kb(ImageTextSchema(), "roundtrip");
+  for (uint32_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(kb.Ingest(MakeObject(i)).ok());
+  }
+  std::stringstream buf;
+  ASSERT_TRUE(kb.Save(buf).ok());
+  auto loaded = KnowledgeBase::Load(buf);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), kb.size());
+  EXPECT_EQ(loaded->name(), "roundtrip");
+  EXPECT_EQ(loaded->schema(), kb.schema());
+  for (uint64_t i = 0; i < kb.size(); ++i) {
+    const Object& a = kb.at(i);
+    const Object& b = loaded->at(i);
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.concept_id, b.concept_id);
+    EXPECT_EQ(a.latent, b.latent);
+    ASSERT_EQ(a.modalities.size(), b.modalities.size());
+    for (size_t m = 0; m < a.modalities.size(); ++m) {
+      EXPECT_EQ(a.modalities[m].type, b.modalities[m].type);
+      EXPECT_EQ(a.modalities[m].text, b.modalities[m].text);
+      EXPECT_EQ(a.modalities[m].features, b.modalities[m].features);
+    }
+  }
+}
+
+TEST(KnowledgeBaseTest, LoadRejectsGarbageAndTruncation) {
+  std::stringstream garbage("garbage bytes");
+  EXPECT_FALSE(KnowledgeBase::Load(garbage).ok());
+
+  KnowledgeBase kb(ImageTextSchema());
+  ASSERT_TRUE(kb.Ingest(MakeObject(0)).ok());
+  std::stringstream buf;
+  ASSERT_TRUE(kb.Save(buf).ok());
+  std::string data = buf.str();
+  data.resize(data.size() - 8);
+  std::stringstream cut(data);
+  EXPECT_FALSE(KnowledgeBase::Load(cut).ok());
+}
+
+TEST(ModalityTypeTest, ToStringNames) {
+  EXPECT_STREQ(ModalityTypeToString(ModalityType::kText), "text");
+  EXPECT_STREQ(ModalityTypeToString(ModalityType::kImage), "image");
+  EXPECT_STREQ(ModalityTypeToString(ModalityType::kAudio), "audio");
+}
+
+}  // namespace
+}  // namespace mqa

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "storage/world.h"
+#include "vector/distance.h"
+
+namespace mqa {
+namespace {
+
+WorldConfig SmallConfig() {
+  WorldConfig c;
+  c.num_concepts = 12;
+  c.latent_dim = 16;
+  c.raw_image_dim = 32;
+  c.seed = 5;
+  return c;
+}
+
+TEST(ReobserveTest, KeepsIdentityChangesObservations) {
+  auto world = World::Create(SmallConfig());
+  ASSERT_TRUE(world.ok());
+  Rng rng(1);
+  const Object original = world->MakeObject(3, &rng);
+  const Object observed = world->ReobserveObject(original, &rng);
+  EXPECT_EQ(observed.concept_id, original.concept_id);
+  EXPECT_EQ(observed.latent, original.latent);
+  EXPECT_EQ(observed.id, original.id);
+  // Fresh renderings: image features differ but stay correlated.
+  EXPECT_NE(observed.modalities[0].features, original.modalities[0].features);
+  const float cross =
+      L2Sq(observed.modalities[0].features.data(),
+           original.modalities[0].features.data(), 32);
+  // Compare against an unrelated object's image features.
+  const Object other = world->MakeObject(9, &rng);
+  const float unrelated =
+      L2Sq(observed.modalities[0].features.data(),
+           other.modalities[0].features.data(), 32);
+  EXPECT_LT(cross, unrelated);
+}
+
+TEST(ReobserveTest, CaptionStillNamesTheConceptAtLowNoise) {
+  WorldConfig c = SmallConfig();
+  c.modality_noise = {0.05f, 0.05f};
+  auto world = World::Create(c);
+  ASSERT_TRUE(world.ok());
+  Rng rng(2);
+  const Object obj = world->MakeObject(0, &rng);
+  const Object observed = world->ReobserveObject(obj, &rng);
+  const std::string name = world->ConceptName(0);
+  const std::string noun = name.substr(name.find(' ') + 1);
+  EXPECT_NE(observed.modalities[1].text.find(noun), std::string::npos);
+}
+
+TEST(ReobserveTest, SevereTextNoiseMislabelsSomeCaptions) {
+  WorldConfig c = SmallConfig();
+  c.modality_noise = {0.05f, 0.9f};
+  auto world = World::Create(c);
+  ASSERT_TRUE(world.ok());
+  Rng rng(3);
+  const std::string name = world->ConceptName(0);
+  const std::string noun = name.substr(name.find(' ') + 1);
+  size_t wrong = 0;
+  for (int i = 0; i < 100; ++i) {
+    const Object obj = world->MakeObject(0, &rng);
+    if (obj.modalities[1].text.find(noun) == std::string::npos) ++wrong;
+  }
+  // mislabel prob = noise - 0.4 = 0.5, but the random replacement noun can
+  // coincide with the true one (few nouns in a small world), so roughly a
+  // quarter to a third of captions end up wrong.
+  EXPECT_GT(wrong, 12u);
+  EXPECT_LT(wrong, 75u);
+}
+
+TEST(ReobserveTest, LowTextNoiseNeverMislabels) {
+  WorldConfig c = SmallConfig();
+  c.modality_noise = {0.05f, 0.2f};  // below the 0.4 mislabel threshold
+  auto world = World::Create(c);
+  ASSERT_TRUE(world.ok());
+  Rng rng(4);
+  const std::string name = world->ConceptName(0);
+  const std::string noun = name.substr(name.find(' ') + 1);
+  for (int i = 0; i < 50; ++i) {
+    const Object obj = world->MakeObject(0, &rng);
+    EXPECT_NE(obj.modalities[1].text.find(noun), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace mqa

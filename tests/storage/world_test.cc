@@ -1,0 +1,292 @@
+#include "storage/world.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "vector/distance.h"
+
+namespace mqa {
+namespace {
+
+WorldConfig SmallConfig() {
+  WorldConfig c;
+  c.num_concepts = 12;
+  c.latent_dim = 16;
+  c.raw_image_dim = 32;
+  c.seed = 5;
+  return c;
+}
+
+TEST(WorldTest, CreateValidatesConfig) {
+  WorldConfig c = SmallConfig();
+  c.num_concepts = 0;
+  EXPECT_FALSE(World::Create(c).ok());
+  c = SmallConfig();
+  c.latent_dim = 2;
+  EXPECT_FALSE(World::Create(c).ok());
+  c = SmallConfig();
+  c.raw_image_dim = 8;  // < latent_dim: rendering not invertible
+  EXPECT_FALSE(World::Create(c).ok());
+  c = SmallConfig();
+  c.adjectives_per_noun = 0;
+  EXPECT_FALSE(World::Create(c).ok());
+  EXPECT_TRUE(World::Create(SmallConfig()).ok());
+}
+
+TEST(WorldTest, ConceptNamesAreDistinctAndReadable) {
+  auto world = World::Create(SmallConfig());
+  ASSERT_TRUE(world.ok());
+  std::set<std::string> names;
+  for (uint32_t c = 0; c < world->num_concepts(); ++c) {
+    names.insert(world->ConceptName(c));
+  }
+  EXPECT_EQ(names.size(), world->num_concepts());
+}
+
+TEST(WorldTest, SiblingConceptsShareNoun) {
+  auto world = World::Create(SmallConfig());
+  ASSERT_TRUE(world.ok());
+  const auto& siblings = world->SiblingConcepts(0);
+  EXPECT_GE(siblings.size(), 2u);  // adjectives_per_noun = 4 by default
+  // All siblings end with the same noun word.
+  const std::string name0 = world->ConceptName(siblings[0]);
+  const std::string noun = name0.substr(name0.find(' ') + 1);
+  for (uint32_t s : siblings) {
+    const std::string name = world->ConceptName(s);
+    EXPECT_EQ(name.substr(name.find(' ') + 1), noun);
+  }
+}
+
+TEST(WorldTest, PrototypesAreUnitNormAndDistinct) {
+  auto world = World::Create(SmallConfig());
+  ASSERT_TRUE(world.ok());
+  for (uint32_t c = 0; c < world->num_concepts(); ++c) {
+    const Vector& p = world->ConceptPrototype(c);
+    EXPECT_NEAR(Norm(p.data(), p.size()), 1.0f, 1e-5);
+  }
+  // Different concepts are farther apart than zero.
+  EXPECT_GT(L2Sq(world->ConceptPrototype(0).data(),
+                 world->ConceptPrototype(5).data(), 16),
+            0.1f);
+}
+
+TEST(WorldTest, MakeObjectStructure) {
+  auto world = World::Create(SmallConfig());
+  ASSERT_TRUE(world.ok());
+  Rng rng(1);
+  const Object obj = world->MakeObject(3, &rng);
+  EXPECT_EQ(obj.concept_id, 3u);
+  ASSERT_EQ(obj.modalities.size(), 2u);
+  EXPECT_EQ(obj.modalities[0].type, ModalityType::kImage);
+  EXPECT_EQ(obj.modalities[0].features.size(), 32u);
+  EXPECT_EQ(obj.modalities[1].type, ModalityType::kText);
+  EXPECT_FALSE(obj.modalities[1].text.empty());
+  EXPECT_NEAR(Norm(obj.latent.data(), obj.latent.size()), 1.0f, 1e-5);
+  // Caption mentions the concept's noun.
+  const std::string name = world->ConceptName(3);
+  const std::string noun = name.substr(name.find(' ') + 1);
+  EXPECT_NE(obj.modalities[1].text.find(noun), std::string::npos);
+}
+
+TEST(WorldTest, ObjectsOfSameConceptClusterInLatentSpace) {
+  auto world = World::Create(SmallConfig());
+  ASSERT_TRUE(world.ok());
+  Rng rng(2);
+  const Object a = world->MakeObject(0, &rng);
+  const Object b = world->MakeObject(0, &rng);
+  const Object c = world->MakeObject(7, &rng);
+  const float same = L2Sq(a.latent.data(), b.latent.data(), 16);
+  const float diff = L2Sq(a.latent.data(), c.latent.data(), 16);
+  EXPECT_LT(same, diff);
+}
+
+TEST(WorldTest, ExtraModalitiesAppearInSchemaAndObjects) {
+  WorldConfig c = SmallConfig();
+  c.num_extra_modalities = 2;
+  auto world = World::Create(c);
+  ASSERT_TRUE(world.ok());
+  EXPECT_EQ(world->num_modalities(), 4u);
+  const ModalitySchema schema = world->Schema();
+  ASSERT_EQ(schema.types.size(), 4u);
+  EXPECT_EQ(schema.types[2], ModalityType::kAudio);
+  Rng rng(3);
+  const Object obj = world->MakeObject(0, &rng);
+  EXPECT_EQ(obj.modalities.size(), 4u);
+  EXPECT_FALSE(obj.modalities[3].features.empty());
+}
+
+TEST(WorldTest, GenerateCorpusCoversAllConcepts) {
+  auto world = World::Create(SmallConfig());
+  ASSERT_TRUE(world.ok());
+  auto kb = world->GenerateCorpus(120, "corpus");
+  ASSERT_TRUE(kb.ok());
+  EXPECT_EQ(kb->size(), 120u);
+  std::set<uint32_t> concepts;
+  for (const Object& obj : kb->objects()) concepts.insert(obj.concept_id);
+  EXPECT_EQ(concepts.size(), world->num_concepts());
+}
+
+TEST(WorldTest, GenerateCorpusIsDeterministic) {
+  auto w1 = World::Create(SmallConfig());
+  auto w2 = World::Create(SmallConfig());
+  ASSERT_TRUE(w1.ok() && w2.ok());
+  auto kb1 = w1->GenerateCorpus(30);
+  auto kb2 = w2->GenerateCorpus(30);
+  ASSERT_TRUE(kb1.ok() && kb2.ok());
+  for (uint64_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(kb1->at(i).latent, kb2->at(i).latent);
+    EXPECT_EQ(kb1->at(i).modalities[1].text, kb2->at(i).modalities[1].text);
+  }
+}
+
+TEST(WorldTest, TextToLatentRecoversConceptDirection) {
+  auto world = World::Create(SmallConfig());
+  ASSERT_TRUE(world.ok());
+  // A query naming concept 0 should land closer to prototype 0 than to a
+  // non-sibling concept's prototype.
+  const std::string name = world->ConceptName(0);
+  const Vector latent = world->TextToLatent("show me " + name + " please");
+  float d_own = L2Sq(latent.data(), world->ConceptPrototype(0).data(), 16);
+  // Find a concept with a different noun.
+  uint32_t other = 0;
+  const auto& siblings = world->SiblingConcepts(0);
+  for (uint32_t c = 0; c < world->num_concepts(); ++c) {
+    if (std::find(siblings.begin(), siblings.end(), c) == siblings.end()) {
+      other = c;
+      break;
+    }
+  }
+  float d_other =
+      L2Sq(latent.data(), world->ConceptPrototype(other).data(), 16);
+  EXPECT_LT(d_own, d_other);
+}
+
+TEST(WorldTest, FeaturesToLatentInvertsRendering) {
+  WorldConfig c = SmallConfig();
+  c.modality_noise = {0.0f, 0.0f};  // noise-free rendering
+  auto world = World::Create(c);
+  ASSERT_TRUE(world.ok());
+  Rng rng(4);
+  const Object obj = world->MakeObject(2, &rng);
+  const Vector recovered =
+      world->FeaturesToLatent(obj.modalities[0].features, 0);
+  EXPECT_NEAR(L2Sq(recovered.data(), obj.latent.data(), 16), 0.0f, 1e-4);
+}
+
+TEST(WorldTest, FeaturesToLatentWrongSizeGivesZeroVector) {
+  auto world = World::Create(SmallConfig());
+  ASSERT_TRUE(world.ok());
+  const Vector out = world->FeaturesToLatent({1.0f, 2.0f}, 0);
+  EXPECT_EQ(out.size(), 16u);
+  EXPECT_FLOAT_EQ(Norm(out.data(), out.size()), 0.0f);
+}
+
+TEST(WorldTest, MakeTextQueryTargetsConcept) {
+  auto world = World::Create(SmallConfig());
+  ASSERT_TRUE(world.ok());
+  Rng rng(6);
+  const TextQuery q = world->MakeTextQuery(4, &rng);
+  EXPECT_EQ(q.concept_id, 4u);
+  EXPECT_EQ(q.target_latent, world->ConceptPrototype(4));
+  const std::string name = world->ConceptName(4);
+  EXPECT_NE(q.text.find(name), std::string::npos);
+}
+
+TEST(WorldTest, ModificationChangeAdjectiveKeepsNounIdentity) {
+  auto world = World::Create(SmallConfig());
+  ASSERT_TRUE(world.ok());
+  Rng rng(8);
+  // Force a change-adjective modification by retrying.
+  ModificationSpec mod;
+  for (int i = 0; i < 100; ++i) {
+    mod = world->MakeModification(0, &rng);
+    if (mod.kind == ModificationKind::kChangeAdjective) break;
+  }
+  ASSERT_EQ(mod.kind, ModificationKind::kChangeAdjective);
+  EXPECT_NE(mod.target_concept, 0u);
+  // Target concept is a sibling (same noun).
+  const auto& siblings = world->SiblingConcepts(0);
+  EXPECT_NE(std::find(siblings.begin(), siblings.end(), mod.target_concept),
+            siblings.end());
+
+  const Object obj = world->MakeObject(0, &rng);
+  const Vector target = world->ModifiedTarget(obj, mod);
+  EXPECT_NEAR(Norm(target.data(), target.size()), 1.0f, 1e-5);
+  // Modified target is closer to the new concept's prototype than the old.
+  const float d_new =
+      L2Sq(target.data(), world->ConceptPrototype(mod.target_concept).data(),
+           16);
+  const float d_old =
+      L2Sq(target.data(), world->ConceptPrototype(0).data(), 16);
+  EXPECT_LT(d_new, d_old);
+}
+
+TEST(WorldTest, ModificationRefineSameReturnsSelectedLatent) {
+  auto world = World::Create(SmallConfig());
+  ASSERT_TRUE(world.ok());
+  Rng rng(9);
+  ModificationSpec mod;
+  mod.kind = ModificationKind::kRefineSame;
+  mod.target_concept = 3;
+  const Object obj = world->MakeObject(3, &rng);
+  EXPECT_EQ(world->ModifiedTarget(obj, mod), obj.latent);
+}
+
+TEST(WorldTest, GroundTruthIsSortedExactAndExcludes) {
+  auto world = World::Create(SmallConfig());
+  ASSERT_TRUE(world.ok());
+  auto kb = world->GenerateCorpus(100);
+  ASSERT_TRUE(kb.ok());
+  const Vector& target = world->ConceptPrototype(0);
+  const auto gt = world->GroundTruth(*kb, target, 10);
+  ASSERT_EQ(gt.size(), 10u);
+  // Distances are non-decreasing.
+  float prev = -1.0f;
+  for (uint32_t id : gt) {
+    const float d = L2Sq(target.data(), kb->at(id).latent.data(), 16);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+  // Exclusion removes the excluded id.
+  const auto gt_ex = world->GroundTruth(*kb, target, 10, gt[0]);
+  EXPECT_EQ(std::find(gt_ex.begin(), gt_ex.end(), gt[0]), gt_ex.end());
+}
+
+TEST(WorldTest, GroundTruthMostlyMatchesQueryConcept) {
+  auto world = World::Create(SmallConfig());
+  ASSERT_TRUE(world.ok());
+  auto kb = world->GenerateCorpus(600);
+  ASSERT_TRUE(kb.ok());
+  const auto gt = world->GroundTruth(*kb, world->ConceptPrototype(2), 10);
+  const auto& siblings = world->SiblingConcepts(2);
+  size_t exact = 0;
+  size_t same_noun = 0;
+  for (uint32_t id : gt) {
+    const uint32_t c = kb->at(id).concept_id;
+    if (c == 2u) ++exact;
+    if (std::find(siblings.begin(), siblings.end(), c) != siblings.end()) {
+      ++same_noun;
+    }
+  }
+  // The exact concept dominates, and everything close at least shares the
+  // noun (sibling concepts overlap by construction: half the latent space).
+  EXPECT_GE(exact, 4u);
+  EXPECT_GE(same_noun, 9u);
+}
+
+TEST(WorldTest, RenderFeaturesRoundTripsThroughInverse) {
+  WorldConfig c = SmallConfig();
+  c.modality_noise = {0.0f, 0.0f};
+  auto world = World::Create(c);
+  ASSERT_TRUE(world.ok());
+  Rng rng(10);
+  const Vector& latent = world->ConceptPrototype(1);
+  const auto features = world->RenderFeatures(latent, 0, &rng);
+  EXPECT_EQ(features.size(), 32u);
+  const Vector back = world->FeaturesToLatent(features, 0);
+  EXPECT_NEAR(L2Sq(back.data(), latent.data(), 16), 0.0f, 1e-4);
+}
+
+}  // namespace
+}  // namespace mqa
