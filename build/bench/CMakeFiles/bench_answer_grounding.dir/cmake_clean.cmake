@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_answer_grounding.dir/bench_answer_grounding.cc.o"
+  "CMakeFiles/bench_answer_grounding.dir/bench_answer_grounding.cc.o.d"
+  "bench_answer_grounding"
+  "bench_answer_grounding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_answer_grounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_comparative_rounds.dir/bench_comparative_rounds.cc.o"
+  "CMakeFiles/bench_comparative_rounds.dir/bench_comparative_rounds.cc.o.d"
+  "bench_comparative_rounds"
+  "bench_comparative_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_comparative_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_disk_index.dir/bench_disk_index.cc.o"
+  "CMakeFiles/bench_disk_index.dir/bench_disk_index.cc.o.d"
+  "bench_disk_index"
+  "bench_disk_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_disk_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_framework_recall.dir/bench_framework_recall.cc.o"
+  "CMakeFiles/bench_framework_recall.dir/bench_framework_recall.cc.o.d"
+  "bench_framework_recall"
+  "bench_framework_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_framework_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

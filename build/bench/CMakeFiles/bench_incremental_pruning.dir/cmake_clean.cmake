@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_incremental_pruning.dir/bench_incremental_pruning.cc.o"
+  "CMakeFiles/bench_incremental_pruning.dir/bench_incremental_pruning.cc.o.d"
+  "bench_incremental_pruning"
+  "bench_incremental_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_incremental_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_index_algorithms.dir/bench_index_algorithms.cc.o"
+  "CMakeFiles/bench_index_algorithms.dir/bench_index_algorithms.cc.o.d"
+  "bench_index_algorithms"
+  "bench_index_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_index_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

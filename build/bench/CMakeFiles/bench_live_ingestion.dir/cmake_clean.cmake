@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_live_ingestion.dir/bench_live_ingestion.cc.o"
+  "CMakeFiles/bench_live_ingestion.dir/bench_live_ingestion.cc.o.d"
+  "bench_live_ingestion"
+  "bench_live_ingestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_live_ingestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comparative_frameworks.dir/comparative_frameworks.cpp.o"
+  "CMakeFiles/comparative_frameworks.dir/comparative_frameworks.cpp.o.d"
+  "comparative_frameworks"
+  "comparative_frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comparative_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_index.dir/custom_index.cpp.o"
+  "CMakeFiles/custom_index.dir/custom_index.cpp.o.d"
+  "custom_index"
+  "custom_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/interactive_session.cpp" "examples/CMakeFiles/interactive_session.dir/interactive_session.cpp.o" "gcc" "examples/CMakeFiles/interactive_session.dir/interactive_session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mqa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/learning/CMakeFiles/mqa_learning.dir/DependInfo.cmake"
+  "/root/repo/build/src/retrieval/CMakeFiles/mqa_retrieval.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoder/CMakeFiles/mqa_encoder.dir/DependInfo.cmake"
+  "/root/repo/build/src/diskindex/CMakeFiles/mqa_diskindex.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mqa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/mqa_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/mqa_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mqa_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/vector/CMakeFiles/mqa_vector.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mqa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_catalog.dir/live_catalog.cpp.o"
+  "CMakeFiles/live_catalog.dir/live_catalog.cpp.o.d"
+  "live_catalog"
+  "live_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shopping_assistant.dir/shopping_assistant.cpp.o"
+  "CMakeFiles/shopping_assistant.dir/shopping_assistant.cpp.o.d"
+  "shopping_assistant"
+  "shopping_assistant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shopping_assistant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqa_common.dir/logging.cc.o"
+  "CMakeFiles/mqa_common.dir/logging.cc.o.d"
+  "CMakeFiles/mqa_common.dir/random.cc.o"
+  "CMakeFiles/mqa_common.dir/random.cc.o.d"
+  "CMakeFiles/mqa_common.dir/status.cc.o"
+  "CMakeFiles/mqa_common.dir/status.cc.o.d"
+  "CMakeFiles/mqa_common.dir/string_util.cc.o"
+  "CMakeFiles/mqa_common.dir/string_util.cc.o.d"
+  "CMakeFiles/mqa_common.dir/thread_pool.cc.o"
+  "CMakeFiles/mqa_common.dir/thread_pool.cc.o.d"
+  "libmqa_common.a"
+  "libmqa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/answer_generator.cc" "src/core/CMakeFiles/mqa_core.dir/answer_generator.cc.o" "gcc" "src/core/CMakeFiles/mqa_core.dir/answer_generator.cc.o.d"
+  "/root/repo/src/core/config_parser.cc" "src/core/CMakeFiles/mqa_core.dir/config_parser.cc.o" "gcc" "src/core/CMakeFiles/mqa_core.dir/config_parser.cc.o.d"
+  "/root/repo/src/core/coordinator.cc" "src/core/CMakeFiles/mqa_core.dir/coordinator.cc.o" "gcc" "src/core/CMakeFiles/mqa_core.dir/coordinator.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/mqa_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/mqa_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/persistence.cc" "src/core/CMakeFiles/mqa_core.dir/persistence.cc.o" "gcc" "src/core/CMakeFiles/mqa_core.dir/persistence.cc.o.d"
+  "/root/repo/src/core/query_executor.cc" "src/core/CMakeFiles/mqa_core.dir/query_executor.cc.o" "gcc" "src/core/CMakeFiles/mqa_core.dir/query_executor.cc.o.d"
+  "/root/repo/src/core/represent.cc" "src/core/CMakeFiles/mqa_core.dir/represent.cc.o" "gcc" "src/core/CMakeFiles/mqa_core.dir/represent.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/core/CMakeFiles/mqa_core.dir/session.cc.o" "gcc" "src/core/CMakeFiles/mqa_core.dir/session.cc.o.d"
+  "/root/repo/src/core/status_monitor.cc" "src/core/CMakeFiles/mqa_core.dir/status_monitor.cc.o" "gcc" "src/core/CMakeFiles/mqa_core.dir/status_monitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mqa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vector/CMakeFiles/mqa_vector.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mqa_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoder/CMakeFiles/mqa_encoder.dir/DependInfo.cmake"
+  "/root/repo/build/src/learning/CMakeFiles/mqa_learning.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mqa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/retrieval/CMakeFiles/mqa_retrieval.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/mqa_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/diskindex/CMakeFiles/mqa_diskindex.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/mqa_dag.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqa_core.dir/answer_generator.cc.o"
+  "CMakeFiles/mqa_core.dir/answer_generator.cc.o.d"
+  "CMakeFiles/mqa_core.dir/config_parser.cc.o"
+  "CMakeFiles/mqa_core.dir/config_parser.cc.o.d"
+  "CMakeFiles/mqa_core.dir/coordinator.cc.o"
+  "CMakeFiles/mqa_core.dir/coordinator.cc.o.d"
+  "CMakeFiles/mqa_core.dir/experiment.cc.o"
+  "CMakeFiles/mqa_core.dir/experiment.cc.o.d"
+  "CMakeFiles/mqa_core.dir/persistence.cc.o"
+  "CMakeFiles/mqa_core.dir/persistence.cc.o.d"
+  "CMakeFiles/mqa_core.dir/query_executor.cc.o"
+  "CMakeFiles/mqa_core.dir/query_executor.cc.o.d"
+  "CMakeFiles/mqa_core.dir/represent.cc.o"
+  "CMakeFiles/mqa_core.dir/represent.cc.o.d"
+  "CMakeFiles/mqa_core.dir/session.cc.o"
+  "CMakeFiles/mqa_core.dir/session.cc.o.d"
+  "CMakeFiles/mqa_core.dir/status_monitor.cc.o"
+  "CMakeFiles/mqa_core.dir/status_monitor.cc.o.d"
+  "libmqa_core.a"
+  "libmqa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

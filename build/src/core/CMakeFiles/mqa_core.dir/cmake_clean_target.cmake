@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmqa_core.a"
+)

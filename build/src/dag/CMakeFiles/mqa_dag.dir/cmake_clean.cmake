@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqa_dag.dir/dag.cc.o"
+  "CMakeFiles/mqa_dag.dir/dag.cc.o.d"
+  "libmqa_dag.a"
+  "libmqa_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqa_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

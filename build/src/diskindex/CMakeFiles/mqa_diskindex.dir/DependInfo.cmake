@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diskindex/disk_index.cc" "src/diskindex/CMakeFiles/mqa_diskindex.dir/disk_index.cc.o" "gcc" "src/diskindex/CMakeFiles/mqa_diskindex.dir/disk_index.cc.o.d"
+  "/root/repo/src/diskindex/index_factory.cc" "src/diskindex/CMakeFiles/mqa_diskindex.dir/index_factory.cc.o" "gcc" "src/diskindex/CMakeFiles/mqa_diskindex.dir/index_factory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mqa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vector/CMakeFiles/mqa_vector.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mqa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/mqa_dag.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

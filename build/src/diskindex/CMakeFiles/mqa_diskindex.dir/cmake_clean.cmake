@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqa_diskindex.dir/disk_index.cc.o"
+  "CMakeFiles/mqa_diskindex.dir/disk_index.cc.o.d"
+  "CMakeFiles/mqa_diskindex.dir/index_factory.cc.o"
+  "CMakeFiles/mqa_diskindex.dir/index_factory.cc.o.d"
+  "libmqa_diskindex.a"
+  "libmqa_diskindex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqa_diskindex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqa_encoder.dir/encoder.cc.o"
+  "CMakeFiles/mqa_encoder.dir/encoder.cc.o.d"
+  "CMakeFiles/mqa_encoder.dir/sim_encoders.cc.o"
+  "CMakeFiles/mqa_encoder.dir/sim_encoders.cc.o.d"
+  "libmqa_encoder.a"
+  "libmqa_encoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqa_encoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/mqa_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/mqa_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/hnsw.cc" "src/graph/CMakeFiles/mqa_graph.dir/hnsw.cc.o" "gcc" "src/graph/CMakeFiles/mqa_graph.dir/hnsw.cc.o.d"
+  "/root/repo/src/graph/nn_descent.cc" "src/graph/CMakeFiles/mqa_graph.dir/nn_descent.cc.o" "gcc" "src/graph/CMakeFiles/mqa_graph.dir/nn_descent.cc.o.d"
+  "/root/repo/src/graph/pipeline.cc" "src/graph/CMakeFiles/mqa_graph.dir/pipeline.cc.o" "gcc" "src/graph/CMakeFiles/mqa_graph.dir/pipeline.cc.o.d"
+  "/root/repo/src/graph/search.cc" "src/graph/CMakeFiles/mqa_graph.dir/search.cc.o" "gcc" "src/graph/CMakeFiles/mqa_graph.dir/search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mqa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vector/CMakeFiles/mqa_vector.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/mqa_dag.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

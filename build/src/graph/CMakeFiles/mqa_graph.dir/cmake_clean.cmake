@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqa_graph.dir/graph.cc.o"
+  "CMakeFiles/mqa_graph.dir/graph.cc.o.d"
+  "CMakeFiles/mqa_graph.dir/hnsw.cc.o"
+  "CMakeFiles/mqa_graph.dir/hnsw.cc.o.d"
+  "CMakeFiles/mqa_graph.dir/nn_descent.cc.o"
+  "CMakeFiles/mqa_graph.dir/nn_descent.cc.o.d"
+  "CMakeFiles/mqa_graph.dir/pipeline.cc.o"
+  "CMakeFiles/mqa_graph.dir/pipeline.cc.o.d"
+  "CMakeFiles/mqa_graph.dir/search.cc.o"
+  "CMakeFiles/mqa_graph.dir/search.cc.o.d"
+  "libmqa_graph.a"
+  "libmqa_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqa_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqa_learning.dir/weight_learner.cc.o"
+  "CMakeFiles/mqa_learning.dir/weight_learner.cc.o.d"
+  "libmqa_learning.a"
+  "libmqa_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqa_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/llm/prompt_builder.cc" "src/llm/CMakeFiles/mqa_llm.dir/prompt_builder.cc.o" "gcc" "src/llm/CMakeFiles/mqa_llm.dir/prompt_builder.cc.o.d"
+  "/root/repo/src/llm/query_rewriter.cc" "src/llm/CMakeFiles/mqa_llm.dir/query_rewriter.cc.o" "gcc" "src/llm/CMakeFiles/mqa_llm.dir/query_rewriter.cc.o.d"
+  "/root/repo/src/llm/sim_image_generator.cc" "src/llm/CMakeFiles/mqa_llm.dir/sim_image_generator.cc.o" "gcc" "src/llm/CMakeFiles/mqa_llm.dir/sim_image_generator.cc.o.d"
+  "/root/repo/src/llm/sim_llm.cc" "src/llm/CMakeFiles/mqa_llm.dir/sim_llm.cc.o" "gcc" "src/llm/CMakeFiles/mqa_llm.dir/sim_llm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mqa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mqa_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/vector/CMakeFiles/mqa_vector.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

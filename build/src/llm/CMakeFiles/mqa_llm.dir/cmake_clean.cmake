@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqa_llm.dir/prompt_builder.cc.o"
+  "CMakeFiles/mqa_llm.dir/prompt_builder.cc.o.d"
+  "CMakeFiles/mqa_llm.dir/query_rewriter.cc.o"
+  "CMakeFiles/mqa_llm.dir/query_rewriter.cc.o.d"
+  "CMakeFiles/mqa_llm.dir/sim_image_generator.cc.o"
+  "CMakeFiles/mqa_llm.dir/sim_image_generator.cc.o.d"
+  "CMakeFiles/mqa_llm.dir/sim_llm.cc.o"
+  "CMakeFiles/mqa_llm.dir/sim_llm.cc.o.d"
+  "libmqa_llm.a"
+  "libmqa_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqa_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqa_retrieval.dir/factory.cc.o"
+  "CMakeFiles/mqa_retrieval.dir/factory.cc.o.d"
+  "CMakeFiles/mqa_retrieval.dir/framework.cc.o"
+  "CMakeFiles/mqa_retrieval.dir/framework.cc.o.d"
+  "CMakeFiles/mqa_retrieval.dir/je.cc.o"
+  "CMakeFiles/mqa_retrieval.dir/je.cc.o.d"
+  "CMakeFiles/mqa_retrieval.dir/mr.cc.o"
+  "CMakeFiles/mqa_retrieval.dir/mr.cc.o.d"
+  "CMakeFiles/mqa_retrieval.dir/must.cc.o"
+  "CMakeFiles/mqa_retrieval.dir/must.cc.o.d"
+  "libmqa_retrieval.a"
+  "libmqa_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqa_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/knowledge_base.cc" "src/storage/CMakeFiles/mqa_storage.dir/knowledge_base.cc.o" "gcc" "src/storage/CMakeFiles/mqa_storage.dir/knowledge_base.cc.o.d"
+  "/root/repo/src/storage/word_lists.cc" "src/storage/CMakeFiles/mqa_storage.dir/word_lists.cc.o" "gcc" "src/storage/CMakeFiles/mqa_storage.dir/word_lists.cc.o.d"
+  "/root/repo/src/storage/world.cc" "src/storage/CMakeFiles/mqa_storage.dir/world.cc.o" "gcc" "src/storage/CMakeFiles/mqa_storage.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mqa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vector/CMakeFiles/mqa_vector.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqa_storage.dir/knowledge_base.cc.o"
+  "CMakeFiles/mqa_storage.dir/knowledge_base.cc.o.d"
+  "CMakeFiles/mqa_storage.dir/word_lists.cc.o"
+  "CMakeFiles/mqa_storage.dir/word_lists.cc.o.d"
+  "CMakeFiles/mqa_storage.dir/world.cc.o"
+  "CMakeFiles/mqa_storage.dir/world.cc.o.d"
+  "libmqa_storage.a"
+  "libmqa_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqa_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vector/distance.cc" "src/vector/CMakeFiles/mqa_vector.dir/distance.cc.o" "gcc" "src/vector/CMakeFiles/mqa_vector.dir/distance.cc.o.d"
+  "/root/repo/src/vector/multi_distance.cc" "src/vector/CMakeFiles/mqa_vector.dir/multi_distance.cc.o" "gcc" "src/vector/CMakeFiles/mqa_vector.dir/multi_distance.cc.o.d"
+  "/root/repo/src/vector/vector_store.cc" "src/vector/CMakeFiles/mqa_vector.dir/vector_store.cc.o" "gcc" "src/vector/CMakeFiles/mqa_vector.dir/vector_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mqa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqa_vector.dir/distance.cc.o"
+  "CMakeFiles/mqa_vector.dir/distance.cc.o.d"
+  "CMakeFiles/mqa_vector.dir/multi_distance.cc.o"
+  "CMakeFiles/mqa_vector.dir/multi_distance.cc.o.d"
+  "CMakeFiles/mqa_vector.dir/vector_store.cc.o"
+  "CMakeFiles/mqa_vector.dir/vector_store.cc.o.d"
+  "libmqa_vector.a"
+  "libmqa_vector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqa_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqa_common_test.dir/logging_test.cc.o"
+  "CMakeFiles/mqa_common_test.dir/logging_test.cc.o.d"
+  "CMakeFiles/mqa_common_test.dir/random_test.cc.o"
+  "CMakeFiles/mqa_common_test.dir/random_test.cc.o.d"
+  "CMakeFiles/mqa_common_test.dir/status_test.cc.o"
+  "CMakeFiles/mqa_common_test.dir/status_test.cc.o.d"
+  "CMakeFiles/mqa_common_test.dir/string_util_test.cc.o"
+  "CMakeFiles/mqa_common_test.dir/string_util_test.cc.o.d"
+  "CMakeFiles/mqa_common_test.dir/thread_pool_test.cc.o"
+  "CMakeFiles/mqa_common_test.dir/thread_pool_test.cc.o.d"
+  "CMakeFiles/mqa_common_test.dir/topk_test.cc.o"
+  "CMakeFiles/mqa_common_test.dir/topk_test.cc.o.d"
+  "mqa_common_test"
+  "mqa_common_test.pdb"
+  "mqa_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqa_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/answer_generator_test.cc" "tests/core/CMakeFiles/mqa_core_test.dir/answer_generator_test.cc.o" "gcc" "tests/core/CMakeFiles/mqa_core_test.dir/answer_generator_test.cc.o.d"
+  "/root/repo/tests/core/config_parser_test.cc" "tests/core/CMakeFiles/mqa_core_test.dir/config_parser_test.cc.o" "gcc" "tests/core/CMakeFiles/mqa_core_test.dir/config_parser_test.cc.o.d"
+  "/root/repo/tests/core/coordinator_test.cc" "tests/core/CMakeFiles/mqa_core_test.dir/coordinator_test.cc.o" "gcc" "tests/core/CMakeFiles/mqa_core_test.dir/coordinator_test.cc.o.d"
+  "/root/repo/tests/core/experiment_test.cc" "tests/core/CMakeFiles/mqa_core_test.dir/experiment_test.cc.o" "gcc" "tests/core/CMakeFiles/mqa_core_test.dir/experiment_test.cc.o.d"
+  "/root/repo/tests/core/filtered_query_test.cc" "tests/core/CMakeFiles/mqa_core_test.dir/filtered_query_test.cc.o" "gcc" "tests/core/CMakeFiles/mqa_core_test.dir/filtered_query_test.cc.o.d"
+  "/root/repo/tests/core/ingestion_test.cc" "tests/core/CMakeFiles/mqa_core_test.dir/ingestion_test.cc.o" "gcc" "tests/core/CMakeFiles/mqa_core_test.dir/ingestion_test.cc.o.d"
+  "/root/repo/tests/core/multimodal_test.cc" "tests/core/CMakeFiles/mqa_core_test.dir/multimodal_test.cc.o" "gcc" "tests/core/CMakeFiles/mqa_core_test.dir/multimodal_test.cc.o.d"
+  "/root/repo/tests/core/persistence_test.cc" "tests/core/CMakeFiles/mqa_core_test.dir/persistence_test.cc.o" "gcc" "tests/core/CMakeFiles/mqa_core_test.dir/persistence_test.cc.o.d"
+  "/root/repo/tests/core/query_executor_test.cc" "tests/core/CMakeFiles/mqa_core_test.dir/query_executor_test.cc.o" "gcc" "tests/core/CMakeFiles/mqa_core_test.dir/query_executor_test.cc.o.d"
+  "/root/repo/tests/core/represent_test.cc" "tests/core/CMakeFiles/mqa_core_test.dir/represent_test.cc.o" "gcc" "tests/core/CMakeFiles/mqa_core_test.dir/represent_test.cc.o.d"
+  "/root/repo/tests/core/rewriting_test.cc" "tests/core/CMakeFiles/mqa_core_test.dir/rewriting_test.cc.o" "gcc" "tests/core/CMakeFiles/mqa_core_test.dir/rewriting_test.cc.o.d"
+  "/root/repo/tests/core/session_test.cc" "tests/core/CMakeFiles/mqa_core_test.dir/session_test.cc.o" "gcc" "tests/core/CMakeFiles/mqa_core_test.dir/session_test.cc.o.d"
+  "/root/repo/tests/core/status_monitor_test.cc" "tests/core/CMakeFiles/mqa_core_test.dir/status_monitor_test.cc.o" "gcc" "tests/core/CMakeFiles/mqa_core_test.dir/status_monitor_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mqa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/diskindex/CMakeFiles/mqa_diskindex.dir/DependInfo.cmake"
+  "/root/repo/build/src/learning/CMakeFiles/mqa_learning.dir/DependInfo.cmake"
+  "/root/repo/build/src/retrieval/CMakeFiles/mqa_retrieval.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoder/CMakeFiles/mqa_encoder.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mqa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/mqa_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/mqa_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mqa_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/vector/CMakeFiles/mqa_vector.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mqa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqa_core_test.dir/answer_generator_test.cc.o"
+  "CMakeFiles/mqa_core_test.dir/answer_generator_test.cc.o.d"
+  "CMakeFiles/mqa_core_test.dir/config_parser_test.cc.o"
+  "CMakeFiles/mqa_core_test.dir/config_parser_test.cc.o.d"
+  "CMakeFiles/mqa_core_test.dir/coordinator_test.cc.o"
+  "CMakeFiles/mqa_core_test.dir/coordinator_test.cc.o.d"
+  "CMakeFiles/mqa_core_test.dir/experiment_test.cc.o"
+  "CMakeFiles/mqa_core_test.dir/experiment_test.cc.o.d"
+  "CMakeFiles/mqa_core_test.dir/filtered_query_test.cc.o"
+  "CMakeFiles/mqa_core_test.dir/filtered_query_test.cc.o.d"
+  "CMakeFiles/mqa_core_test.dir/ingestion_test.cc.o"
+  "CMakeFiles/mqa_core_test.dir/ingestion_test.cc.o.d"
+  "CMakeFiles/mqa_core_test.dir/multimodal_test.cc.o"
+  "CMakeFiles/mqa_core_test.dir/multimodal_test.cc.o.d"
+  "CMakeFiles/mqa_core_test.dir/persistence_test.cc.o"
+  "CMakeFiles/mqa_core_test.dir/persistence_test.cc.o.d"
+  "CMakeFiles/mqa_core_test.dir/query_executor_test.cc.o"
+  "CMakeFiles/mqa_core_test.dir/query_executor_test.cc.o.d"
+  "CMakeFiles/mqa_core_test.dir/represent_test.cc.o"
+  "CMakeFiles/mqa_core_test.dir/represent_test.cc.o.d"
+  "CMakeFiles/mqa_core_test.dir/rewriting_test.cc.o"
+  "CMakeFiles/mqa_core_test.dir/rewriting_test.cc.o.d"
+  "CMakeFiles/mqa_core_test.dir/session_test.cc.o"
+  "CMakeFiles/mqa_core_test.dir/session_test.cc.o.d"
+  "CMakeFiles/mqa_core_test.dir/status_monitor_test.cc.o"
+  "CMakeFiles/mqa_core_test.dir/status_monitor_test.cc.o.d"
+  "mqa_core_test"
+  "mqa_core_test.pdb"
+  "mqa_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqa_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

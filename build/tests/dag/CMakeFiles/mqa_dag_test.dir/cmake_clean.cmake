@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqa_dag_test.dir/dag_test.cc.o"
+  "CMakeFiles/mqa_dag_test.dir/dag_test.cc.o.d"
+  "mqa_dag_test"
+  "mqa_dag_test.pdb"
+  "mqa_dag_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqa_dag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

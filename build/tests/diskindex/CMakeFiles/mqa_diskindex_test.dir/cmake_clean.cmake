@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqa_diskindex_test.dir/disk_index_test.cc.o"
+  "CMakeFiles/mqa_diskindex_test.dir/disk_index_test.cc.o.d"
+  "CMakeFiles/mqa_diskindex_test.dir/starling_factory_test.cc.o"
+  "CMakeFiles/mqa_diskindex_test.dir/starling_factory_test.cc.o.d"
+  "mqa_diskindex_test"
+  "mqa_diskindex_test.pdb"
+  "mqa_diskindex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqa_diskindex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

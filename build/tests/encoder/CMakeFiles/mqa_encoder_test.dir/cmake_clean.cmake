@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqa_encoder_test.dir/precomputed_encoder_test.cc.o"
+  "CMakeFiles/mqa_encoder_test.dir/precomputed_encoder_test.cc.o.d"
+  "CMakeFiles/mqa_encoder_test.dir/sim_encoders_test.cc.o"
+  "CMakeFiles/mqa_encoder_test.dir/sim_encoders_test.cc.o.d"
+  "mqa_encoder_test"
+  "mqa_encoder_test.pdb"
+  "mqa_encoder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqa_encoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

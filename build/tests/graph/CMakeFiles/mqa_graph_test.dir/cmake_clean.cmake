@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqa_graph_test.dir/filtered_search_test.cc.o"
+  "CMakeFiles/mqa_graph_test.dir/filtered_search_test.cc.o.d"
+  "CMakeFiles/mqa_graph_test.dir/graph_test.cc.o"
+  "CMakeFiles/mqa_graph_test.dir/graph_test.cc.o.d"
+  "CMakeFiles/mqa_graph_test.dir/hnsw_test.cc.o"
+  "CMakeFiles/mqa_graph_test.dir/hnsw_test.cc.o.d"
+  "CMakeFiles/mqa_graph_test.dir/index_factory_test.cc.o"
+  "CMakeFiles/mqa_graph_test.dir/index_factory_test.cc.o.d"
+  "CMakeFiles/mqa_graph_test.dir/insertion_test.cc.o"
+  "CMakeFiles/mqa_graph_test.dir/insertion_test.cc.o.d"
+  "CMakeFiles/mqa_graph_test.dir/persistence_test.cc.o"
+  "CMakeFiles/mqa_graph_test.dir/persistence_test.cc.o.d"
+  "CMakeFiles/mqa_graph_test.dir/pipeline_test.cc.o"
+  "CMakeFiles/mqa_graph_test.dir/pipeline_test.cc.o.d"
+  "CMakeFiles/mqa_graph_test.dir/search_test.cc.o"
+  "CMakeFiles/mqa_graph_test.dir/search_test.cc.o.d"
+  "mqa_graph_test"
+  "mqa_graph_test.pdb"
+  "mqa_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqa_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

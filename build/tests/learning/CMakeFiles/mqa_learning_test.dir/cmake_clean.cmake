@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqa_learning_test.dir/neighborhood_triplets_test.cc.o"
+  "CMakeFiles/mqa_learning_test.dir/neighborhood_triplets_test.cc.o.d"
+  "CMakeFiles/mqa_learning_test.dir/weight_learner_test.cc.o"
+  "CMakeFiles/mqa_learning_test.dir/weight_learner_test.cc.o.d"
+  "mqa_learning_test"
+  "mqa_learning_test.pdb"
+  "mqa_learning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqa_learning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

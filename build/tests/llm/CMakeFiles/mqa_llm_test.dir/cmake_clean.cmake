@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqa_llm_test.dir/prompt_builder_test.cc.o"
+  "CMakeFiles/mqa_llm_test.dir/prompt_builder_test.cc.o.d"
+  "CMakeFiles/mqa_llm_test.dir/query_rewriter_test.cc.o"
+  "CMakeFiles/mqa_llm_test.dir/query_rewriter_test.cc.o.d"
+  "CMakeFiles/mqa_llm_test.dir/sim_image_generator_test.cc.o"
+  "CMakeFiles/mqa_llm_test.dir/sim_image_generator_test.cc.o.d"
+  "CMakeFiles/mqa_llm_test.dir/sim_llm_test.cc.o"
+  "CMakeFiles/mqa_llm_test.dir/sim_llm_test.cc.o.d"
+  "mqa_llm_test"
+  "mqa_llm_test.pdb"
+  "mqa_llm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqa_llm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

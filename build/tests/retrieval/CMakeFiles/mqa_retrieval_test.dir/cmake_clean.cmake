@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqa_retrieval_test.dir/comparative_test.cc.o"
+  "CMakeFiles/mqa_retrieval_test.dir/comparative_test.cc.o.d"
+  "CMakeFiles/mqa_retrieval_test.dir/cross_modal_test.cc.o"
+  "CMakeFiles/mqa_retrieval_test.dir/cross_modal_test.cc.o.d"
+  "CMakeFiles/mqa_retrieval_test.dir/framework_test.cc.o"
+  "CMakeFiles/mqa_retrieval_test.dir/framework_test.cc.o.d"
+  "CMakeFiles/mqa_retrieval_test.dir/frameworks_test.cc.o"
+  "CMakeFiles/mqa_retrieval_test.dir/frameworks_test.cc.o.d"
+  "mqa_retrieval_test"
+  "mqa_retrieval_test.pdb"
+  "mqa_retrieval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqa_retrieval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage/knowledge_base_test.cc" "tests/storage/CMakeFiles/mqa_storage_test.dir/knowledge_base_test.cc.o" "gcc" "tests/storage/CMakeFiles/mqa_storage_test.dir/knowledge_base_test.cc.o.d"
+  "/root/repo/tests/storage/reobserve_test.cc" "tests/storage/CMakeFiles/mqa_storage_test.dir/reobserve_test.cc.o" "gcc" "tests/storage/CMakeFiles/mqa_storage_test.dir/reobserve_test.cc.o.d"
+  "/root/repo/tests/storage/serialization_fuzz_test.cc" "tests/storage/CMakeFiles/mqa_storage_test.dir/serialization_fuzz_test.cc.o" "gcc" "tests/storage/CMakeFiles/mqa_storage_test.dir/serialization_fuzz_test.cc.o.d"
+  "/root/repo/tests/storage/world_test.cc" "tests/storage/CMakeFiles/mqa_storage_test.dir/world_test.cc.o" "gcc" "tests/storage/CMakeFiles/mqa_storage_test.dir/world_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mqa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/diskindex/CMakeFiles/mqa_diskindex.dir/DependInfo.cmake"
+  "/root/repo/build/src/learning/CMakeFiles/mqa_learning.dir/DependInfo.cmake"
+  "/root/repo/build/src/retrieval/CMakeFiles/mqa_retrieval.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoder/CMakeFiles/mqa_encoder.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mqa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/mqa_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/mqa_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mqa_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/vector/CMakeFiles/mqa_vector.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mqa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

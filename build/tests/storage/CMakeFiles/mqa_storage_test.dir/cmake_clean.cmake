@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqa_storage_test.dir/knowledge_base_test.cc.o"
+  "CMakeFiles/mqa_storage_test.dir/knowledge_base_test.cc.o.d"
+  "CMakeFiles/mqa_storage_test.dir/reobserve_test.cc.o"
+  "CMakeFiles/mqa_storage_test.dir/reobserve_test.cc.o.d"
+  "CMakeFiles/mqa_storage_test.dir/serialization_fuzz_test.cc.o"
+  "CMakeFiles/mqa_storage_test.dir/serialization_fuzz_test.cc.o.d"
+  "CMakeFiles/mqa_storage_test.dir/world_test.cc.o"
+  "CMakeFiles/mqa_storage_test.dir/world_test.cc.o.d"
+  "mqa_storage_test"
+  "mqa_storage_test.pdb"
+  "mqa_storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqa_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

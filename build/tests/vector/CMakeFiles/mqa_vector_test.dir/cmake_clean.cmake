@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqa_vector_test.dir/distance_test.cc.o"
+  "CMakeFiles/mqa_vector_test.dir/distance_test.cc.o.d"
+  "CMakeFiles/mqa_vector_test.dir/multi_distance_test.cc.o"
+  "CMakeFiles/mqa_vector_test.dir/multi_distance_test.cc.o.d"
+  "CMakeFiles/mqa_vector_test.dir/vector_store_test.cc.o"
+  "CMakeFiles/mqa_vector_test.dir/vector_store_test.cc.o.d"
+  "mqa_vector_test"
+  "mqa_vector_test.pdb"
+  "mqa_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqa_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
