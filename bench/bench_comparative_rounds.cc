@@ -52,7 +52,7 @@ int Run() {
                       "R2 concept-prec", "R2 gt-hit", "R1 ms", "R2 ms",
                       "in-KB"});
 
-  for (const std::string& name : {"must", "mr", "je"}) {
+  for (const std::string name : {"must", "mr", "je"}) {
     auto fw = CreateRetrievalFramework(name, corpus->represented.store,
                                        corpus->represented.weights, index);
     if (!fw.ok()) {

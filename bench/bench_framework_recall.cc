@@ -38,7 +38,7 @@ int Run() {
     params.k = 10;
     params.beam_width = 96;
 
-    for (const std::string& name : {"must", "mr", "je"}) {
+    for (const std::string name : {"must", "mr", "je"}) {
       auto fw = CreateRetrievalFramework(name, corpus->represented.store,
                                          corpus->represented.weights, index);
       if (!fw.ok()) return 1;

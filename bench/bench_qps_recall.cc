@@ -47,7 +47,7 @@ int Run() {
   bench::Table table(
       {"framework", "beam", "recall@10 (vs exact)", "QPS", "avg dist comps"});
 
-  for (const std::string& name : {"must", "mr", "je"}) {
+  for (const std::string name : {"must", "mr", "je"}) {
     // Exact reference: same framework on a bruteforce index.
     IndexConfig brute;
     brute.algorithm = "bruteforce";

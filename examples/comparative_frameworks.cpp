@@ -54,7 +54,7 @@ int main() {
   std::printf("round 2 query: \"%s\" (+ the selected image)\n\n",
               mod.text.c_str());
 
-  for (const std::string& name : {"must", "mr", "je"}) {
+  for (const std::string name : {"must", "mr", "je"}) {
     auto fw = mqa::CreateRetrievalFramework(name, corpus.represented.store,
                                             corpus.represented.weights,
                                             index);

@@ -1,0 +1,23 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mqa {
+namespace internal {
+
+CheckFailure::CheckFailure(const char* file, int line,
+                           const char* condition) {
+  stream_ << file << ":" << line << " Check failed: " << condition;
+}
+
+CheckFailure::~CheckFailure() {
+  const std::string message = stream_.str();
+  std::fputs(message.c_str(), stderr);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace mqa

@@ -1,0 +1,99 @@
+#ifndef MQA_COMMON_CHECK_H_
+#define MQA_COMMON_CHECK_H_
+
+#include <sstream>
+#include <utility>
+
+namespace mqa {
+namespace internal {
+
+/// Stream-style fatal-invariant sink. Collects the failure message and, on
+/// destruction, prints "file:line Check failed: <cond> <message>" to stderr
+/// and aborts the process. Used only via the MQA_CHECK* macros below.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition);
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  /// Aborts; never returns normally.
+  ~CheckFailure();
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  /// Appends the evaluated operands of a binary comparison check.
+  template <typename A, typename B>
+  CheckFailure& WithOperands(const A& a, const B& b) {
+    stream_ << " (" << a << " vs " << b << ")";
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows the CheckFailure stream so MQA_CHECK can be a void expression
+/// usable inside ternaries (the Google glog "voidify" trick).
+struct CheckVoidify {
+  void operator&(const CheckFailure&) const {}
+};
+
+}  // namespace internal
+}  // namespace mqa
+
+/// Fatal invariant check, always on (including release builds):
+///   MQA_CHECK(ptr != nullptr) << "while loading " << path;
+/// On failure prints file:line, the stringified condition and the streamed
+/// message, then aborts. Prefer these over raw assert(): they survive
+/// NDEBUG, carry context, and the custom lint bans assert() outside this
+/// header's machinery.
+#define MQA_CHECK(condition)                            \
+  (condition) ? (void)0                                 \
+              : ::mqa::internal::CheckVoidify() &       \
+                    ::mqa::internal::CheckFailure(      \
+                        __FILE__, __LINE__, #condition)
+
+/// Binary comparison checks; evaluate each operand exactly once and print
+/// both values on failure. Statement-shaped (they expand to an if/else), so
+/// use them as standalone statements, optionally with a streamed message.
+#define MQA_CHECK_OP_(lhs, rhs, op)                                        \
+  if (auto mqa_check_pair_ = ::std::pair((lhs), (rhs));                    \
+      mqa_check_pair_.first op mqa_check_pair_.second) {                   \
+  } else /* NOLINT(readability/braces) */                                  \
+    ::mqa::internal::CheckFailure(__FILE__, __LINE__,                      \
+                                  #lhs " " #op " " #rhs)                   \
+        .WithOperands(mqa_check_pair_.first, mqa_check_pair_.second)
+
+#define MQA_CHECK_EQ(lhs, rhs) MQA_CHECK_OP_(lhs, rhs, ==)
+#define MQA_CHECK_NE(lhs, rhs) MQA_CHECK_OP_(lhs, rhs, !=)
+#define MQA_CHECK_LT(lhs, rhs) MQA_CHECK_OP_(lhs, rhs, <)
+#define MQA_CHECK_LE(lhs, rhs) MQA_CHECK_OP_(lhs, rhs, <=)
+#define MQA_CHECK_GT(lhs, rhs) MQA_CHECK_OP_(lhs, rhs, >)
+#define MQA_CHECK_GE(lhs, rhs) MQA_CHECK_OP_(lhs, rhs, >=)
+
+/// Debug-only variants: compiled out when NDEBUG is defined. Use for
+/// checks on hot paths where the condition is too expensive for release.
+#ifdef NDEBUG
+#define MQA_DCHECK(condition) MQA_CHECK(true || (condition))
+#define MQA_DCHECK_EQ(lhs, rhs) MQA_DCHECK((lhs) == (rhs))
+#define MQA_DCHECK_NE(lhs, rhs) MQA_DCHECK((lhs) != (rhs))
+#define MQA_DCHECK_LT(lhs, rhs) MQA_DCHECK((lhs) < (rhs))
+#define MQA_DCHECK_LE(lhs, rhs) MQA_DCHECK((lhs) <= (rhs))
+#define MQA_DCHECK_GT(lhs, rhs) MQA_DCHECK((lhs) > (rhs))
+#define MQA_DCHECK_GE(lhs, rhs) MQA_DCHECK((lhs) >= (rhs))
+#else
+#define MQA_DCHECK(condition) MQA_CHECK(condition)
+#define MQA_DCHECK_EQ(lhs, rhs) MQA_CHECK_EQ(lhs, rhs)
+#define MQA_DCHECK_NE(lhs, rhs) MQA_CHECK_NE(lhs, rhs)
+#define MQA_DCHECK_LT(lhs, rhs) MQA_CHECK_LT(lhs, rhs)
+#define MQA_DCHECK_LE(lhs, rhs) MQA_CHECK_LE(lhs, rhs)
+#define MQA_DCHECK_GT(lhs, rhs) MQA_CHECK_GT(lhs, rhs)
+#define MQA_DCHECK_GE(lhs, rhs) MQA_CHECK_GE(lhs, rhs)
+#endif
+
+#endif  // MQA_COMMON_CHECK_H_

@@ -12,7 +12,8 @@ namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
 
 std::mutex& LogMutex() {
-  static std::mutex* mu = new std::mutex;
+  // Intentionally leaked so logging from static destructors stays safe.
+  static std::mutex* mu = new std::mutex;  // NOLINT(mqa-naked-new)
   return *mu;
 }
 

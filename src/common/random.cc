@@ -1,8 +1,9 @@
 #include "common/random.h"
 
-#include <cassert>
 #include <cmath>
 #include <unordered_set>
+
+#include "common/check.h"
 
 namespace mqa {
 
@@ -37,7 +38,7 @@ uint64_t Rng::Next() {
 }
 
 uint64_t Rng::NextUint64(uint64_t n) {
-  assert(n > 0);
+  MQA_CHECK_GT(n, 0u) << " in Rng::NextUint64";
   // Rejection sampling to avoid modulo bias.
   const uint64_t threshold = (0ULL - n) % n;
   for (;;) {
@@ -47,7 +48,7 @@ uint64_t Rng::NextUint64(uint64_t n) {
 }
 
 int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
-  assert(lo <= hi);
+  MQA_CHECK_LE(lo, hi) << " in Rng::UniformInt";
   return lo + static_cast<int64_t>(
                   NextUint64(static_cast<uint64_t>(hi - lo) + 1));
 }

@@ -1,10 +1,10 @@
 #ifndef MQA_COMMON_RESULT_H_
 #define MQA_COMMON_RESULT_H_
 
-#include <cassert>
 #include <optional>
 #include <utility>
 
+#include "common/check.h"
 #include "common/status.h"
 
 namespace mqa {
@@ -17,7 +17,7 @@ namespace mqa {
 ///   if (!r.ok()) return r.status();
 ///   Index idx = std::move(r).Value();
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -40,17 +40,17 @@ class Result {
   /// The error status; `Status::OK()` when a value is held.
   const Status& status() const { return status_; }
 
-  /// Accessors. Precondition: ok().
+  /// Accessors. Precondition: ok(); violating it aborts with the error.
   const T& Value() const& {
-    assert(ok());
+    CheckOk();
     return *value_;
   }
   T& Value() & {
-    assert(ok());
+    CheckOk();
     return *value_;
   }
   T&& Value() && {
-    assert(ok());
+    CheckOk();
     return std::move(*value_);
   }
 
@@ -65,6 +65,10 @@ class Result {
   }
 
  private:
+  void CheckOk() const {
+    MQA_CHECK(ok()) << ": Result::Value() on error: " << status_.ToString();
+  }
+
   Status status_;  // OK when value_ is engaged.
   std::optional<T> value_;
 };

@@ -25,7 +25,9 @@ enum class StatusCode {
 const char* StatusCodeToString(StatusCode code);
 
 /// A success-or-error value. Cheap to copy in the OK case (no allocation).
-class Status {
+/// [[nodiscard]]: silently dropping a Status hides failures, so discarding
+/// one is a compile warning; use MQA_RETURN_NOT_OK or check ok() instead.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

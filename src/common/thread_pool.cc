@@ -1,7 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
+#include <exception>
 
 namespace mqa {
 
@@ -48,7 +48,19 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
       for (size_t i = begin; i < end; ++i) fn(i);
     }));
   }
-  for (auto& f : futs) f.get();
+  // Wait for EVERY chunk before propagating any exception: the chunks hold
+  // `fn` by reference, so unwinding while siblings still run would let them
+  // touch a destroyed callable. The first chunk failure (in completion
+  // order) is rethrown once all chunks have finished.
+  std::exception_ptr first_error;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void ThreadPool::WorkerLoop() {
@@ -74,7 +86,8 @@ void ThreadPool::WorkerLoop() {
 }
 
 ThreadPool& DefaultThreadPool() {
-  static ThreadPool* pool =
+  // Intentionally leaked so worker shutdown never races static destruction.
+  static ThreadPool* pool =  // NOLINT(mqa-naked-new)
       new ThreadPool(std::max(1u, std::thread::hardware_concurrency()));
   return *pool;
 }

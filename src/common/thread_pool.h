@@ -32,6 +32,12 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, n) across the pool and blocks until all
   /// iterations finish. Iterations are chunked to limit queue overhead.
+  ///
+  /// Exception contract: if fn throws in any chunk, ParallelFor waits for
+  /// every remaining chunk to finish and then rethrows the first exception
+  /// to the caller; workers never std::terminate and the pool stays usable.
+  /// Must not be called from a task running on this same pool (the caller
+  /// blocks on a worker slot it may itself occupy).
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   size_t num_threads() const { return workers_.size(); }

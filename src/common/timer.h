@@ -6,6 +6,11 @@
 namespace mqa {
 
 /// Monotonic wall-clock stopwatch used by benchmarks and the status monitor.
+///
+/// Not synchronized by design: a Timer instance is owned by the single
+/// thread that constructed it (bench workers and DAG stages each keep their
+/// own). Share measurements, not Timer objects, across threads — this is
+/// what keeps the bench binaries TSan-clean.
 class Timer {
  public:
   Timer() : start_(Clock::now()) {}

@@ -23,8 +23,13 @@ const char* ComponentStageToString(ComponentStage stage) {
 }
 
 void StatusMonitor::Emit(StatusEvent event) {
-  history_.push_back(event);
-  if (callback_) callback_(history_.back());
+  Callback callback;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    history_.push_back(event);
+    callback = callback_;
+  }
+  if (callback) callback(event);
 }
 
 void StatusMonitor::Emit(ComponentStage stage, std::string message,
@@ -34,7 +39,7 @@ void StatusMonitor::Emit(ComponentStage stage, std::string message,
 
 std::string StatusMonitor::Render() const {
   std::string out;
-  for (const StatusEvent& e : history_) {
+  for (const StatusEvent& e : history()) {
     out += e.completed ? "[x] " : "[ ] ";
     out += ComponentStageToString(e.stage);
     out += ": ";

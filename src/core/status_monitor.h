@@ -2,6 +2,7 @@
 #define MQA_CORE_STATUS_MONITOR_H_
 
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,25 +31,43 @@ struct StatusEvent {
 /// Collects milestone events ("data preprocessing done: 5000 objects, 2
 /// modalities", ...) and forwards them to an optional subscriber — the
 /// backend half of the paper's status monitoring panel.
+///
+/// Thread-safe: pipeline stages running on the DAG executor may Emit
+/// concurrently, so the history is mutex-guarded and `history()` returns a
+/// snapshot. The subscriber callback is invoked outside the lock (a
+/// callback that re-enters the monitor must not assume ordering against
+/// concurrent emitters).
 class StatusMonitor {
  public:
   using Callback = std::function<void(const StatusEvent&)>;
 
   /// Registers a subscriber (replaces any previous one).
-  void Subscribe(Callback callback) { callback_ = std::move(callback); }
+  void Subscribe(Callback callback) {
+    std::lock_guard<std::mutex> lock(mu_);
+    callback_ = std::move(callback);
+  }
 
   /// Records an event and notifies the subscriber.
   void Emit(StatusEvent event);
   void Emit(ComponentStage stage, std::string message,
             double elapsed_ms = 0.0);
 
-  const std::vector<StatusEvent>& history() const { return history_; }
-  void Clear() { history_.clear(); }
+  /// Snapshot of all events recorded so far.
+  std::vector<StatusEvent> history() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return history_;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    history_.clear();
+  }
 
   /// Renders the history as the panel would show it (one line per event).
   std::string Render() const;
 
  private:
+  mutable std::mutex mu_;
   Callback callback_;
   std::vector<StatusEvent> history_;
 };

@@ -1,7 +1,9 @@
 #include "dag/dag.h"
 
 #include <condition_variable>
+#include <exception>
 #include <queue>
+#include <string>
 
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -93,7 +95,20 @@ Status DagPipeline::Run(DagContext* ctx, bool parallel) {
 
   auto run_node = [&](size_t i) {
     Timer timer;
-    Status st = nodes_[i].fn(ctx);
+    // A stage that throws must still be accounted for: in parallel mode the
+    // pool's future is never drained, so an escaping exception would leave
+    // `inflight` forever nonzero and deadlock Run() on the cv. Convert to a
+    // Status instead.
+    Status st;
+    try {
+      st = nodes_[i].fn(ctx);
+    } catch (const std::exception& e) {
+      st = Status::Internal("node '" + nodes_[i].name +
+                            "' threw: " + e.what());
+    } catch (...) {
+      st = Status::Internal("node '" + nodes_[i].name +
+                            "' threw a non-std exception");
+    }
     const double ms = timer.ElapsedMillis();
     std::lock_guard<std::mutex> lock(mu);
     reports_.push_back(NodeReport{nodes_[i].name, ms, st});

@@ -5,6 +5,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "common/check.h"
 #include "common/result.h"
 
 namespace mqa {
@@ -19,13 +20,19 @@ class AdjacencyGraph {
   uint32_t num_nodes() const { return static_cast<uint32_t>(adj_.size()); }
 
   const std::vector<uint32_t>& neighbors(uint32_t node) const {
+    MQA_DCHECK_LT(node, num_nodes());
     return adj_[node];
   }
   std::vector<uint32_t>* mutable_neighbors(uint32_t node) {
+    MQA_DCHECK_LT(node, num_nodes());
     return &adj_[node];
   }
 
-  void AddEdge(uint32_t from, uint32_t to) { adj_[from].push_back(to); }
+  void AddEdge(uint32_t from, uint32_t to) {
+    MQA_DCHECK_LT(from, num_nodes());
+    MQA_DCHECK_LT(to, num_nodes());
+    adj_[from].push_back(to);
+  }
 
   /// Appends a new isolated node; returns its id.
   uint32_t AddNode() {
@@ -33,6 +40,7 @@ class AdjacencyGraph {
     return num_nodes() - 1;
   }
   void SetNeighbors(uint32_t node, std::vector<uint32_t> neighbors) {
+    MQA_DCHECK_LT(node, num_nodes());
     adj_[node] = std::move(neighbors);
   }
 

@@ -10,7 +10,9 @@ namespace {
 
 /// Conversational filler that never identifies the subject of a search.
 const std::unordered_set<std::string>& StopWords() {
-  static const auto* kStopWords = new std::unordered_set<std::string>{
+  // Intentionally leaked function-local singleton (never destroyed).
+  static const auto* kStopWords =  // NOLINT(mqa-naked-new)
+      new std::unordered_set<std::string>{
       "i",      "a",      "an",     "the",    "of",      "to",     "in",
       "on",     "for",    "with",   "and",    "or",      "would",  "could",
       "should", "can",    "you",    "me",     "my",      "we",     "us",

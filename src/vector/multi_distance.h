@@ -1,6 +1,7 @@
 #ifndef MQA_VECTOR_MULTI_DISTANCE_H_
 #define MQA_VECTOR_MULTI_DISTANCE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -12,15 +13,38 @@ namespace mqa {
 
 /// Counters for the computational-pruning ablation (MUST-E4). Accumulated by
 /// the incremental multi-vector scan.
+///
+/// The counters are atomic so that concurrent searches sharing one
+/// DistanceComputer (the serving path: many queries, one index) stay
+/// TSan-clean; increments are relaxed, so cross-counter totals read during
+/// a concurrent run are approximate and only exact once searches quiesce.
 struct DistanceStats {
-  uint64_t full_computations = 0;    ///< distances computed to completion
-  uint64_t pruned_computations = 0;  ///< distances abandoned early
-  uint64_t dims_scanned = 0;         ///< float components actually visited
+  std::atomic<uint64_t> full_computations{0};    ///< computed to completion
+  std::atomic<uint64_t> pruned_computations{0};  ///< abandoned early
+  std::atomic<uint64_t> dims_scanned{0};  ///< float components visited
 
-  void Reset() { *this = DistanceStats{}; }
+  DistanceStats() = default;
+  DistanceStats(const DistanceStats& other) { CopyFrom(other); }
+  DistanceStats& operator=(const DistanceStats& other) {
+    CopyFrom(other);
+    return *this;
+  }
+
+  void Reset() {
+    full_computations = 0;
+    pruned_computations = 0;
+    dims_scanned = 0;
+  }
 
   uint64_t TotalComputations() const {
     return full_computations + pruned_computations;
+  }
+
+ private:
+  void CopyFrom(const DistanceStats& other) {
+    full_computations.store(other.full_computations.load());
+    pruned_computations.store(other.pruned_computations.load());
+    dims_scanned.store(other.dims_scanned.load());
   }
 };
 

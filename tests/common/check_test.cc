@@ -1,0 +1,86 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mqa {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  MQA_CHECK(true) << "never shown";
+  MQA_CHECK_EQ(2 + 2, 4);
+  MQA_CHECK_NE(1, 2);
+  MQA_CHECK_LT(1, 2) << "context";
+  MQA_CHECK_LE(2, 2);
+  MQA_CHECK_GT(3, 2);
+  MQA_CHECK_GE(3, 3);
+  MQA_DCHECK(true);
+  MQA_DCHECK_EQ(0, 0);
+}
+
+TEST(CheckTest, OperandsEvaluateExactlyOnce) {
+  int calls = 0;
+  auto next = [&calls] { return ++calls; };
+  MQA_CHECK_LE(next(), 10);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckTest, WorksInsideUnbracedIfElse) {
+  // The statement-shaped CHECK_OP macros must not steal a dangling else.
+  bool took_else = false;
+  if (false)
+    MQA_CHECK_EQ(1, 1);
+  else
+    took_else = true;
+  EXPECT_TRUE(took_else);
+}
+
+TEST(CheckDeathTest, FailedCheckAbortsWithConditionAndMessage) {
+  EXPECT_DEATH(MQA_CHECK(1 == 2) << " while testing",
+               "Check failed: 1 == 2 while testing");
+}
+
+TEST(CheckDeathTest, ComparisonFailurePrintsBothOperands) {
+  const int lhs = 3;
+  const int rhs = 7;
+  EXPECT_DEATH(MQA_CHECK_EQ(lhs, rhs), "Check failed: lhs == rhs \\(3 vs 7\\)");
+}
+
+TEST(CheckDeathTest, FailureMessageCarriesFileAndLine) {
+  EXPECT_DEATH(MQA_CHECK(false), "check_test\\.cc:[0-9]+ Check failed");
+}
+
+TEST(CheckDeathTest, StreamedContextIsAppended) {
+  const uint64_t id = 99;
+  EXPECT_DEATH(MQA_CHECK_LT(id, 10u) << " bad id " << id,
+               "\\(99 vs 10\\) bad id 99");
+}
+
+// Result<T> misuse: taking the value of an error result is a fatal
+// invariant violation, not UB — the process aborts with the error status.
+TEST(CheckDeathTest, ResultValueOnErrorAborts) {
+  Result<int> r = Status::NotFound("no such index");
+  EXPECT_DEATH(r.Value(), "Result::Value\\(\\) on error.*no such index");
+}
+
+TEST(CheckDeathTest, ResultDereferenceOnErrorAborts) {
+  Result<int> r = Status::Internal("exploded");
+  EXPECT_DEATH(*r, "Result::Value\\(\\) on error.*exploded");
+}
+
+TEST(CheckDeathTest, MovedValueAccessOnErrorAborts) {
+  EXPECT_DEATH(
+      {
+        Result<int> r = Status::InvalidArgument("bad arg");
+        int v = std::move(r).Value();
+        (void)v;
+      },
+      "Result::Value\\(\\) on error.*bad arg");
+}
+
+}  // namespace
+}  // namespace mqa

@@ -1,0 +1,21 @@
+// NOT part of any test binary. This translation unit deliberately discards
+// a Status and a Result; the `common.nodiscard_enforced` ctest compiles it
+// with -Werror=unused-result and expects the compile to FAIL (WILL_FAIL),
+// proving that the [[nodiscard]] attributes on Status and Result<T> are
+// present and enforced.
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace {
+
+mqa::Status MakeStatus() { return mqa::Status::Internal("dropped"); }
+mqa::Result<int> MakeResult() { return mqa::Status::NotFound("dropped"); }
+
+}  // namespace
+
+int main() {
+  MakeStatus();  // discarded Status: must be a compile error
+  MakeResult();  // discarded Result: must be a compile error
+  return 0;
+}

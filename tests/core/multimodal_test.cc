@@ -64,7 +64,7 @@ TEST(ThreeModalityTest, MrAndJeAlsoHandleThreeModalities) {
   SearchParams params;
   params.k = 5;
   Rng rng(2);
-  for (const std::string& name : {"mr", "je"}) {
+  for (const std::string name : {"mr", "je"}) {
     auto fw = CreateRetrievalFramework(name, corpus->represented.store,
                                        corpus->represented.weights, index);
     ASSERT_TRUE(fw.ok()) << name;

@@ -1,0 +1,197 @@
+// Concurrency stress tests for the DAG executor, designed for the TSan
+// preset: concurrent parallel Run()s, shared-context publication across
+// dependent stages, failure/exception handling under parallel scheduling.
+
+#include "dag/dag.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mqa::dag {
+namespace {
+
+/// Diamond pipeline: source -> {left, right} -> sink. Each node checks its
+/// dependencies' outputs through the context, so ordering violations or
+/// torn publications surface as test failures (and races as TSan reports).
+Status RunDiamondOnce(int tag) {
+  DagContext ctx;
+  DagPipeline pipeline("diamond-" + std::to_string(tag));
+  MQA_RETURN_NOT_OK(pipeline.AddNode("source", {}, [](DagContext* c) {
+    c->Put<int>("a", 1);
+    return Status::OK();
+  }));
+  MQA_RETURN_NOT_OK(pipeline.AddNode("left", {"source"}, [](DagContext* c) {
+    MQA_ASSIGN_OR_RETURN(int* a, c->Get<int>("a"));
+    c->Put<int>("b", *a + 1);
+    return Status::OK();
+  }));
+  MQA_RETURN_NOT_OK(pipeline.AddNode("right", {"source"}, [](DagContext* c) {
+    MQA_ASSIGN_OR_RETURN(int* a, c->Get<int>("a"));
+    c->Put<int>("c", *a + 2);
+    return Status::OK();
+  }));
+  MQA_RETURN_NOT_OK(
+      pipeline.AddNode("sink", {"left", "right"}, [](DagContext* c) {
+        MQA_ASSIGN_OR_RETURN(int* b, c->Get<int>("b"));
+        MQA_ASSIGN_OR_RETURN(int* cc, c->Get<int>("c"));
+        if (*b + *cc != 5) return Status::Internal("lost an update");
+        return Status::OK();
+      }));
+  return pipeline.Run(&ctx, /*parallel=*/true);
+}
+
+TEST(DagStressTest, ConcurrentParallelDiamondRuns) {
+  constexpr int kThreads = 4;
+  constexpr int kItersEach = 10;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &failures] {
+      for (int i = 0; i < kItersEach; ++i) {
+        if (!RunDiamondOnce(t * kItersEach + i).ok()) ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(DagStressTest, WideFanOutIntoSink) {
+  constexpr int kWidth = 24;
+  DagContext ctx;
+  DagPipeline pipeline("fan-out");
+  std::atomic<int> sum{0};
+  std::vector<std::string> all;
+  for (int i = 0; i < kWidth; ++i) {
+    const std::string name = "n" + std::to_string(i);
+    all.push_back(name);
+    ASSERT_TRUE(pipeline
+                    .AddNode(name, {},
+                             [&sum, i](DagContext*) {
+                               sum += i;
+                               return Status::OK();
+                             })
+                    .ok());
+  }
+  ASSERT_TRUE(pipeline
+                  .AddNode("sink", all,
+                           [&sum](DagContext*) {
+                             // All producers happened-before the sink.
+                             return sum.load() == (kWidth * (kWidth - 1)) / 2
+                                        ? Status::OK()
+                                        : Status::Internal("missing updates");
+                           })
+                  .ok());
+  EXPECT_TRUE(pipeline.Run(&ctx, /*parallel=*/true).ok());
+  EXPECT_EQ(pipeline.reports().size(), static_cast<size_t>(kWidth) + 1);
+}
+
+TEST(DagStressTest, SharedContextDistinctKeysFromParallelStages) {
+  DagContext ctx;
+  DagPipeline pipeline("publishers");
+  constexpr int kWriters = 16;
+  std::vector<std::string> writers;
+  for (int i = 0; i < kWriters; ++i) {
+    const std::string name = "w" + std::to_string(i);
+    writers.push_back(name);
+    ASSERT_TRUE(pipeline
+                    .AddNode(name, {},
+                             [i](DagContext* c) {
+                               c->Put<int>("key" + std::to_string(i), i);
+                               return Status::OK();
+                             })
+                    .ok());
+  }
+  ASSERT_TRUE(pipeline
+                  .AddNode("reader", writers,
+                           [](DagContext* c) {
+                             for (int i = 0; i < kWriters; ++i) {
+                               MQA_ASSIGN_OR_RETURN(
+                                   int* v,
+                                   c->Get<int>("key" + std::to_string(i)));
+                               if (*v != i) {
+                                 return Status::Internal("torn publication");
+                               }
+                             }
+                             return Status::OK();
+                           })
+                  .ok());
+  EXPECT_TRUE(pipeline.Run(&ctx, /*parallel=*/true).ok());
+}
+
+TEST(DagStressTest, FailureStopsSchedulingUnderParallelRun) {
+  for (int iter = 0; iter < 5; ++iter) {
+    DagContext ctx;
+    DagPipeline pipeline("failing");
+    std::atomic<bool> downstream_ran{false};
+    ASSERT_TRUE(pipeline
+                    .AddNode("bad", {},
+                             [](DagContext*) {
+                               return Status::Internal("stage exploded");
+                             })
+                    .ok());
+    ASSERT_TRUE(pipeline
+                    .AddNode("after", {"bad"},
+                             [&downstream_ran](DagContext*) {
+                               downstream_ran = true;
+                               return Status::OK();
+                             })
+                    .ok());
+    const Status st = pipeline.Run(&ctx, /*parallel=*/true);
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.message(), "stage exploded");
+    EXPECT_FALSE(downstream_ran.load());
+  }
+}
+
+// Regression test: a stage that throws must surface as a Status instead of
+// deadlocking Run() (the pool future was never drained, so an escaping
+// exception used to leave `inflight` nonzero forever).
+TEST(DagStressTest, ThrowingStageBecomesStatusNotDeadlock) {
+  for (const bool parallel : {false, true}) {
+    DagContext ctx;
+    DagPipeline pipeline("throwing");
+    ASSERT_TRUE(pipeline
+                    .AddNode("boom", {},
+                             [](DagContext*) -> Status {
+                               throw std::runtime_error("kapow");
+                             })
+                    .ok());
+    const Status st = pipeline.Run(&ctx, parallel);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kInternal);
+    EXPECT_NE(st.message().find("kapow"), std::string::npos);
+  }
+}
+
+TEST(DagStressTest, DeepChainRepeatedRuns) {
+  // Re-running the same pipeline object concurrently is NOT supported
+  // (reports_ is per-run state); serial re-runs from one thread must work.
+  DagContext ctx;
+  DagPipeline pipeline("chain");
+  constexpr int kDepth = 32;
+  std::string prev;
+  for (int i = 0; i < kDepth; ++i) {
+    const std::string name = "s" + std::to_string(i);
+    std::vector<std::string> deps;
+    if (!prev.empty()) deps.push_back(prev);
+    ASSERT_TRUE(pipeline
+                    .AddNode(name, deps,
+                             [](DagContext*) { return Status::OK(); })
+                    .ok());
+    prev = name;
+  }
+  for (int run = 0; run < 3; ++run) {
+    EXPECT_TRUE(pipeline.Run(&ctx, /*parallel=*/true).ok());
+    EXPECT_EQ(pipeline.reports().size(), static_cast<size_t>(kDepth));
+  }
+}
+
+}  // namespace
+}  // namespace mqa::dag

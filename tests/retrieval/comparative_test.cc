@@ -35,7 +35,7 @@ TEST(ComparativeTest, MustBeatsBaselinesAcrossTwoRounds) {
   params.beam_width = 64;
 
   std::map<std::string, DialogueOutcome> scores;
-  for (const std::string& name : {"must", "mr", "je"}) {
+  for (const std::string name : {"must", "mr", "je"}) {
     auto fw = CreateRetrievalFramework(name, corpus->represented.store,
                                        corpus->represented.weights, index);
     ASSERT_TRUE(fw.ok()) << name;

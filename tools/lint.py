@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Repo-specific lint for the MQA codebase.
+
+Enforced rules (over src/):
+  guard       include guards must be named MQA_<PATH>_H_ (e.g.
+              src/graph/hnsw.h -> MQA_GRAPH_HNSW_H_) and closed with a
+              matching `#endif  // MQA_..._H_` comment.
+  naked-new   no naked `new`: every allocation must be owned on the same
+              (or the immediately preceding) line by unique_ptr/shared_ptr/
+              make_unique/make_shared, or carry a NOLINT marker.
+  endl        no std::endl (an unconditional flush) anywhere in src/ —
+              stream '\n' instead.
+  assert      no raw assert() / <cassert> outside common/check.h; use
+              MQA_CHECK / MQA_DCHECK, which survive NDEBUG and carry context.
+
+Also drives clang-tidy (--clang-tidy auto|on|off) when a binary and a
+compile_commands.json are available, and clang-format checking
+(--format-check-only) over src/ tests/ bench/ examples/.
+
+Exit code 0 = clean, 1 = violations found, 2 = usage/environment error.
+"""
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+SRC_EXTS = (".h", ".cc")
+FORMAT_DIRS = ("src", "tests", "bench", "examples")
+FORMAT_EXTS = (".h", ".cc", ".cpp")
+
+NOLINT_RE = re.compile(r"NOLINT")
+NEW_RE = re.compile(r"\bnew\s+[A-Za-z_:<]")
+OWNED_RE = re.compile(r"unique_ptr|shared_ptr|make_unique|make_shared")
+ASSERT_RE = re.compile(r"(^|[^_\w.])assert\s*\(")
+GUARD_IF_RE = re.compile(r"^#ifndef\s+(\S+)")
+GUARD_DEF_RE = re.compile(r"^#define\s+(\S+)")
+
+
+def repo_files(root, subdir, exts):
+    out = []
+    for dirpath, _, filenames in os.walk(os.path.join(root, subdir)):
+        for name in sorted(filenames):
+            if name.endswith(exts):
+                out.append(os.path.join(dirpath, name))
+    return sorted(out)
+
+
+def expected_guard(root, path):
+    rel = os.path.relpath(path, os.path.join(root, "src"))
+    token = re.sub(r"[^A-Za-z0-9]", "_", rel).upper()
+    return "MQA_%s_" % token
+
+
+def strip_comments_and_strings(line):
+    """Removes string/char literals and // comments so lint patterns do not
+    fire on prose. (Block comments are handled per-line well enough for this
+    codebase's style.)"""
+    line = re.sub(r'"(\\.|[^"\\])*"', '""', line)
+    line = re.sub(r"'(\\.|[^'\\])*'", "''", line)
+    line = re.sub(r"//.*$", "", line)
+    line = re.sub(r"/\*.*?\*/", "", line)
+    return line
+
+
+def lint_file(root, path, errors):
+    rel = os.path.relpath(path, root)
+    with open(path, encoding="utf-8") as f:
+        raw_lines = f.read().splitlines()
+
+    in_block_comment = False
+    prev_code = ""
+    for i, raw in enumerate(raw_lines, start=1):
+        line = raw
+        if in_block_comment:
+            if "*/" in line:
+                line = line.split("*/", 1)[1]
+                in_block_comment = False
+            else:
+                prev_code = ""
+                continue
+        code = strip_comments_and_strings(line)
+        if "/*" in code and "*/" not in code:
+            code = code.split("/*", 1)[0]
+            in_block_comment = True
+
+        stripped = code.strip()
+        if not stripped:
+            prev_code = ""
+            continue
+
+        has_nolint = NOLINT_RE.search(raw) or (
+            i > 1 and NOLINT_RE.search(raw_lines[i - 2]))
+
+        if NEW_RE.search(code):
+            owned = (OWNED_RE.search(code) or OWNED_RE.search(prev_code))
+            if not owned and not has_nolint:
+                errors.append(
+                    "%s:%d: [naked-new] naked `new`; wrap in "
+                    "make_unique/unique_ptr or mark NOLINT with a reason"
+                    % (rel, i))
+
+        if "std::endl" in code and not has_nolint:
+            errors.append(
+                "%s:%d: [endl] std::endl flushes on every use; stream "
+                "'\\n' instead" % (rel, i))
+
+        if ASSERT_RE.search(code) and not has_nolint:
+            if not rel.endswith(os.path.join("common", "check.h")):
+                errors.append(
+                    "%s:%d: [assert] raw assert(); use MQA_CHECK / "
+                    "MQA_DCHECK from common/check.h" % (rel, i))
+        if re.search(r"#include\s*<cassert>", code):
+            errors.append(
+                "%s:%d: [assert] <cassert> include; use common/check.h"
+                % (rel, i))
+
+        prev_code = code
+
+    if path.endswith(".h"):
+        guard = expected_guard(root, path)
+        ifndef = define = None
+        for raw in raw_lines:
+            if ifndef is None:
+                m = GUARD_IF_RE.match(raw)
+                if m:
+                    ifndef = m.group(1)
+                    continue
+            elif define is None:
+                m = GUARD_DEF_RE.match(raw)
+                if m:
+                    define = m.group(1)
+                break
+        if ifndef != guard or define != guard:
+            errors.append(
+                "%s:1: [guard] include guard must be %s (found %s)"
+                % (rel, guard, ifndef or "<none>"))
+        else:
+            endif_ok = any(
+                re.match(r"^#endif\s*//\s*%s\s*$" % re.escape(guard), raw)
+                for raw in raw_lines)
+            if not endif_ok:
+                errors.append(
+                    "%s: [guard] closing `#endif  // %s` comment missing"
+                    % (rel, guard))
+
+
+def run_clang_tidy(root, build_dir, mode):
+    if mode == "off":
+        return 0
+    tidy = shutil.which("clang-tidy")
+    compile_db = os.path.join(build_dir, "compile_commands.json") \
+        if build_dir else None
+    if tidy is None or not (compile_db and os.path.exists(compile_db)):
+        msg = ("clang-tidy skipped (%s)" %
+               ("binary not found" if tidy is None
+                else "no compile_commands.json in build dir"))
+        if mode == "on":
+            print("lint.py: ERROR: %s" % msg, file=sys.stderr)
+            return 2
+        print("lint.py: %s" % msg)
+        return 0
+    sources = repo_files(root, "src", (".cc",))
+    print("lint.py: running clang-tidy over %d files..." % len(sources))
+    rc = subprocess.call([tidy, "-p", build_dir, "--quiet"] + sources)
+    return 1 if rc != 0 else 0
+
+
+def run_format_check(root):
+    clang_format = shutil.which("clang-format")
+    if clang_format is None:
+        print("lint.py: clang-format not found; format check skipped")
+        return 0
+    files = []
+    for d in FORMAT_DIRS:
+        files.extend(repo_files(root, d, FORMAT_EXTS))
+    print("lint.py: checking format of %d files..." % len(files))
+    rc = subprocess.call([clang_format, "--dry-run", "-Werror"] + files)
+    return 1 if rc != 0 else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repository root (contains src/)")
+    parser.add_argument("--build-dir", default=None,
+                        help="build dir with compile_commands.json")
+    parser.add_argument("--clang-tidy", choices=["auto", "on", "off"],
+                        default="auto")
+    parser.add_argument("--format-check-only", action="store_true",
+                        help="only run the clang-format check and exit")
+    args = parser.parse_args()
+
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(os.path.join(root, "src")):
+        print("lint.py: no src/ under --root %s" % root, file=sys.stderr)
+        return 2
+
+    if args.format_check_only:
+        return run_format_check(root)
+
+    errors = []
+    files = repo_files(root, "src", SRC_EXTS)
+    for path in files:
+        lint_file(root, path, errors)
+    for e in errors:
+        print(e, file=sys.stderr)
+    print("lint.py: %d files checked, %d violation(s)"
+          % (len(files), len(errors)))
+
+    tidy_rc = run_clang_tidy(root, args.build_dir, args.clang_tidy)
+    if errors:
+        return 1
+    return tidy_rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())
