@@ -1,0 +1,143 @@
+// Chaos demo: a multi-round dialogue while faults are injected live into
+// the LLM, the text encoder and the query rewriter. The system never
+// returns an error to the user — it retries, trips a circuit breaker,
+// serves extractive answers, drops dead modalities — and every degradation
+// is visible in the turn's notes and on the status panel as "[!]" events.
+//
+//   FaultInjector::Global().Arm(...)  ->  Ask()  ->  inspect turn.degraded
+
+#include <cstdio>
+
+#include "common/clock.h"
+#include "common/fault.h"
+#include "core/coordinator.h"
+#include "llm/resilient_llm.h"
+
+namespace {
+
+void PrintTurn(const char* label, const mqa::AnswerTurn& turn) {
+  std::printf("\n=== %s ===\nassistant:\n%s\n", label, turn.answer.c_str());
+  for (const std::string& note : turn.degradation_notes) {
+    std::printf("  [degraded] %s\n", note.c_str());
+  }
+  if (!turn.degraded) std::printf("  (healthy round)\n");
+}
+
+}  // namespace
+
+int main() {
+  mqa::MqaConfig config;
+  config.world.num_concepts = 24;
+  config.world.seed = 7;
+  config.corpus_size = 1200;
+  config.search.k = 5;
+  config.index.algorithm = "mqa-hybrid";
+  // The resilient online pipeline: 3 LLM attempts with 10ms backoff, a
+  // breaker that opens after 2 straight failed rounds and probes after
+  // 250ms, and 2 attempts per encoder call.
+  config.resilience.enable = true;
+  config.resilience.llm_max_attempts = 3;
+  config.resilience.llm_initial_backoff_ms = 10.0;
+  config.resilience.breaker_failure_threshold = 2;
+  config.resilience.breaker_open_ms = 250.0;
+  config.resilience.breaker_half_open_successes = 1;
+  config.resilience.encoder_max_attempts = 2;
+
+  auto coordinator_or = mqa::Coordinator::Create(config);
+  if (!coordinator_or.ok()) {
+    std::fprintf(stderr, "failed to start MQA: %s\n",
+                 coordinator_or.status().ToString().c_str());
+    return 1;
+  }
+  auto coordinator = std::move(coordinator_or).Value();
+  auto& faults = mqa::FaultInjector::Global();
+  const auto* llm = dynamic_cast<const mqa::ResilientLlm*>(
+      coordinator->answer_generator()->llm());
+
+  mqa::UserQuery query;
+  query.text =
+      "i would like some images of " + coordinator->world().ConceptName(0);
+
+  // Round 1: everything healthy.
+  auto turn = coordinator->Ask(query);
+  if (!turn.ok()) return 1;
+  PrintTurn("round 1: healthy", *turn);
+
+  // Round 2: the LLM fails twice; the retry loop absorbs it silently.
+  mqa::FaultSpec transient;
+  transient.max_fires = 2;
+  faults.Arm("llm/complete", transient);
+  turn = coordinator->Ask(query);
+  if (!turn.ok()) return 1;
+  PrintTurn("round 2: transient LLM fault (absorbed by retries)", *turn);
+  std::printf("  retry stats: %d attempts, %.0f ms backoff\n",
+              llm->last_retry_stats().attempts,
+              llm->last_retry_stats().total_backoff_ms);
+
+  // Rounds 3-5: the LLM goes down hard. The first two rounds exhaust their
+  // retries and trip the breaker; round 5 fails fast while it is open.
+  // Every round still answers — extractively, from the retrieved results.
+  faults.Arm("llm/complete", mqa::FaultSpec{});
+  for (int round = 3; round <= 5; ++round) {
+    turn = coordinator->Ask(query);
+    if (!turn.ok()) return 1;
+    char label[64];
+    std::snprintf(label, sizeof(label), "round %d: LLM outage (breaker %s)",
+                  round, mqa::BreakerStateToString(llm->breaker_state()));
+    PrintTurn(label, *turn);
+  }
+
+  // The outage ends; after the cool-down a half-open probe heals the
+  // breaker and the LLM answers again. (Snapshot the counters first:
+  // Disarm discards them.)
+  const mqa::FaultPointStats llm_stats = faults.stats("llm/complete");
+  faults.Disarm("llm/complete");
+  mqa::SystemClock()->SleepForMillis(300.0);
+  turn = coordinator->Ask(query);
+  if (!turn.ok()) return 1;
+  PrintTurn("round 6: LLM recovered through half-open probe", *turn);
+  std::printf("  breaker trace:");
+  for (mqa::BreakerState s : llm->breaker().transitions()) {
+    std::printf(" -> %s", mqa::BreakerStateToString(s));
+  }
+  std::printf("\n");
+
+  // Round 7: the text encoder goes down mid-dialogue. The user clicked a
+  // result, so the image modality carries the search alone.
+  faults.Arm("encoder/sim-text", mqa::FaultSpec{});
+  mqa::UserQuery refine;
+  refine.text = "more like this one please";
+  refine.selected_object = turn->items.empty() ? 0 : turn->items[0].id;
+  turn = coordinator->Ask(refine);
+  if (!turn.ok()) return 1;
+  PrintTurn("round 7: text encoder outage (modality dropped)", *turn);
+  const mqa::FaultPointStats enc_stats = faults.stats("encoder/sim-text");
+  faults.Disarm("encoder/sim-text");
+
+  // Round 8: the rewriter hop fails once; the raw query text is searched.
+  mqa::FaultSpec once;
+  once.once = true;
+  faults.Arm("llm/rewrite", once);
+  turn = coordinator->Ask(query);
+  if (!turn.ok()) return 1;
+  PrintTurn("round 8: rewriter outage (raw query text)", *turn);
+
+  std::printf("\n=== fault-point hit counts ===\n");
+  const mqa::FaultPointStats rewrite_stats = faults.stats("llm/rewrite");
+  const struct {
+    const char* point;
+    mqa::FaultPointStats stats;
+  } counters[] = {{"llm/complete", llm_stats},
+                  {"encoder/sim-text", enc_stats},
+                  {"llm/rewrite", rewrite_stats}};
+  for (const auto& c : counters) {
+    std::printf("  %-20s hits=%llu fires=%llu\n", c.point,
+                static_cast<unsigned long long>(c.stats.hits),
+                static_cast<unsigned long long>(c.stats.fires));
+  }
+  faults.DisarmAll();
+
+  std::printf("\n=== status panel (note the [!] degraded events) ===\n%s",
+              coordinator->monitor().Render().c_str());
+  return 0;
+}

@@ -1,0 +1,34 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace mqa {
+
+namespace {
+
+/// The one place in the codebase allowed to call sleep_for: everything
+/// else must wait through a Clock so tests can substitute MockClock.
+class SteadyClock : public Clock {
+ public:
+  int64_t NowMicros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void SleepForMicros(int64_t micros) override {
+    if (micros <= 0) return;
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+};
+
+}  // namespace
+
+Clock* SystemClock() {
+  // Intentionally leaked singleton (never destroyed, shared by threads).
+  static SteadyClock* const kClock = new SteadyClock();  // NOLINT(mqa-naked-new)
+  return kClock;
+}
+
+}  // namespace mqa

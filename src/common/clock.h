@@ -1,0 +1,77 @@
+#ifndef MQA_COMMON_CLOCK_H_
+#define MQA_COMMON_CLOCK_H_
+
+#include <cstdint>
+#include <mutex>
+
+namespace mqa {
+
+/// Time source abstraction for every component that waits or expires:
+/// retry backoff, deadlines, circuit-breaker cool-downs and injected
+/// latency spikes all read and sleep through a Clock. Production code uses
+/// the process-wide SystemClock(); tests substitute a MockClock so retry
+/// and breaker schedules are asserted exactly and no test ever sleeps.
+///
+/// The repo lint (`tools/lint.py`, rule `sleep`) forbids direct
+/// `sleep_for`/`sleep_until` anywhere in src/ except the SystemClock
+/// implementation, so time-dependent logic cannot bypass this interface.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic time in microseconds. Only differences are meaningful.
+  virtual int64_t NowMicros() const = 0;
+
+  /// Blocks the calling thread for the given duration (no-op when <= 0).
+  virtual void SleepForMicros(int64_t micros) = 0;
+
+  /// Convenience wrappers in milliseconds (fractional).
+  double NowMillis() const { return static_cast<double>(NowMicros()) / 1e3; }
+  void SleepForMillis(double millis) {
+    SleepForMicros(static_cast<int64_t>(millis * 1e3));
+  }
+};
+
+/// The real monotonic clock (std::chrono::steady_clock). Process-wide
+/// singleton; never destroyed.
+Clock* SystemClock();
+
+/// A manually advanced clock for tests: `SleepForMicros` advances the
+/// current time instead of blocking, so code under test experiences the
+/// passage of time without wall-clock delay. Thread-safe.
+class MockClock : public Clock {
+ public:
+  explicit MockClock(int64_t start_micros = 0) : now_micros_(start_micros) {}
+
+  int64_t NowMicros() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return now_micros_;
+  }
+
+  void SleepForMicros(int64_t micros) override {
+    if (micros <= 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    now_micros_ += micros;
+  }
+
+  /// Moves time forward without a sleeper (e.g. to expire a breaker
+  /// cool-down between calls).
+  void AdvanceMicros(int64_t micros) {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_micros_ += micros;
+  }
+  void AdvanceMillis(double millis) {
+    AdvanceMicros(static_cast<int64_t>(millis * 1e3));
+  }
+
+  /// Total time slept/advanced since construction (for schedule asserts).
+  int64_t ElapsedMicros() const { return NowMicros(); }
+
+ private:
+  mutable std::mutex mu_;
+  int64_t now_micros_;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_COMMON_CLOCK_H_

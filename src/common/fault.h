@@ -1,0 +1,130 @@
+#ifndef MQA_COMMON_FAULT_H_
+#define MQA_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace mqa {
+
+/// How an armed fault point misbehaves. A spec combines a *trigger* (when
+/// the point fires) with an *effect* (what it does when it fires).
+///
+/// Trigger, evaluated per hit in this order:
+///   1. the first `skip_first` hits never fire;
+///   2. with `every_nth > 0`, only every Nth eligible hit can fire;
+///   3. the hit then fires with `probability` (seeded, deterministic);
+///   4. with `once`, the spec disarms itself after its first firing;
+///   5. with `max_fires > 0`, the spec disarms after that many firings.
+///
+/// Effect: `latency_ms > 0` sleeps through the injector's clock first
+/// (a latency spike, survivable by deadlines); a non-OK `code` is then
+/// returned to the caller as the injected error. `code == kOk` with a
+/// latency models a slow-but-successful call.
+struct FaultSpec {
+  StatusCode code = StatusCode::kUnavailable;
+  std::string message = "injected fault";
+  double probability = 1.0;
+  uint64_t every_nth = 0;
+  uint64_t skip_first = 0;
+  bool once = false;
+  uint64_t max_fires = 0;
+  double latency_ms = 0.0;
+};
+
+/// Per-point counters (for tests and the chaos demo).
+struct FaultPointStats {
+  uint64_t hits = 0;   ///< times the point was evaluated while armed
+  uint64_t fires = 0;  ///< times it actually injected its effect
+};
+
+/// A process-wide, deterministic fault-injection registry. Components
+/// declare *named fault points* on their failure-prone hops (naming scheme
+/// `<component>/<operation>`, e.g. "encoder/sim-image", "llm/complete",
+/// "diskindex/read_page") and consult the injector at runtime; tests and
+/// chaos drivers arm points with FaultSpecs to simulate outages.
+///
+/// Compiled in always; zero-cost when disarmed: `Check()` is a single
+/// relaxed atomic load until at least one point is armed. Determinism:
+/// every point draws from its own PRNG seeded from the injector seed and
+/// the point name, so a given seed always yields the same fault schedule
+/// regardless of arming order or unrelated points.
+///
+/// Thread-safe. Intended use is through the process-wide Global()
+/// instance; independent instances exist only for injector unit tests.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// The process-wide injector consulted by all production fault points.
+  static FaultInjector& Global();
+
+  /// Arms (or re-arms, resetting counters of) a named point.
+  void Arm(const std::string& point, FaultSpec spec);
+
+  /// Disarms one point / all points. Counters are discarded.
+  void Disarm(const std::string& point);
+  void DisarmAll();
+
+  /// Reseeds the deterministic fault schedule (applies to points armed
+  /// afterwards).
+  void Seed(uint64_t seed);
+
+  /// Clock used for injected latency (tests install a MockClock so a
+  /// latency spike advances virtual time instead of sleeping).
+  void SetClock(Clock* clock);
+
+  /// True when at least one point is armed. Call sites that must build a
+  /// dynamic point name (e.g. "encoder/" + name) guard on this first so
+  /// the disarmed fast path allocates nothing.
+  bool enabled() const {
+    return armed_points_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Evaluates a fault point: returns OK when disarmed or not firing,
+  /// otherwise applies the armed spec's effect (latency and/or error).
+  Status Check(std::string_view point) {
+    if (!enabled()) return Status::OK();
+    return CheckSlow(point);
+  }
+
+  /// Counters of a point (zeros when never armed).
+  FaultPointStats stats(const std::string& point) const;
+
+  /// Names of all currently armed points (for the chaos demo's display).
+  std::vector<std::string> ArmedPoints() const;
+
+ private:
+  struct PointState {
+    FaultSpec spec;
+    FaultPointStats stats;
+    Rng rng{0};
+    bool armed = true;  ///< false once `once`/`max_fires` exhausted
+  };
+
+  Status CheckSlow(std::string_view point);
+
+  /// Number of points still armed. Caller holds mu_.
+  size_t CountArmedLocked() const;
+
+  mutable std::mutex mu_;
+  std::atomic<int> armed_points_{0};
+  uint64_t seed_ = 42;
+  Clock* clock_ = nullptr;  // null = SystemClock()
+  // Transparent comparator: lookup by string_view without allocating.
+  std::map<std::string, PointState, std::less<>> points_;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_COMMON_FAULT_H_

@@ -1,0 +1,102 @@
+#ifndef MQA_COMMON_RETRY_H_
+#define MQA_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mqa {
+
+/// Retry behaviour for one class of operations. Retries apply only to
+/// statuses with Status::IsRetryable() (kUnavailable, kDeadlineExceeded,
+/// kResourceExhausted); permanent errors surface immediately.
+///
+/// Backoff before attempt i (1-based; no backoff before the first) is
+///   min(max_backoff_ms, initial_backoff_ms * multiplier^(i-2))
+/// scaled by a deterministic seeded jitter drawn uniformly from
+/// [1 - jitter_fraction, 1 + jitter_fraction]. Deadlines:
+/// `per_attempt_deadline_ms` converts an attempt whose wall time (through
+/// the Retrier's clock) exceeds the budget into kDeadlineExceeded — the
+/// caller-side timeout abandoning a response that arrives too late;
+/// `overall_deadline_ms` caps the whole retry loop including backoff.
+struct RetryPolicy {
+  int max_attempts = 3;             ///< total attempts (>= 1)
+  double initial_backoff_ms = 10.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 1000.0;
+  double jitter_fraction = 0.0;     ///< 0 = no jitter, 0.2 = +/-20%
+  double per_attempt_deadline_ms = 0.0;  ///< 0 = unlimited
+  double overall_deadline_ms = 0.0;      ///< 0 = unlimited
+  uint64_t seed = 42;               ///< jitter determinism
+};
+
+/// The deterministic backoff sequence of a policy, attempt by attempt.
+/// Exposed separately so tests assert the exact schedule and the chaos
+/// demo can print it.
+class BackoffSchedule {
+ public:
+  explicit BackoffSchedule(const RetryPolicy& policy);
+
+  /// Delay before the next retry, in ms (first call = delay before
+  /// attempt 2). Advances the internal jitter stream.
+  double NextDelayMs();
+
+  void Reset();
+
+ private:
+  RetryPolicy policy_;
+  Rng rng_;
+  int retries_issued_ = 0;
+};
+
+/// Counters of the most recent Retrier::Run (for telemetry and tests).
+struct RetryStats {
+  int attempts = 0;
+  double total_backoff_ms = 0.0;
+  Status last_error;  ///< last non-OK attempt status (OK when none failed)
+};
+
+/// Executes an operation under a RetryPolicy, sleeping between attempts
+/// through the supplied Clock (tests pass a MockClock, so retry tests
+/// never block). Not thread-safe; create one Retrier per call site or per
+/// thread — it is cheap.
+class Retrier {
+ public:
+  explicit Retrier(RetryPolicy policy, Clock* clock = nullptr);
+
+  /// Runs `op` until it succeeds, fails permanently, or the policy is
+  /// exhausted. Returns the final status; when attempts ran out, the last
+  /// transient error is returned (with the attempt count appended).
+  Status Run(const std::function<Status()>& op);
+
+  /// Result-returning flavour.
+  template <typename T>
+  Result<T> Run(const std::function<Result<T>()>& op) {
+    Result<T> out = Status::Internal("retry loop never ran");
+    Status st = Run([&]() -> Status {
+      out = op();
+      return out.ok() ? Status::OK() : out.status();
+    });
+    if (st.ok()) return out;
+    return st;
+  }
+
+  const RetryStats& stats() const { return stats_; }
+  const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  RetryPolicy policy_;
+  Clock* clock_;
+  BackoffSchedule schedule_;
+  RetryStats stats_;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_COMMON_RETRY_H_

@@ -19,10 +19,20 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kIoError,
+  // Transient-failure codes (see Status::IsRetryable()): the operation did
+  // not complete, but an identical attempt may succeed later. These model
+  // flaky external services (GPU encoders, LLM endpoints, disk I/O).
+  kUnavailable,        ///< dependency temporarily down or unreachable
+  kDeadlineExceeded,   ///< ran out of time budget before completing
+  kResourceExhausted,  ///< rate limit / quota / queue overflow
 };
 
 /// Returns a human-readable name for a status code (e.g. "InvalidArgument").
 const char* StatusCodeToString(StatusCode code);
+
+/// Whether a code belongs to the transient-failure taxonomy (see
+/// Status::IsRetryable()).
+bool StatusCodeIsRetryable(StatusCode code);
 
 /// A success-or-error value. Cheap to copy in the OK case (no allocation).
 /// [[nodiscard]]: silently dropping a Status hides failures, so discarding
@@ -63,8 +73,29 @@ class [[nodiscard]] Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  /// Builds a status from a runtime code (fault injection, deserialized
+  /// errors). `kOk` input yields an OK status and ignores the message.
+  static Status FromCode(StatusCode code, std::string msg) {
+    if (code == StatusCode::kOk) return Status();
+    return Status(code, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// True for transient-failure codes where retrying the identical
+  /// operation may succeed (the taxonomy RetryPolicy keys on):
+  /// kUnavailable, kDeadlineExceeded, kResourceExhausted. Permanent errors
+  /// (bad arguments, missing data, internal bugs) are never retryable.
+  bool IsRetryable() const { return StatusCodeIsRetryable(code_); }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

@@ -16,6 +16,13 @@ namespace mqa {
 /// LLM for a conversational reply. Without an LLM it falls back to a plain
 /// formatted result listing, matching the paper's "in the absence of an
 /// available LLM, users can still carry out a multi-modal QA procedure".
+///
+/// Graceful degradation: when the LLM call fails with a *transient* error
+/// (kUnavailable from an open circuit breaker, kDeadlineExceeded,
+/// kResourceExhausted), the generator degrades to the same extractive
+/// listing instead of failing the whole round — the retrieved results are
+/// the answer. Permanent errors still propagate. The last round's fallback
+/// state is observable via last_used_fallback()/last_failure().
 class AnswerGenerator {
  public:
   /// `llm` may be null (no-LLM mode).
@@ -35,11 +42,24 @@ class AnswerGenerator {
   /// The last prompt sent to the LLM (for the status panel and tests).
   const std::string& last_prompt() const { return last_prompt_; }
 
+  /// True when the most recent Generate() degraded to the extractive
+  /// answer because the LLM was unreachable.
+  bool last_used_fallback() const { return last_used_fallback_; }
+  /// The LLM failure that triggered the most recent fallback (OK when the
+  /// last round did not fall back).
+  const Status& last_failure() const { return last_failure_; }
+
  private:
+  /// The no-LLM answer: a formatted listing of the retrieved context.
+  static std::string ExtractiveAnswer(
+      const std::vector<RetrievedItem>& context, bool llm_down);
+
   PromptBuilder builder_;
   std::unique_ptr<LanguageModel> llm_;
   float temperature_;
   std::string last_prompt_;
+  bool last_used_fallback_ = false;
+  Status last_failure_ = Status::OK();
 };
 
 }  // namespace mqa

@@ -11,6 +11,37 @@
 
 namespace mqa {
 
+class Clock;
+
+/// Knobs of the resilient online pipeline (PR 4). Disabled by default so
+/// that existing configurations keep their exact behaviour; when enabled,
+/// the coordinator wraps the LLM in a ResilientLlm (retry + deadline +
+/// circuit breaker), the query executor retries encoders and drops faulted
+/// modalities, and degradations surface as flagged status events.
+struct ResilienceOptions {
+  bool enable = false;
+
+  // LLM hop: retry policy + circuit breaker.
+  int llm_max_attempts = 3;
+  double llm_initial_backoff_ms = 10.0;
+  double llm_backoff_multiplier = 2.0;
+  double llm_max_backoff_ms = 1000.0;
+  double llm_per_attempt_deadline_ms = 0.0;  ///< 0 = no per-attempt deadline
+  double llm_overall_deadline_ms = 0.0;      ///< 0 = no overall deadline
+  int breaker_failure_threshold = 5;
+  double breaker_open_ms = 1000.0;
+  int breaker_half_open_successes = 2;
+
+  // Encoder hop: a smaller retry budget (encoding is cheap to re-run).
+  int encoder_max_attempts = 2;
+  double encoder_initial_backoff_ms = 1.0;
+
+  /// Non-owning clock override so tests drive backoff and breaker
+  /// cool-downs through a MockClock without ever sleeping. Null = the real
+  /// SystemClock.
+  Clock* clock = nullptr;
+};
+
 /// Everything the frontend's configuration panel edits, in one struct:
 /// knowledge base, embedding, weight learning, index, retrieval and LLM
 /// settings.
@@ -45,6 +76,9 @@ struct MqaConfig {
   // --- Answer generation ---
   std::string llm = "sim-llm";  ///< "sim-llm" | "none"
   float temperature = 0.2f;
+
+  // --- Resilience (fault handling in the online pipeline) ---
+  ResilienceOptions resilience;
 
   uint64_t seed = 42;
 };

@@ -102,6 +102,29 @@ Result<MqaConfig> ParseMqaConfig(const std::vector<std::string>& lines) {
       config.llm = value;
     } else if (key == "temperature") {
       MQA_ASSIGN_OR_RETURN(config.temperature, ParseFloat(key, value));
+    } else if (key == "resilience.enable") {
+      MQA_ASSIGN_OR_RETURN(config.resilience.enable, ParseBool(key, value));
+    } else if (key == "resilience.llm_max_attempts") {
+      MQA_ASSIGN_OR_RETURN(uint64_t v, ParseUint(key, value));
+      config.resilience.llm_max_attempts = static_cast<int>(v);
+    } else if (key == "resilience.llm_backoff_ms") {
+      MQA_ASSIGN_OR_RETURN(float v, ParseFloat(key, value));
+      config.resilience.llm_initial_backoff_ms = v;
+    } else if (key == "resilience.llm_deadline_ms") {
+      MQA_ASSIGN_OR_RETURN(float v, ParseFloat(key, value));
+      config.resilience.llm_overall_deadline_ms = v;
+    } else if (key == "resilience.breaker_threshold") {
+      MQA_ASSIGN_OR_RETURN(uint64_t v, ParseUint(key, value));
+      config.resilience.breaker_failure_threshold = static_cast<int>(v);
+    } else if (key == "resilience.breaker_open_ms") {
+      MQA_ASSIGN_OR_RETURN(float v, ParseFloat(key, value));
+      config.resilience.breaker_open_ms = v;
+    } else if (key == "resilience.encoder_max_attempts") {
+      MQA_ASSIGN_OR_RETURN(uint64_t v, ParseUint(key, value));
+      config.resilience.encoder_max_attempts = static_cast<int>(v);
+    } else if (key == "resilience.io_error_budget") {
+      MQA_ASSIGN_OR_RETURN(config.index.disk.io_error_budget,
+                           ParseUint(key, value));
     } else if (key == "seed") {
       MQA_ASSIGN_OR_RETURN(config.seed, ParseUint(key, value));
       config.world.seed = config.seed;

@@ -4,10 +4,45 @@
 #include "common/timer.h"
 #include <istream>
 
+#include "llm/resilient_llm.h"
 #include "llm/sim_llm.h"
 #include "retrieval/must.h"
 
 namespace mqa {
+
+namespace {
+
+LlmResilienceConfig MakeLlmResilience(const ResilienceOptions& r) {
+  LlmResilienceConfig out;
+  out.retry.max_attempts = r.llm_max_attempts;
+  out.retry.initial_backoff_ms = r.llm_initial_backoff_ms;
+  out.retry.backoff_multiplier = r.llm_backoff_multiplier;
+  out.retry.max_backoff_ms = r.llm_max_backoff_ms;
+  out.retry.per_attempt_deadline_ms = r.llm_per_attempt_deadline_ms;
+  out.retry.overall_deadline_ms = r.llm_overall_deadline_ms;
+  out.breaker.failure_threshold = r.breaker_failure_threshold;
+  out.breaker.open_duration_ms = r.breaker_open_ms;
+  out.breaker.half_open_successes = r.breaker_half_open_successes;
+  return out;
+}
+
+RetryPolicy MakeEncoderRetry(const ResilienceOptions& r) {
+  RetryPolicy p;
+  p.max_attempts = r.encoder_max_attempts;
+  p.initial_backoff_ms = r.encoder_initial_backoff_ms;
+  return p;
+}
+
+/// Wraps the LLM in the resilience decorator when enabled. A null model
+/// stays null (no-LLM mode needs no breaker).
+std::unique_ptr<LanguageModel> MaybeWrapLlm(std::unique_ptr<LanguageModel> llm,
+                                            const ResilienceOptions& r) {
+  if (!r.enable || llm == nullptr) return llm;
+  return std::make_unique<ResilientLlm>(std::move(llm), MakeLlmResilience(r),
+                                        r.clock);
+}
+
+}  // namespace
 
 Result<std::unique_ptr<Coordinator>> Coordinator::Create(
     const MqaConfig& config) {
@@ -44,6 +79,7 @@ Result<std::unique_ptr<Coordinator>> Coordinator::Create(
     return Status::InvalidArgument("unknown llm: " + config.llm);
   }
   const std::string llm_label = llm ? llm->name() : "none";
+  llm = MaybeWrapLlm(std::move(llm), config.resilience);
   c->answer_generator_ =
       std::make_unique<AnswerGenerator>(std::move(llm), config.temperature);
 
@@ -92,6 +128,10 @@ Result<std::unique_ptr<Coordinator>> Coordinator::Create(
 
   c->executor_ = std::make_unique<QueryExecutor>(
       c->kb_.get(), c->encoders_.get(), c->framework_.get());
+  if (config.resilience.enable) {
+    c->executor_->EnableResilience(MakeEncoderRetry(config.resilience),
+                                   config.resilience.clock);
+  }
   c->monitor_.Emit(ComponentStage::kAnswerGeneration,
                    "llm: " + llm_label + ", temperature " +
                        FormatDouble(config.temperature, 2));
@@ -106,15 +146,32 @@ Result<AnswerTurn> Coordinator::Ask(const UserQuery& query) {
     // the answer generator still sees the user's own words.
     UserQuery effective = query;
     if (config_.rewrite_vague_queries && !query.text.empty()) {
-      effective.text = rewriter_.Rewrite(query.text);
-      if (effective.text != query.text) {
-        monitor_.Emit(ComponentStage::kQueryExecution,
-                      "rewrote vague query to \"" + effective.text + "\"");
+      Result<std::string> rewritten = rewriter_.RewriteChecked(query.text);
+      if (rewritten.ok()) {
+        effective.text = std::move(rewritten).Value();
+        if (effective.text != query.text) {
+          monitor_.Emit(ComponentStage::kQueryExecution,
+                        "rewrote vague query to \"" + effective.text + "\"");
+        }
+      } else if (rewritten.status().IsRetryable()) {
+        // Rewriter outage: search with the user's raw words instead of
+        // failing the round — a vaguer query beats no query.
+        turn.degradation_notes.push_back(
+            "query rewriter unavailable: " + rewritten.status().message() +
+            "; searching with the raw query text");
+        monitor_.EmitDegraded(ComponentStage::kQueryExecution,
+                              turn.degradation_notes.back());
+      } else {
+        return rewritten.status();
       }
     }
     if (!query.text.empty()) rewriter_.ObserveTurn(query.text);
     MQA_ASSIGN_OR_RETURN(QueryOutcome outcome,
                          executor_->Execute(effective, config_.search));
+    for (const std::string& note : outcome.degradation) {
+      monitor_.EmitDegraded(ComponentStage::kQueryExecution, note);
+      turn.degradation_notes.push_back(note);
+    }
     turn.items = std::move(outcome.items);
     turn.retrieval = std::move(outcome.retrieval);
     monitor_.Emit(ComponentStage::kQueryExecution,
@@ -125,8 +182,18 @@ Result<AnswerTurn> Coordinator::Ask(const UserQuery& query) {
   Timer timer;
   MQA_ASSIGN_OR_RETURN(turn.answer,
                        answer_generator_->Generate(query.text, turn.items));
-  monitor_.Emit(ComponentStage::kAnswerGeneration, "answer ready",
-                timer.ElapsedMillis());
+  if (answer_generator_->last_used_fallback()) {
+    turn.degradation_notes.push_back(
+        "LLM unavailable (" + answer_generator_->last_failure().message() +
+        "); served the extractive answer");
+    monitor_.EmitDegraded(ComponentStage::kAnswerGeneration,
+                          turn.degradation_notes.back(),
+                          timer.ElapsedMillis());
+  } else {
+    monitor_.Emit(ComponentStage::kAnswerGeneration, "answer ready",
+                  timer.ElapsedMillis());
+  }
+  turn.degraded = !turn.degradation_notes.empty();
   return turn;
 }
 
@@ -194,10 +261,15 @@ Result<std::unique_ptr<Coordinator>> Coordinator::CreateFromState(
     return Status::InvalidArgument("unknown llm: " + config.llm);
   }
   const std::string llm_label = llm ? llm->name() : "none";
+  llm = MaybeWrapLlm(std::move(llm), config.resilience);
   c->answer_generator_ =
       std::make_unique<AnswerGenerator>(std::move(llm), config.temperature);
   c->executor_ = std::make_unique<QueryExecutor>(
       c->kb_.get(), c->encoders_.get(), c->framework_.get());
+  if (config.resilience.enable) {
+    c->executor_->EnableResilience(MakeEncoderRetry(config.resilience),
+                                   config.resilience.clock);
+  }
   c->monitor_.Emit(ComponentStage::kAnswerGeneration,
                    "llm: " + llm_label + ", temperature " +
                        FormatDouble(config.temperature, 2));
@@ -247,6 +319,10 @@ Status Coordinator::SetFramework(const std::string& name) {
   config_.framework = name;
   executor_ = std::make_unique<QueryExecutor>(kb_.get(), encoders_.get(),
                                               framework_.get());
+  if (config_.resilience.enable) {
+    executor_->EnableResilience(MakeEncoderRetry(config_.resilience),
+                                config_.resilience.clock);
+  }
   monitor_.Emit(ComponentStage::kIndexConstruction,
                 "switched framework to " + name, timer.ElapsedMillis());
   return Status::OK();

@@ -22,6 +22,11 @@ struct AnswerTurn {
   std::string answer;                ///< the conversational reply
   std::vector<RetrievedItem> items;  ///< retrieved results (may be empty)
   RetrievalResult retrieval;         ///< raw retrieval telemetry
+  /// True when any stage of this round ran in degraded mode (extractive
+  /// fallback answer, dropped query modality, partial disk results, raw
+  /// query text after a rewriter outage). Details in degradation_notes.
+  bool degraded = false;
+  std::vector<std::string> degradation_notes;
 };
 
 /// The system's central nexus (Figure 2): owns the five backend components

@@ -19,13 +19,52 @@ std::optional<size_t> QueryExecutor::SlotOfType(ModalityType type) const {
   return std::nullopt;
 }
 
+void QueryExecutor::EnableResilience(const RetryPolicy& retry, Clock* clock) {
+  resilience_ = true;
+  encoder_retry_ = retry;
+  clock_ = clock;
+}
+
+Result<Vector> QueryExecutor::EncodeSlot(size_t slot,
+                                         const Payload& payload) const {
+  if (!resilience_) return encoders_->EncodeModality(slot, payload);
+  Retrier retrier(encoder_retry_, clock_);
+  return retrier.Run<Vector>(
+      [&] { return encoders_->EncodeModality(slot, payload); });
+}
+
 Result<RetrievalQuery> QueryExecutor::EncodeUserQuery(
-    const UserQuery& query) const {
+    const UserQuery& query, std::vector<std::string>* degradation) const {
   RetrievalQuery out;
   out.modalities.parts.resize(encoders_->num_modalities());
   out.weights = query.weight_override;
 
+  // Encodes one requested modality into its slot. Under resilience, a
+  // transient encoder failure (after retries) *drops* the modality instead
+  // of failing the query: the slot stays empty, the framework renormalizes
+  // the weights over the survivors, and a degradation note records the
+  // outage. Permanent errors always propagate.
   bool any = false;
+  uint64_t dropped = 0;
+  auto encode_into_slot = [&](size_t slot, const Payload& payload,
+                              const char* label) -> Status {
+    Result<Vector> encoded = EncodeSlot(slot, payload);
+    if (encoded.ok()) {
+      out.modalities.parts[slot] = std::move(encoded).Value();
+      any = true;
+      return Status::OK();
+    }
+    if (resilience_ && encoded.status().IsRetryable()) {
+      ++dropped;
+      if (degradation != nullptr) {
+        degradation->push_back(std::string("dropped ") + label +
+                               " modality: " + encoded.status().message());
+      }
+      return Status::OK();
+    }
+    return encoded.status();
+  };
+
   if (!query.text.empty()) {
     const std::optional<size_t> slot = SlotOfType(ModalityType::kText);
     if (!slot.has_value()) {
@@ -34,9 +73,7 @@ Result<RetrievalQuery> QueryExecutor::EncodeUserQuery(
     Payload p;
     p.type = ModalityType::kText;
     p.text = query.text;
-    MQA_ASSIGN_OR_RETURN(out.modalities.parts[*slot],
-                         encoders_->EncodeModality(*slot, p));
-    any = true;
+    MQA_RETURN_NOT_OK(encode_into_slot(*slot, p, "text"));
   }
 
   // Image part: an upload wins over a clicked previous result.
@@ -55,12 +92,14 @@ Result<RetrievalQuery> QueryExecutor::EncodeUserQuery(
       return Status::FailedPrecondition(
           "knowledge base has no image modality");
     }
-    MQA_ASSIGN_OR_RETURN(out.modalities.parts[*slot],
-                         encoders_->EncodeModality(*slot, *image));
-    any = true;
+    MQA_RETURN_NOT_OK(encode_into_slot(*slot, *image, "image"));
   }
 
   if (!any) {
+    if (dropped > 0) {
+      return Status::Unavailable(
+          "every query modality failed to encode (all encoders down)");
+    }
     return Status::InvalidArgument(
         "query must contain text, an uploaded image, or a selected result");
   }
@@ -88,7 +127,9 @@ Result<RetrievalQuery> QueryExecutor::EncodeUserQuery(
 
 Result<QueryOutcome> QueryExecutor::Execute(const UserQuery& query,
                                             const SearchParams& params) {
-  MQA_ASSIGN_OR_RETURN(RetrievalQuery rq, EncodeUserQuery(query));
+  QueryOutcome outcome;
+  MQA_ASSIGN_OR_RETURN(RetrievalQuery rq,
+                       EncodeUserQuery(query, &outcome.degradation));
   SearchParams effective = params;
   if (query.object_filter) {
     const KnowledgeBase* kb = kb_;
@@ -97,9 +138,13 @@ Result<QueryOutcome> QueryExecutor::Execute(const UserQuery& query,
       return id < kb->size() && object_filter(kb->at(id));
     };
   }
-  QueryOutcome outcome;
   MQA_ASSIGN_OR_RETURN(outcome.retrieval,
                        framework_->Retrieve(rq, effective));
+  if (outcome.retrieval.stats.partial) {
+    outcome.degradation.push_back(
+        "disk index served partial (cache-only) results after " +
+        std::to_string(outcome.retrieval.stats.io_errors) + " I/O errors");
+  }
   // Preference markers: items sharing the clicked result's concept are
   // flagged for the answer generator.
   std::optional<uint32_t> preferred_concept;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/retry.h"
 #include "encoder/encoder.h"
 #include "llm/prompt_builder.h"
 #include "retrieval/framework.h"
@@ -30,6 +31,9 @@ struct UserQuery {
 struct QueryOutcome {
   RetrievalResult retrieval;
   std::vector<RetrievedItem> items;  ///< aligned with retrieval.neighbors
+  /// Human-readable degradation notes (dropped modalities, partial disk
+  /// results). Empty on a fully healthy round.
+  std::vector<std::string> degradation;
 };
 
 /// The Query Execution component: encodes a user query into per-modality
@@ -42,21 +46,41 @@ class QueryExecutor {
   QueryExecutor(const KnowledgeBase* kb, const EncoderSet* encoders,
                 RetrievalFramework* framework);
 
+  /// Enables degraded-mode encoding: transient encoder failures are
+  /// retried under `retry` (driven by `clock`; null = SystemClock) and a
+  /// modality whose encoder stays down is *dropped* from the query — the
+  /// surviving modalities carry the search (their weights renormalize
+  /// inside the framework). Only when every requested modality fails does
+  /// Execute return kUnavailable.
+  void EnableResilience(const RetryPolicy& retry, Clock* clock = nullptr);
+
   /// Executes one round. Fails when the query carries no usable modality
   /// or references an unknown object.
   Result<QueryOutcome> Execute(const UserQuery& query,
                                const SearchParams& params);
 
   /// Encodes without searching (exposed for tests and benches).
-  Result<RetrievalQuery> EncodeUserQuery(const UserQuery& query) const;
+  /// `degradation` (optional) receives a note per modality dropped due to
+  /// encoder failure; without resilience enabled, encoder errors simply
+  /// propagate and no notes are produced.
+  Result<RetrievalQuery> EncodeUserQuery(
+      const UserQuery& query,
+      std::vector<std::string>* degradation = nullptr) const;
 
  private:
   /// First schema slot of the given type, or nullopt.
   std::optional<size_t> SlotOfType(ModalityType type) const;
 
+  /// One encoder call, retried under the resilience policy when enabled.
+  Result<Vector> EncodeSlot(size_t slot, const Payload& payload) const;
+
   const KnowledgeBase* kb_;
   const EncoderSet* encoders_;
   RetrievalFramework* framework_;
+
+  bool resilience_ = false;
+  RetryPolicy encoder_retry_;
+  Clock* clock_ = nullptr;
 };
 
 /// A one-line human-readable description of an object (used in prompts

@@ -34,13 +34,18 @@ void StatusMonitor::Emit(StatusEvent event) {
 
 void StatusMonitor::Emit(ComponentStage stage, std::string message,
                          double elapsed_ms) {
-  Emit(StatusEvent{stage, std::move(message), elapsed_ms, true});
+  Emit(StatusEvent{stage, std::move(message), elapsed_ms, true, false});
+}
+
+void StatusMonitor::EmitDegraded(ComponentStage stage, std::string message,
+                                 double elapsed_ms) {
+  Emit(StatusEvent{stage, std::move(message), elapsed_ms, true, true});
 }
 
 std::string StatusMonitor::Render() const {
   std::string out;
   for (const StatusEvent& e : history()) {
-    out += e.completed ? "[x] " : "[ ] ";
+    out += e.degraded ? "[!] " : (e.completed ? "[x] " : "[ ] ");
     out += ComponentStageToString(e.stage);
     out += ": ";
     out += e.message;

@@ -26,6 +26,9 @@ struct StatusEvent {
   std::string message;
   double elapsed_ms = 0.0;
   bool completed = true;
+  /// The stage finished, but in degraded mode (fallback answer, dropped
+  /// modality, partial disk results, ...). Rendered as "[!]".
+  bool degraded = false;
 };
 
 /// Collects milestone events ("data preprocessing done: 5000 objects, 2
@@ -51,6 +54,10 @@ class StatusMonitor {
   void Emit(StatusEvent event);
   void Emit(ComponentStage stage, std::string message,
             double elapsed_ms = 0.0);
+
+  /// Records a degraded-mode event (the stage delivered a reduced result).
+  void EmitDegraded(ComponentStage stage, std::string message,
+                    double elapsed_ms = 0.0);
 
   /// Snapshot of all events recorded so far.
   std::vector<StatusEvent> history() const {

@@ -5,6 +5,8 @@
 #include <limits>
 #include <queue>
 
+#include "common/fault.h"
+
 namespace mqa {
 
 Result<std::unique_ptr<DiskGraphIndex>> DiskGraphIndex::Create(
@@ -112,21 +114,39 @@ Result<std::unique_ptr<DiskGraphIndex>> DiskGraphIndex::Create(
   return index;
 }
 
-const char* DiskGraphIndex::FetchPage(size_t page) {
+const char* DiskGraphIndex::FetchPage(size_t page, QueryIoState* io) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
   auto it = cached_.find(page);
   if (it != cached_.end()) {
     // Move to the front of the recency list.
     lru_.splice(lru_.begin(), lru_, it->second);
-    ++io_stats_.cache_hits;
-  } else {
-    ++io_stats_.page_reads;
-    io_stats_.bytes_read += config_.page_size;
-    lru_.push_front(page);
-    cached_[page] = lru_.begin();
-    if (cached_.size() > config_.cache_pages) {
-      cached_.erase(lru_.back());
-      lru_.pop_back();
+    io_stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    io->last_was_cached = true;
+    return disk_.data() + page * config_.page_size;
+  }
+  io->last_was_cached = false;
+  // Budget exhausted: serve cache-only, never pay for another read.
+  if (io->cache_only) return nullptr;
+  // The simulated device read; the "diskindex/read_page" fault point makes
+  // it fail. A failed read is charged against the query's error budget and
+  // the page is simply not delivered — the caller routes around it.
+  if (FaultInjector::Global().enabled()) {
+    const Status st = FaultInjector::Global().Check("diskindex/read_page");
+    if (!st.ok()) {
+      io_stats_.io_errors.fetch_add(1, std::memory_order_relaxed);
+      ++io->errors;
+      if (io->errors > config_.io_error_budget) io->cache_only = true;
+      return nullptr;
     }
+  }
+  io_stats_.page_reads.fetch_add(1, std::memory_order_relaxed);
+  io_stats_.bytes_read.fetch_add(config_.page_size,
+                                 std::memory_order_relaxed);
+  lru_.push_front(page);
+  cached_[page] = lru_.begin();
+  if (cached_.size() > config_.cache_pages) {
+    cached_.erase(lru_.back());
+    lru_.pop_back();
   }
   return disk_.data() + page * config_.page_size;
 }
@@ -173,6 +193,8 @@ Result<std::vector<Neighbor>> DiskGraphIndex::Search(
     if (params.filter && params.filter(node)) admitted.Push(d, node);
   };
 
+  QueryIoState io;
+
   if (!pivot_ids_.empty()) {
     // In-memory navigation: scan the RAM pivots (no I/O) and start the
     // on-disk traversal from the closest few.
@@ -186,13 +208,25 @@ Result<std::vector<Neighbor>> DiskGraphIndex::Search(
     for (const Neighbor& p : best_pivots.TakeSorted()) {
       if (visited[p.id]) continue;
       const size_t page = node_to_slot_[p.id] / nodes_per_page_;
-      score(p.id, FetchPage(page));
+      const char* page_data = FetchPage(page, &io);
+      if (page_data != nullptr) score(p.id, page_data);
     }
   }
   for (uint32_t e : entry_points_) {
     if (e >= num_nodes_ || visited[e]) continue;
     const size_t page = node_to_slot_[e] / nodes_per_page_;
-    score(e, FetchPage(page));
+    const char* page_data = FetchPage(page, &io);
+    if (page_data != nullptr) score(e, page_data);
+  }
+  // An unlucky fault schedule can fail every seed read, leaving the
+  // traversal with no start. Probe successive nodes until a page arrives
+  // or the error budget degrades the query to cache-only. (Unreachable
+  // without injected faults: a healthy device always delivers the seeds.)
+  for (uint32_t n = 0; frontier.empty() && n < num_nodes_ && !io.cache_only;
+       ++n) {
+    const size_t page = node_to_slot_[n] / nodes_per_page_;
+    const char* page_data = FetchPage(page, &io);
+    if (page_data != nullptr) score(n, page_data);
   }
 
   while (!frontier.empty()) {
@@ -202,13 +236,15 @@ Result<std::vector<Neighbor>> DiskGraphIndex::Search(
     if (stats != nullptr) ++stats->hops;
 
     const size_t page = node_to_slot_[current.id] / nodes_per_page_;
-    const bool was_cached = cached_.count(page) > 0;
-    const char* page_data = FetchPage(page);
+    const char* page_data = FetchPage(page, &io);
+    // The page holding the current node failed to read: route around it by
+    // skipping its expansion. (Its own distance is already in the beam.)
+    if (page_data == nullptr) continue;
     const NodeRecord rec = ReadRecord(current.id, page_data);
 
     // Block-aware search: a freshly fetched block's co-located nodes are
     // scored for free.
-    if (config_.block_aware_search && !was_cached) {
+    if (config_.block_aware_search && !io.last_was_cached) {
       const size_t first_slot = page * nodes_per_page_;
       const size_t last_slot =
           std::min<size_t>(first_slot + nodes_per_page_, num_nodes_);
@@ -222,17 +258,24 @@ Result<std::vector<Neighbor>> DiskGraphIndex::Search(
       const uint32_t nbr = rec.neighbors[i];
       if (nbr >= num_nodes_ || visited[nbr]) continue;
       const size_t nbr_page = node_to_slot_[nbr] / nodes_per_page_;
-      score(nbr, FetchPage(nbr_page));
+      const char* nbr_data = FetchPage(nbr_page, &io);
+      if (nbr_data != nullptr) score(nbr, nbr_data);
     }
   }
 
   std::vector<Neighbor> results =
       params.filter ? admitted.TakeSorted() : beam.TakeSorted();
   if (results.size() > params.k) results.resize(params.k);
+  if (stats != nullptr) {
+    stats->io_errors += io.errors;
+    stats->partial =
+        stats->partial || io.cache_only || (results.empty() && io.errors > 0);
+  }
   return results;
 }
 
 void DiskGraphIndex::ClearCache() {
+  std::lock_guard<std::mutex> lock(cache_mu_);
   lru_.clear();
   cached_.clear();
 }

@@ -1,9 +1,11 @@
 #ifndef MQA_DISKINDEX_DISK_INDEX_H_
 #define MQA_DISKINDEX_DISK_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -32,15 +34,45 @@ struct DiskIndexConfig {
   /// kept in RAM and scanned I/O-free at query start, and the best ones
   /// seed the on-disk traversal much closer to the answer. 0 disables.
   uint32_t memory_pivots = 0;
+  /// Resilience: failed page reads tolerated per query (fault point
+  /// "diskindex/read_page"). While failures stay within the budget, the
+  /// failing page is skipped and the traversal routes around it; once the
+  /// budget is exceeded the query stops paying for new reads and serves
+  /// cache-only partial results, flagged in SearchStats::partial.
+  uint64_t io_error_budget = 8;
 };
 
-/// Cumulative I/O counters of a DiskGraphIndex.
+/// Cumulative I/O counters of a DiskGraphIndex. Atomic (mirroring
+/// DistanceStats): concurrent queries through one shared index bump these
+/// from multiple threads; relaxed ordering suffices for counters, and the
+/// totals are exact once searches quiesce.
 struct DiskIoStats {
-  uint64_t page_reads = 0;   ///< cache misses = simulated disk reads
-  uint64_t cache_hits = 0;
-  uint64_t bytes_read = 0;
+  std::atomic<uint64_t> page_reads{0};  ///< cache misses = disk reads
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> io_errors{0};   ///< injected/failed page reads
 
-  void Reset() { *this = DiskIoStats{}; }
+  DiskIoStats() = default;
+  DiskIoStats(const DiskIoStats& other) { CopyFrom(other); }
+  DiskIoStats& operator=(const DiskIoStats& other) {
+    CopyFrom(other);
+    return *this;
+  }
+
+  void Reset() {
+    page_reads = 0;
+    cache_hits = 0;
+    bytes_read = 0;
+    io_errors = 0;
+  }
+
+ private:
+  void CopyFrom(const DiskIoStats& other) {
+    page_reads.store(other.page_reads.load());
+    cache_hits.store(other.cache_hits.load());
+    bytes_read.store(other.bytes_read.load());
+    io_errors.store(other.io_errors.load());
+  }
 };
 
 /// A disk-resident navigation-graph index: every node's record (vector +
@@ -100,11 +132,23 @@ class DiskGraphIndex : public VectorIndex {
     uint32_t degree;
   };
 
+  /// Per-query I/O state: error budget consumption and degradation flags.
+  struct QueryIoState {
+    uint64_t errors = 0;       ///< failed page reads this query
+    bool cache_only = false;   ///< budget exceeded; no new reads paid for
+    bool last_was_cached = false;
+  };
+
   DiskGraphIndex(DiskIndexConfig config, WeightedMultiDistance weighted)
       : config_(std::move(config)), weighted_(std::move(weighted)) {}
 
-  /// Page access through the LRU cache; counts a read on miss.
-  const char* FetchPage(size_t page);
+  /// Page access through the LRU cache; counts a read on miss. Returns
+  /// nullptr when the (simulated) read failed via the
+  /// "diskindex/read_page" fault point or when the query's I/O error
+  /// budget is exhausted and the page is not cached (cache-only serving).
+  /// Thread-safe: the cache is guarded by cache_mu_, so read-only queries
+  /// may run concurrently on a shared index.
+  const char* FetchPage(size_t page, QueryIoState* io);
 
   NodeRecord ReadRecord(uint32_t node, const char* page_data) const;
 
@@ -128,7 +172,11 @@ class DiskGraphIndex : public VectorIndex {
 
   std::vector<char> disk_;  // the simulated block device
 
-  // LRU page cache: page id -> iterator into the recency list.
+  // LRU page cache: page id -> iterator into the recency list. Guarded by
+  // cache_mu_ so concurrent queries on a shared index are safe; page
+  // *contents* live in the immutable disk_ image, so returned pointers
+  // stay valid across evictions.
+  mutable std::mutex cache_mu_;
   std::list<size_t> lru_;
   std::unordered_map<size_t, std::list<size_t>::iterator> cached_;
 

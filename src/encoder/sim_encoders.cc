@@ -4,6 +4,7 @@
 #include <cstring>
 #include <functional>
 
+#include "common/fault.h"
 #include "common/random.h"
 #include "vector/distance.h"
 
@@ -81,6 +82,11 @@ SimTextEncoder::SimTextEncoder(const World* world, SimEncoderConfig config)
                                  world->config().latent_dim, config.seed)) {}
 
 Result<Vector> SimTextEncoder::Encode(const Payload& payload) {
+  // Chaos hook: a GPU-hosted text encoder going down ("encoder/sim-text").
+  // The enabled() guard keeps the disarmed fast path allocation-free.
+  if (FaultInjector::Global().enabled()) {
+    MQA_RETURN_NOT_OK(FaultInjector::Global().Check("encoder/" + name()));
+  }
   if (payload.type != ModalityType::kText) {
     return Status::InvalidArgument("SimTextEncoder expects a text payload");
   }
@@ -102,6 +108,10 @@ SimFeatureEncoder::SimFeatureEncoder(const World* world,
                                  world->config().latent_dim, config.seed)) {}
 
 Result<Vector> SimFeatureEncoder::Encode(const Payload& payload) {
+  // Chaos hook: e.g. "encoder/sim-image" for the ResNet/CLIP-image slot.
+  if (FaultInjector::Global().enabled()) {
+    MQA_RETURN_NOT_OK(FaultInjector::Global().Check("encoder/" + name_));
+  }
   if (payload.features.empty()) {
     return Status::InvalidArgument(name_ + " expects a feature payload");
   }

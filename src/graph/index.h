@@ -30,6 +30,11 @@ struct SearchParams {
 struct SearchStats {
   uint64_t hops = 0;        ///< vertices expanded
   uint64_t dist_comps = 0;  ///< distance evaluations issued
+  uint64_t io_errors = 0;   ///< failed page reads (disk-resident indexes)
+  /// True when I/O failures degraded the query to partial (cache-only)
+  /// results; the neighbors returned are still sorted and valid, but the
+  /// traversal could not expand everything it wanted to.
+  bool partial = false;
   void Reset() { *this = SearchStats{}; }
 };
 

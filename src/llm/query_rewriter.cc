@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "common/fault.h"
 #include "common/string_util.h"
 
 namespace mqa {
@@ -48,6 +49,12 @@ std::vector<std::string> ContextualQueryRewriter::ContentWords(
 void ContextualQueryRewriter::ObserveTurn(const std::string& user_text) {
   history_.push_back(user_text);
   while (history_.size() > history_window_) history_.pop_front();
+}
+
+Result<std::string> ContextualQueryRewriter::RewriteChecked(
+    const std::string& text) const {
+  MQA_RETURN_NOT_OK(FaultInjector::Global().Check("llm/rewrite"));
+  return Rewrite(text);
 }
 
 std::string ContextualQueryRewriter::Rewrite(const std::string& text) const {

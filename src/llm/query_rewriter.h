@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/result.h"
+
 namespace mqa {
 
 /// Resolves vague follow-up utterances against the dialogue history — part
@@ -29,6 +31,12 @@ class ContextualQueryRewriter {
   /// input is returned unchanged when it already carries enough content
   /// (>= 2 content words) or when there is no usable history.
   std::string Rewrite(const std::string& text) const;
+
+  /// Fault-aware flavour used by the online pipeline: consults the
+  /// "llm/rewrite" fault point first (in the real deployment this hop is
+  /// an LLM call). On an injected failure the caller degrades to the raw
+  /// text — rewriting is an enhancement, never a requirement.
+  Result<std::string> RewriteChecked(const std::string& text) const;
 
   /// Content words of an utterance (tokens outside the stop list), in
   /// order of appearance, deduplicated.

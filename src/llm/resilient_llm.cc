@@ -1,0 +1,26 @@
+#include "llm/resilient_llm.h"
+
+#include <utility>
+
+namespace mqa {
+
+ResilientLlm::ResilientLlm(std::unique_ptr<LanguageModel> inner,
+                           LlmResilienceConfig config, Clock* clock)
+    : inner_(std::move(inner)),
+      retrier_(config.retry, clock),
+      breaker_(config.breaker, clock) {}
+
+Result<LlmResponse> ResilientLlm::Complete(const LlmRequest& request) {
+  // Fail fast while the breaker is open: no retry loop, no backoff — the
+  // caller immediately falls back to the extractive answer path.
+  MQA_RETURN_NOT_OK(breaker_.Admit());
+  // One admitted call = one retry loop; the breaker sees its overall
+  // outcome, so a burst of transient errors absorbed by retries counts as
+  // one success, while an exhausted retry budget counts as one failure.
+  Result<LlmResponse> response =
+      retrier_.Run<LlmResponse>([&] { return inner_->Complete(request); });
+  breaker_.Record(response.ok() ? Status::OK() : response.status());
+  return response;
+}
+
+}  // namespace mqa

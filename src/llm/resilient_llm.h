@@ -1,0 +1,59 @@
+#ifndef MQA_LLM_RESILIENT_LLM_H_
+#define MQA_LLM_RESILIENT_LLM_H_
+
+#include <memory>
+#include <string>
+
+#include "common/circuit_breaker.h"
+#include "common/clock.h"
+#include "common/retry.h"
+#include "llm/language_model.h"
+
+namespace mqa {
+
+/// Resilience knobs of the decorated LLM hop, bundled so MqaConfig can
+/// carry them as one unit.
+struct LlmResilienceConfig {
+  RetryPolicy retry;
+  CircuitBreakerConfig breaker;
+};
+
+/// A LanguageModel decorator that makes the network-and-GPU-backed LLM hop
+/// survivable: every Complete() is gated by a circuit breaker (a
+/// persistently failing model stops eating the latency budget), executed
+/// under a RetryPolicy (transient kUnavailable / kResourceExhausted /
+/// kDeadlineExceeded failures are retried with deterministic backoff), and
+/// bounded by the policy's per-attempt and overall deadlines.
+///
+/// The decorator is transparent on success: with a healthy inner model the
+/// first attempt's response is returned verbatim, so disarmed-fault runs
+/// are bit-identical to using the inner model directly. name() forwards to
+/// the inner model for the same reason.
+class ResilientLlm : public LanguageModel {
+ public:
+  /// `clock` drives backoff sleeps and the breaker cool-down; null means
+  /// the real SystemClock. Tests pass a MockClock so nothing ever sleeps.
+  ResilientLlm(std::unique_ptr<LanguageModel> inner,
+               LlmResilienceConfig config, Clock* clock = nullptr);
+
+  Result<LlmResponse> Complete(const LlmRequest& request) override;
+
+  std::string name() const override { return inner_->name(); }
+
+  const CircuitBreaker& breaker() const { return breaker_; }
+  BreakerState breaker_state() const { return breaker_.state(); }
+
+  /// Retry counters of the most recent Complete() call.
+  const RetryStats& last_retry_stats() const { return retrier_.stats(); }
+
+  const LanguageModel* inner() const { return inner_.get(); }
+
+ private:
+  std::unique_ptr<LanguageModel> inner_;
+  Retrier retrier_;
+  CircuitBreaker breaker_;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_LLM_RESILIENT_LLM_H_

@@ -1,11 +1,14 @@
 #include "llm/sim_image_generator.h"
 
+#include "common/fault.h"
 #include "vector/distance.h"
 
 namespace mqa {
 
 Result<GeneratedImage> SimImageGenerator::Generate(
     const std::string& prompt) {
+  // Chaos hook for the DALL·E-over-the-network hop.
+  MQA_RETURN_NOT_OK(FaultInjector::Global().Check("imagegen/generate"));
   if (prompt.empty()) return Status::InvalidArgument("empty prompt");
   GeneratedImage out;
   // Understand the prompt through the same language grounding the

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "common/fault.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "llm/prompt_builder.h"
@@ -87,6 +88,9 @@ ParsedPrompt ParsePrompt(const std::string& prompt) {
 }
 
 Result<LlmResponse> SimLlm::Complete(const LlmRequest& request) {
+  // Chaos hook: the GPT-4-over-the-network hop this simulator stands in
+  // for is the system's flakiest dependency.
+  MQA_RETURN_NOT_OK(FaultInjector::Global().Check("llm/complete"));
   if (request.prompt.empty()) {
     return Status::InvalidArgument("empty prompt");
   }

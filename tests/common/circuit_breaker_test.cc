@@ -1,0 +1,137 @@
+#include "common/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace mqa {
+namespace {
+
+CircuitBreakerConfig SmallBreaker() {
+  CircuitBreakerConfig c;
+  c.failure_threshold = 3;
+  c.open_duration_ms = 1000.0;
+  c.half_open_successes = 2;
+  return c;
+}
+
+TEST(CircuitBreakerTest, StaysClosedUnderSuccess) {
+  MockClock clock;
+  CircuitBreaker breaker(SmallBreaker(), &clock);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(breaker.Admit().ok());
+    breaker.RecordSuccess();
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.transitions(),
+            (std::vector<BreakerState>{BreakerState::kClosed}));
+}
+
+TEST(CircuitBreakerTest, TripsOpenAfterConsecutiveFailures) {
+  MockClock clock;
+  CircuitBreaker breaker(SmallBreaker(), &clock);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(breaker.Admit().ok());
+    breaker.RecordFailure();
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  const Status st = breaker.Admit();
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_NE(st.message().find("circuit breaker open"), std::string::npos);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsFailureStreak) {
+  MockClock clock;
+  CircuitBreaker breaker(SmallBreaker(), &clock);
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordSuccess();
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 2u);
+}
+
+TEST(CircuitBreakerTest, PermanentErrorsCountAsSuccess) {
+  MockClock clock;
+  CircuitBreaker breaker(SmallBreaker(), &clock);
+  for (int i = 0; i < 10; ++i) {
+    breaker.Record(Status::InvalidArgument("the service said no"));
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, FullClosedOpenHalfOpenClosedCycle) {
+  MockClock clock;
+  CircuitBreaker breaker(SmallBreaker(), &clock);
+
+  // Trip open.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(breaker.Admit().ok());
+    breaker.Record(Status::Unavailable("down"));
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.Admit().ok());
+
+  // Cool-down not yet elapsed: still rejected.
+  clock.AdvanceMillis(999.0);
+  EXPECT_FALSE(breaker.Admit().ok());
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+
+  // Cool-down elapsed: the next Admit rolls to half-open and admits one
+  // probe; a second concurrent probe is rejected.
+  clock.AdvanceMillis(2.0);
+  EXPECT_TRUE(breaker.Admit().ok());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_FALSE(breaker.Admit().ok());
+  breaker.Record(Status::OK());
+
+  // Second probe success closes the breaker.
+  EXPECT_TRUE(breaker.Admit().ok());
+  breaker.Record(Status::OK());
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+
+  EXPECT_EQ(breaker.transitions(),
+            (std::vector<BreakerState>{
+                BreakerState::kClosed, BreakerState::kOpen,
+                BreakerState::kHalfOpen, BreakerState::kClosed}));
+}
+
+TEST(CircuitBreakerTest, HalfOpenFailureReopensAndRestartsCoolDown) {
+  MockClock clock;
+  CircuitBreaker breaker(SmallBreaker(), &clock);
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  clock.AdvanceMillis(1001.0);
+  EXPECT_TRUE(breaker.Admit().ok());  // probe admitted (half-open)
+  breaker.Record(Status::Unavailable("still down"));
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  // The cool-down restarted at the failed probe.
+  clock.AdvanceMillis(500.0);
+  EXPECT_FALSE(breaker.Admit().ok());
+  clock.AdvanceMillis(501.0);
+  EXPECT_TRUE(breaker.Admit().ok());
+}
+
+TEST(CircuitBreakerTest, TransitionCallbackObservesEveryChange) {
+  MockClock clock;
+  CircuitBreaker breaker(SmallBreaker(), &clock);
+  std::vector<std::string> seen;
+  breaker.OnTransition([&](BreakerState s) {
+    seen.push_back(BreakerStateToString(s));
+  });
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  clock.AdvanceMillis(1001.0);
+  EXPECT_TRUE(breaker.Admit().ok());
+  breaker.RecordSuccess();
+  EXPECT_TRUE(breaker.Admit().ok());
+  breaker.RecordSuccess();
+  EXPECT_EQ(seen,
+            (std::vector<std::string>{"open", "half-open", "closed"}));
+}
+
+}  // namespace
+}  // namespace mqa

@@ -1,0 +1,164 @@
+#include "common/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace mqa {
+namespace {
+
+TEST(FaultInjectorTest, DisarmedCheckIsOkAndCheap) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.enabled());
+  EXPECT_TRUE(injector.Check("any/point").ok());
+  EXPECT_EQ(injector.stats("any/point").hits, 0u);
+}
+
+TEST(FaultInjectorTest, ArmedPointInjectsCodeAndMessage) {
+  FaultInjector injector;
+  FaultSpec spec;
+  spec.code = StatusCode::kIoError;
+  spec.message = "disk on fire";
+  injector.Arm("disk/read", spec);
+  EXPECT_TRUE(injector.enabled());
+
+  const Status st = injector.Check("disk/read");
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_NE(st.message().find("[fault:disk/read]"), std::string::npos);
+  EXPECT_NE(st.message().find("disk on fire"), std::string::npos);
+
+  // Unarmed points are unaffected.
+  EXPECT_TRUE(injector.Check("other/point").ok());
+}
+
+TEST(FaultInjectorTest, OnceFiresExactlyOnceThenDisarms) {
+  FaultInjector injector;
+  FaultSpec spec;
+  spec.once = true;
+  injector.Arm("llm/complete", spec);
+  EXPECT_FALSE(injector.Check("llm/complete").ok());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(injector.Check("llm/complete").ok());
+  }
+  EXPECT_EQ(injector.stats("llm/complete").fires, 1u);
+  EXPECT_FALSE(injector.enabled());
+}
+
+TEST(FaultInjectorTest, MaxFiresDisarmsAfterBudget) {
+  FaultInjector injector;
+  FaultSpec spec;
+  spec.max_fires = 3;
+  injector.Arm("p", spec);
+  int failures = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (!injector.Check("p").ok()) ++failures;
+  }
+  EXPECT_EQ(failures, 3);
+  EXPECT_FALSE(injector.enabled());
+}
+
+TEST(FaultInjectorTest, SkipFirstAndEveryNth) {
+  FaultInjector injector;
+  FaultSpec spec;
+  spec.skip_first = 2;
+  spec.every_nth = 3;
+  injector.Arm("p", spec);
+  // Hits 1,2 skipped; then eligible hits 1..n fire on every 3rd:
+  // hits 5, 8, 11, ... fire.
+  std::vector<int> fired;
+  for (int hit = 1; hit <= 12; ++hit) {
+    if (!injector.Check("p").ok()) fired.push_back(hit);
+  }
+  EXPECT_EQ(fired, (std::vector<int>{5, 8, 11}));
+}
+
+TEST(FaultInjectorTest, ProbabilityIsDeterministicPerSeed) {
+  auto schedule = [](uint64_t seed) {
+    FaultInjector injector;
+    injector.Seed(seed);
+    FaultSpec spec;
+    spec.probability = 0.5;
+    injector.Arm("p", spec);
+    std::vector<bool> out;
+    for (int i = 0; i < 64; ++i) out.push_back(injector.Check("p").ok());
+    return out;
+  };
+  EXPECT_EQ(schedule(7), schedule(7));
+  EXPECT_NE(schedule(7), schedule(8));
+}
+
+TEST(FaultInjectorTest, ScheduleIndependentOfOtherPoints) {
+  // The same point produces the same schedule whether or not unrelated
+  // points are armed and drawing.
+  FaultSpec half;
+  half.probability = 0.5;
+
+  FaultInjector alone;
+  alone.Seed(11);
+  alone.Arm("p", half);
+  std::vector<bool> schedule_alone;
+  for (int i = 0; i < 32; ++i) schedule_alone.push_back(alone.Check("p").ok());
+
+  FaultInjector crowded;
+  crowded.Seed(11);
+  crowded.Arm("p", half);
+  crowded.Arm("q", half);
+  std::vector<bool> schedule_crowded;
+  for (int i = 0; i < 32; ++i) {
+    Status ignored = crowded.Check("q");
+    (void)ignored;
+    schedule_crowded.push_back(crowded.Check("p").ok());
+  }
+  EXPECT_EQ(schedule_alone, schedule_crowded);
+}
+
+TEST(FaultInjectorTest, LatencySpikeSleepsThroughClock) {
+  FaultInjector injector;
+  MockClock clock;
+  injector.SetClock(&clock);
+  FaultSpec spec;
+  spec.code = StatusCode::kOk;  // slow but successful
+  spec.latency_ms = 250.0;
+  injector.Arm("slow/op", spec);
+  EXPECT_TRUE(injector.Check("slow/op").ok());
+  EXPECT_DOUBLE_EQ(clock.NowMillis(), 250.0);
+}
+
+TEST(FaultInjectorTest, RearmResetsCountersDisarmRemoves) {
+  FaultInjector injector;
+  FaultSpec spec;
+  injector.Arm("p", spec);
+  Status ignored = injector.Check("p");
+  (void)ignored;
+  EXPECT_EQ(injector.stats("p").hits, 1u);
+  injector.Arm("p", spec);  // re-arm resets counters
+  EXPECT_EQ(injector.stats("p").hits, 0u);
+  injector.Disarm("p");
+  EXPECT_FALSE(injector.enabled());
+  EXPECT_TRUE(injector.Check("p").ok());
+}
+
+TEST(FaultInjectorTest, ArmedPointsListsActivePoints) {
+  FaultInjector injector;
+  injector.Arm("b/point", FaultSpec{});
+  injector.Arm("a/point", FaultSpec{});
+  EXPECT_EQ(injector.ArmedPoints(),
+            (std::vector<std::string>{"a/point", "b/point"}));
+  injector.DisarmAll();
+  EXPECT_TRUE(injector.ArmedPoints().empty());
+}
+
+TEST(FaultInjectorTest, GlobalInstanceIsProcessWide) {
+  FaultInjector::Global().Arm("global/p", FaultSpec{});
+  EXPECT_TRUE(FaultInjector::Global().enabled());
+  EXPECT_FALSE(FaultInjector::Global().Check("global/p").ok());
+  FaultInjector::Global().DisarmAll();
+  EXPECT_FALSE(FaultInjector::Global().enabled());
+}
+
+}  // namespace
+}  // namespace mqa

@@ -1,0 +1,168 @@
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mqa {
+namespace {
+
+RetryPolicy FastPolicy(int attempts) {
+  RetryPolicy p;
+  p.max_attempts = attempts;
+  p.initial_backoff_ms = 10.0;
+  p.backoff_multiplier = 2.0;
+  p.max_backoff_ms = 1000.0;
+  return p;
+}
+
+TEST(BackoffScheduleTest, ExactExponentialSchedule) {
+  BackoffSchedule schedule(FastPolicy(10));
+  EXPECT_DOUBLE_EQ(schedule.NextDelayMs(), 10.0);
+  EXPECT_DOUBLE_EQ(schedule.NextDelayMs(), 20.0);
+  EXPECT_DOUBLE_EQ(schedule.NextDelayMs(), 40.0);
+  EXPECT_DOUBLE_EQ(schedule.NextDelayMs(), 80.0);
+  schedule.Reset();
+  EXPECT_DOUBLE_EQ(schedule.NextDelayMs(), 10.0);
+}
+
+TEST(BackoffScheduleTest, CapsAtMaxBackoff) {
+  RetryPolicy p = FastPolicy(20);
+  p.max_backoff_ms = 50.0;
+  BackoffSchedule schedule(p);
+  std::vector<double> delays;
+  for (int i = 0; i < 5; ++i) delays.push_back(schedule.NextDelayMs());
+  EXPECT_EQ(delays, (std::vector<double>{10.0, 20.0, 40.0, 50.0, 50.0}));
+}
+
+TEST(BackoffScheduleTest, JitterIsDeterministicAndBounded) {
+  RetryPolicy p = FastPolicy(10);
+  p.jitter_fraction = 0.2;
+  p.seed = 99;
+  BackoffSchedule a(p);
+  BackoffSchedule b(p);
+  for (int i = 0; i < 8; ++i) {
+    const double da = a.NextDelayMs();
+    const double db = b.NextDelayMs();
+    EXPECT_DOUBLE_EQ(da, db);  // same seed, same stream
+    const double base = std::min(10.0 * (1 << i), 1000.0);
+    EXPECT_GE(da, base * 0.8);
+    EXPECT_LE(da, base * 1.2);
+  }
+}
+
+TEST(RetrierTest, SucceedsFirstTryNoSleep) {
+  MockClock clock;
+  Retrier retrier(FastPolicy(3), &clock);
+  EXPECT_TRUE(retrier.Run([] { return Status::OK(); }).ok());
+  EXPECT_EQ(retrier.stats().attempts, 1);
+  EXPECT_EQ(clock.NowMicros(), 0);
+}
+
+TEST(RetrierTest, RetriesTransientThenSucceeds) {
+  MockClock clock;
+  Retrier retrier(FastPolicy(5), &clock);
+  int calls = 0;
+  const Status st = retrier.Run([&] {
+    ++calls;
+    return calls < 3 ? Status::Unavailable("flaky") : Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retrier.stats().attempts, 3);
+  // Two backoffs: 10 + 20 ms of virtual time, zero wall time.
+  EXPECT_DOUBLE_EQ(retrier.stats().total_backoff_ms, 30.0);
+  EXPECT_DOUBLE_EQ(clock.NowMillis(), 30.0);
+}
+
+TEST(RetrierTest, PermanentErrorIsNotRetried) {
+  MockClock clock;
+  Retrier retrier(FastPolicy(5), &clock);
+  int calls = 0;
+  const Status st = retrier.Run([&] {
+    ++calls;
+    return Status::InvalidArgument("bad input");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(clock.NowMicros(), 0);
+}
+
+TEST(RetrierTest, ExhaustedAttemptsKeepLastCodeAndMentionCount) {
+  MockClock clock;
+  Retrier retrier(FastPolicy(3), &clock);
+  const Status st =
+      retrier.Run([] { return Status::ResourceExhausted("overloaded"); });
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(st.message().find("gave up after 3 attempts"), std::string::npos);
+  EXPECT_DOUBLE_EQ(clock.NowMillis(), 30.0);  // 10 + 20
+}
+
+TEST(RetrierTest, PerAttemptDeadlineDiscardsLateSuccess) {
+  MockClock clock;
+  RetryPolicy p = FastPolicy(2);
+  p.per_attempt_deadline_ms = 100.0;
+  Retrier retrier(p, &clock);
+  const Status st = retrier.Run([&] {
+    clock.AdvanceMillis(250.0);  // the call is slow...
+    return Status::OK();         // ...and eventually "succeeds"
+  });
+  // Both attempts blow the budget; the late success is discarded.
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(st.message().find("late success discarded"), std::string::npos);
+  EXPECT_EQ(retrier.stats().attempts, 2);
+}
+
+TEST(RetrierTest, OverallDeadlineStopsRetrying) {
+  MockClock clock;
+  RetryPolicy p = FastPolicy(100);
+  p.overall_deadline_ms = 35.0;
+  Retrier retrier(p, &clock);
+  const Status st = retrier.Run([] { return Status::Unavailable("down"); });
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  // Backoffs 10 + 20 fit in 35 ms; the third (40) would not: 3 attempts.
+  EXPECT_EQ(retrier.stats().attempts, 3);
+  EXPECT_DOUBLE_EQ(clock.NowMillis(), 30.0);
+}
+
+TEST(RetrierTest, ResultFlavourReturnsValueAfterRetries) {
+  MockClock clock;
+  Retrier retrier(FastPolicy(4), &clock);
+  int calls = 0;
+  Result<std::string> r = retrier.Run<std::string>([&]() -> Result<std::string> {
+    ++calls;
+    if (calls < 2) return Status::Unavailable("warming up");
+    return std::string("hello");
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "hello");
+  EXPECT_EQ(retrier.stats().attempts, 2);
+}
+
+TEST(RetrierTest, ResultFlavourPropagatesFinalError) {
+  MockClock clock;
+  Retrier retrier(FastPolicy(2), &clock);
+  Result<int> r =
+      retrier.Run<int>([]() -> Result<int> { return Status::Unavailable("x"); });
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(StatusRetryabilityTest, OnlyTransientCodesAreRetryable) {
+  EXPECT_TRUE(Status::Unavailable("x").IsRetryable());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsRetryable());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsRetryable());
+  EXPECT_FALSE(Status::OK().IsRetryable());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsRetryable());
+  EXPECT_FALSE(Status::NotFound("x").IsRetryable());
+  EXPECT_FALSE(Status::Internal("x").IsRetryable());
+  EXPECT_FALSE(Status::IoError("x").IsRetryable());
+}
+
+}  // namespace
+}  // namespace mqa

@@ -24,7 +24,32 @@ TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::NotFound("missing thing").message(), "missing thing");
+}
+
+TEST(StatusTest, FromCodeBuildsArbitraryCodes) {
+  const Status st = Status::FromCode(StatusCode::kUnavailable, "try later");
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(st.message(), "try later");
+  EXPECT_EQ(st.ToString(), "Unavailable: try later");
+  // kOk degrades to plain OK regardless of message.
+  EXPECT_TRUE(Status::FromCode(StatusCode::kOk, "ignored").ok());
+}
+
+TEST(StatusTest, RetryabilityMatchesTaxonomy) {
+  EXPECT_TRUE(StatusCodeIsRetryable(StatusCode::kUnavailable));
+  EXPECT_TRUE(StatusCodeIsRetryable(StatusCode::kDeadlineExceeded));
+  EXPECT_TRUE(StatusCodeIsRetryable(StatusCode::kResourceExhausted));
+  EXPECT_FALSE(StatusCodeIsRetryable(StatusCode::kOk));
+  EXPECT_FALSE(StatusCodeIsRetryable(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(StatusCodeIsRetryable(StatusCode::kIoError));
+  EXPECT_TRUE(Status::Unavailable("x").IsRetryable());
+  EXPECT_FALSE(Status::Internal("x").IsRetryable());
 }
 
 TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/fault.h"
+#include "core/coordinator.h"
+#include "core_test_util.h"
+#include "llm/resilient_llm.h"
+
+namespace mqa {
+namespace {
+
+using ::mqa::testing::SmallConfig;
+
+/// The chaos suite: a live system under injected faults on every
+/// failure-prone hop (LLM, encoders, rewriter), asserting graceful
+/// degradation instead of hard failure. Time flows through a MockClock, so
+/// backoff and breaker cool-downs are exact and nothing sleeps.
+class ResilienceTest : public ::testing::Test {
+ protected:
+  static MqaConfig ChaosConfig() {
+    MqaConfig config = SmallConfig();
+    config.resilience.enable = true;
+    config.resilience.llm_max_attempts = 3;
+    config.resilience.llm_initial_backoff_ms = 10.0;
+    config.resilience.breaker_failure_threshold = 2;
+    config.resilience.breaker_open_ms = 1000.0;
+    config.resilience.breaker_half_open_successes = 1;
+    config.resilience.encoder_max_attempts = 2;
+    config.resilience.clock = &clock_;
+    return config;
+  }
+
+  static void SetUpTestSuite() {
+    FaultInjector::Global().DisarmAll();
+    FaultInjector::Global().SetClock(&clock_);
+    auto c = Coordinator::Create(ChaosConfig());
+    ASSERT_TRUE(c.ok()) << c.status().ToString();
+    coordinator_ = c->release();
+  }
+  static void TearDownTestSuite() {
+    delete coordinator_;
+    coordinator_ = nullptr;
+    FaultInjector::Global().SetClock(nullptr);
+  }
+
+  void SetUp() override {
+    FaultInjector::Global().DisarmAll();
+    coordinator_->ResetDialogue();
+  }
+  void TearDown() override { FaultInjector::Global().DisarmAll(); }
+
+  static const ResilientLlm* resilient_llm() {
+    return dynamic_cast<const ResilientLlm*>(
+        coordinator_->answer_generator()->llm());
+  }
+
+  static UserQuery ConceptQuery(uint32_t concept_id) {
+    UserQuery q;
+    q.text = "i would like some images of " +
+             coordinator_->world().ConceptName(concept_id);
+    return q;
+  }
+
+  static MockClock clock_;
+  static Coordinator* coordinator_;
+};
+
+MockClock ResilienceTest::clock_;
+Coordinator* ResilienceTest::coordinator_ = nullptr;
+
+TEST_F(ResilienceTest, LlmIsWrappedInResilienceDecorator) {
+  ASSERT_NE(resilient_llm(), nullptr);
+  EXPECT_EQ(resilient_llm()->name(), "sim-llm");  // transparent name
+}
+
+TEST_F(ResilienceTest, TransientLlmFaultIsAbsorbedByRetries) {
+  FaultSpec spec;
+  spec.max_fires = 2;  // fail twice, then recover: attempt 3 succeeds
+  FaultInjector::Global().Arm("llm/complete", spec);
+
+  auto turn = coordinator_->Ask(ConceptQuery(0));
+  ASSERT_TRUE(turn.ok()) << turn.status().ToString();
+  EXPECT_FALSE(turn->degraded);
+  EXPECT_TRUE(turn->degradation_notes.empty());
+  EXPECT_FALSE(turn->answer.empty());
+  EXPECT_EQ(turn->items.size(), 5u);
+  EXPECT_EQ(resilient_llm()->last_retry_stats().attempts, 3);
+  EXPECT_EQ(resilient_llm()->breaker_state(), BreakerState::kClosed);
+}
+
+TEST_F(ResilienceTest, LlmHardOutageFallsBackAndBreakerCycles) {
+  const size_t base_transitions = resilient_llm()->breaker().transitions().size();
+  FaultInjector::Global().Arm("llm/complete", FaultSpec{});  // always fail
+
+  // Round 1: retries exhausted -> extractive fallback, round still works.
+  auto t1 = coordinator_->Ask(ConceptQuery(1));
+  ASSERT_TRUE(t1.ok()) << t1.status().ToString();
+  EXPECT_TRUE(t1->degraded);
+  EXPECT_EQ(t1->items.size(), 5u);
+  EXPECT_NE(t1->answer.find("language model is currently unavailable"),
+            std::string::npos);
+  EXPECT_NE(t1->answer.find("object #"), std::string::npos);
+  ASSERT_FALSE(t1->degradation_notes.empty());
+  EXPECT_NE(t1->degradation_notes.back().find("LLM unavailable"),
+            std::string::npos);
+
+  // Round 2 trips the breaker (threshold 2).
+  auto t2 = coordinator_->Ask(ConceptQuery(1));
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(resilient_llm()->breaker_state(), BreakerState::kOpen);
+
+  // Round 3 fails fast while open — and still answers extractively.
+  auto t3 = coordinator_->Ask(ConceptQuery(1));
+  ASSERT_TRUE(t3.ok());
+  EXPECT_TRUE(t3->degraded);
+  bool saw_breaker_note = false;
+  for (const std::string& note : t3->degradation_notes) {
+    saw_breaker_note =
+        saw_breaker_note || note.find("circuit breaker") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_breaker_note);
+
+  // The outage ends; after the cool-down the half-open probe heals the
+  // breaker and answers come from the LLM again.
+  FaultInjector::Global().DisarmAll();
+  clock_.AdvanceMillis(1001.0);
+  auto t4 = coordinator_->Ask(ConceptQuery(1));
+  ASSERT_TRUE(t4.ok());
+  EXPECT_FALSE(t4->degraded);
+  EXPECT_EQ(resilient_llm()->breaker_state(), BreakerState::kClosed);
+
+  // The observable trace of this outage: closed -> open -> half-open ->
+  // closed, appended to whatever history earlier tests left behind.
+  const auto trace = resilient_llm()->breaker().transitions();
+  ASSERT_EQ(trace.size(), base_transitions + 3);
+  EXPECT_EQ(trace[base_transitions], BreakerState::kOpen);
+  EXPECT_EQ(trace[base_transitions + 1], BreakerState::kHalfOpen);
+  EXPECT_EQ(trace[base_transitions + 2], BreakerState::kClosed);
+
+  // The status panel recorded degraded events with the [!] marker.
+  EXPECT_NE(coordinator_->monitor().Render().find("[!]"), std::string::npos);
+}
+
+TEST_F(ResilienceTest, EncoderOutageDropsModalityAndStillRetrieves) {
+  // A healthy round first, to have a result to click.
+  auto healthy = coordinator_->Ask(ConceptQuery(3));
+  ASSERT_TRUE(healthy.ok());
+  ASSERT_FALSE(healthy->items.empty());
+  const uint32_t topic =
+      coordinator_->kb().at(healthy->items[0].id).concept_id;
+
+  // The text encoder goes down; the round carries text + a clicked image.
+  FaultInjector::Global().Arm("encoder/sim-text", FaultSpec{});
+  UserQuery q;
+  q.text = "more like this one please";
+  q.selected_object = healthy->items[0].id;
+  auto turn = coordinator_->Ask(q);
+  ASSERT_TRUE(turn.ok()) << turn.status().ToString();
+  EXPECT_TRUE(turn->degraded);
+  bool saw_drop_note = false;
+  for (const std::string& note : turn->degradation_notes) {
+    saw_drop_note = saw_drop_note ||
+                    note.find("dropped text modality") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_drop_note);
+
+  // The surviving image modality still retrieves on-topic results.
+  ASSERT_FALSE(turn->items.empty());
+  size_t matching = 0;
+  for (const RetrievedItem& item : turn->items) {
+    if (coordinator_->kb().at(item.id).concept_id == topic) ++matching;
+  }
+  EXPECT_GE(matching, 1u);
+}
+
+TEST_F(ResilienceTest, AllModalitiesDownFailsWithUnavailable) {
+  FaultInjector::Global().Arm("encoder/sim-text", FaultSpec{});
+  auto turn = coordinator_->Ask(ConceptQuery(2));  // text-only round
+  ASSERT_FALSE(turn.ok());
+  EXPECT_EQ(turn.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(ResilienceTest, RewriterOutageSearchesWithRawText) {
+  FaultSpec spec;
+  spec.once = true;
+  FaultInjector::Global().Arm("llm/rewrite", spec);
+  auto turn = coordinator_->Ask(ConceptQuery(4));
+  ASSERT_TRUE(turn.ok()) << turn.status().ToString();
+  EXPECT_TRUE(turn->degraded);
+  ASSERT_FALSE(turn->degradation_notes.empty());
+  EXPECT_NE(turn->degradation_notes.front().find("query rewriter unavailable"),
+            std::string::npos);
+  EXPECT_EQ(turn->items.size(), 5u);  // the raw text still retrieves
+}
+
+TEST_F(ResilienceTest, DisarmedFaultsKeepResultsBitIdentical) {
+  // A resilience-enabled system with no armed faults must behave exactly
+  // like a plain one: same result ids, same distances, same answer.
+  MqaConfig plain = SmallConfig();
+  auto baseline = Coordinator::Create(plain);
+  ASSERT_TRUE(baseline.ok());
+
+  coordinator_->ResetDialogue();
+  UserQuery q = ConceptQuery(0);
+  auto a = coordinator_->Ask(q);
+  auto b = (*baseline)->Ask(q);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->answer, b->answer);
+  ASSERT_EQ(a->items.size(), b->items.size());
+  for (size_t i = 0; i < a->items.size(); ++i) {
+    EXPECT_EQ(a->items[i].id, b->items[i].id);
+    EXPECT_EQ(a->items[i].distance, b->items[i].distance);
+  }
+  EXPECT_FALSE(a->degraded);
+}
+
+}  // namespace
+}  // namespace mqa

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "diskindex/disk_index.h"
+#include "graph/pipeline.h"
+#include "../graph/graph_test_util.h"
+
+namespace mqa {
+namespace {
+
+using ::mqa::testing::ExactKnn;
+using ::mqa::testing::MakeClusteredStore;
+using ::mqa::testing::Recall;
+
+class DiskFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Global().DisarmAll();
+    store_ = std::make_unique<VectorStore>(
+        MakeClusteredStore(800, 8, 8, 21, &queries_, 10));
+    GraphBuildConfig config;
+    config.algorithm = "mqa-hybrid";
+    config.max_degree = 12;
+    auto index = BuildGraphIndex(
+        config, store_.get(),
+        std::make_unique<FlatDistanceComputer>(store_.get(), Metric::kL2));
+    ASSERT_TRUE(index.ok());
+    mem_index_ = std::move(index).Value();
+  }
+
+  void TearDown() override { FaultInjector::Global().DisarmAll(); }
+
+  WeightedMultiDistance MakeDistance() {
+    auto wd = WeightedMultiDistance::Create(store_->schema(), {1.0f});
+    EXPECT_TRUE(wd.ok());
+    return std::move(wd).Value();
+  }
+
+  std::unique_ptr<DiskGraphIndex> MakeDisk(const DiskIndexConfig& config) {
+    auto disk =
+        DiskGraphIndex::Create(config, *mem_index_, *store_, MakeDistance());
+    EXPECT_TRUE(disk.ok());
+    return std::move(disk).Value();
+  }
+
+  std::unique_ptr<VectorStore> store_;
+  std::unique_ptr<GraphIndex> mem_index_;
+  std::vector<Vector> queries_;
+};
+
+TEST_F(DiskFaultTest, OccasionalReadFailuresAreRoutedAround) {
+  DiskIndexConfig config;
+  config.io_error_budget = 1000;  // never degrade to cache-only
+  auto disk = MakeDisk(config);
+
+  FaultSpec spec;
+  spec.code = StatusCode::kIoError;
+  spec.every_nth = 10;  // every 10th page read fails
+  FaultInjector::Global().Arm("diskindex/read_page", spec);
+
+  SearchParams params;
+  params.k = 10;
+  params.beam_width = 64;
+  double recall_sum = 0;
+  uint64_t io_errors = 0;
+  for (const Vector& q : queries_) {
+    disk->ClearCache();
+    SearchStats stats;
+    auto got = disk->Search(q.data(), params, &stats);
+    ASSERT_TRUE(got.ok());
+    recall_sum += Recall(*got, ExactKnn(*store_, q, 10));
+    io_errors += stats.io_errors;
+    EXPECT_FALSE(stats.partial);  // within budget: not flagged partial
+  }
+  EXPECT_GT(io_errors, 0u);
+  EXPECT_EQ(disk->io_stats().io_errors, io_errors);
+  // Routing around ~10% failed reads must not collapse quality.
+  EXPECT_GE(recall_sum / queries_.size(), 0.6);
+}
+
+TEST_F(DiskFaultTest, ExceededBudgetServesCacheOnlyPartialResults) {
+  DiskIndexConfig config;
+  config.io_error_budget = 2;
+  config.cache_pages = 4;  // small cache: the failing device gets hit
+  auto disk = MakeDisk(config);
+
+  // Warm the cache with one healthy query, then make the device fail hard.
+  SearchParams params;
+  params.k = 10;
+  params.beam_width = 64;
+  ASSERT_TRUE(disk->Search(queries_[0].data(), params, nullptr).ok());
+
+  FaultSpec spec;
+  spec.code = StatusCode::kIoError;
+  FaultInjector::Global().Arm("diskindex/read_page", spec);
+
+  SearchStats stats;
+  auto got = disk->Search(queries_[1].data(), params, &stats);
+  ASSERT_TRUE(got.ok());  // degraded, not failed
+  EXPECT_TRUE(stats.partial);
+  // The budget is consumed and then the query stops paying for reads, so
+  // the error count never exceeds budget + 1.
+  EXPECT_GE(stats.io_errors, 1u);
+  EXPECT_LE(stats.io_errors, config.io_error_budget + 1);
+}
+
+TEST_F(DiskFaultTest, DisarmedFaultsAreBitIdentical) {
+  SearchParams params;
+  params.k = 10;
+  params.beam_width = 64;
+  auto a = MakeDisk(DiskIndexConfig{});
+  auto b = MakeDisk(DiskIndexConfig{});
+  // Arm and disarm: the mere existence of the fault framework must not
+  // perturb results.
+  FaultInjector::Global().Arm("diskindex/read_page", FaultSpec{});
+  FaultInjector::Global().DisarmAll();
+  for (const Vector& q : queries_) {
+    auto ra = a->Search(q.data(), params, nullptr);
+    auto rb = b->Search(q.data(), params, nullptr);
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    ASSERT_EQ(ra->size(), rb->size());
+    for (size_t i = 0; i < ra->size(); ++i) {
+      EXPECT_EQ((*ra)[i].id, (*rb)[i].id);
+      EXPECT_EQ((*ra)[i].distance, (*rb)[i].distance);
+    }
+  }
+}
+
+// Regression test for the DiskIoStats data race: concurrent queries on one
+// shared index bump the counters (and mutate the LRU cache) from many
+// threads. Run under TSan this fails on the pre-atomic implementation.
+TEST_F(DiskFaultTest, ConcurrentSearchesAreRaceFree) {
+  DiskIndexConfig config;
+  config.cache_pages = 8;  // small cache: constant insert/evict churn
+  auto disk = MakeDisk(config);
+  SearchParams params;
+  params.k = 10;
+  params.beam_width = 48;
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 5;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const Vector& q = queries_[(t + round) % queries_.size()];
+        SearchStats stats;
+        auto got = disk->Search(q.data(), params, &stats);
+        EXPECT_TRUE(got.ok());
+        EXPECT_FALSE(got->empty());
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  const DiskIoStats& stats = disk->io_stats();
+  EXPECT_GT(stats.page_reads + stats.cache_hits, 0u);
+  EXPECT_EQ(stats.bytes_read, stats.page_reads * config.page_size);
+}
+
+}  // namespace
+}  // namespace mqa

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/fault.h"
+#include "encoder/sim_encoders.h"
+
+namespace mqa {
+namespace {
+
+class EncoderFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Global().DisarmAll();
+    WorldConfig c;
+    c.num_concepts = 12;
+    c.latent_dim = 16;
+    c.raw_image_dim = 32;
+    c.seed = 5;
+    auto world = World::Create(c);
+    ASSERT_TRUE(world.ok());
+    world_ = std::make_unique<World>(std::move(world).Value());
+    auto set = MakeSimEncoderSet(world_.get(), "sim-clip", 16);
+    ASSERT_TRUE(set.ok());
+    encoders_ = std::make_unique<EncoderSet>(std::move(set).Value());
+  }
+
+  void TearDown() override { FaultInjector::Global().DisarmAll(); }
+
+  Payload TextPayload(const std::string& text) {
+    Payload p;
+    p.type = ModalityType::kText;
+    p.text = text;
+    return p;
+  }
+
+  std::unique_ptr<World> world_;
+  std::unique_ptr<EncoderSet> encoders_;
+};
+
+TEST_F(EncoderFaultTest, TextEncoderOutageInjectsWithoutAffectingImage) {
+  FaultSpec spec;
+  spec.message = "text encoder down";
+  FaultInjector::Global().Arm("encoder/sim-text", spec);
+
+  // The text slot (slot 1 in the sim world: image=0, text=1) fails...
+  auto text = encoders_->EncodeModality(1, TextPayload("a red apple"));
+  EXPECT_EQ(text.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(text.status().message().find("encoder/sim-text"),
+            std::string::npos);
+
+  // ...while the image encoder keeps working.
+  Rng rng(1);
+  const Object obj = world_->MakeObject(0, &rng);
+  auto image = encoders_->EncodeModality(0, obj.modalities[0]);
+  EXPECT_TRUE(image.ok());
+}
+
+TEST_F(EncoderFaultTest, TransientFaultRecoversAfterMaxFires) {
+  FaultSpec spec;
+  spec.max_fires = 2;
+  FaultInjector::Global().Arm("encoder/sim-text", spec);
+  EXPECT_FALSE(encoders_->EncodeModality(1, TextPayload("x")).ok());
+  EXPECT_FALSE(encoders_->EncodeModality(1, TextPayload("x")).ok());
+  EXPECT_TRUE(encoders_->EncodeModality(1, TextPayload("x")).ok());
+}
+
+TEST_F(EncoderFaultTest, DisarmedEncodingIsBitIdentical) {
+  auto before = encoders_->EncodeModality(1, TextPayload("moldy cheese"));
+  ASSERT_TRUE(before.ok());
+  // Arm and fire a fault, then disarm: subsequent encodings are identical.
+  FaultInjector::Global().Arm("encoder/sim-text", FaultSpec{});
+  auto ignored = encoders_->EncodeModality(1, TextPayload("moldy cheese"));
+  (void)ignored;
+  FaultInjector::Global().DisarmAll();
+  auto after = encoders_->EncodeModality(1, TextPayload("moldy cheese"));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*before, *after);
+}
+
+}  // namespace
+}  // namespace mqa

@@ -1,0 +1,138 @@
+#include "llm/resilient_llm.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace mqa {
+namespace {
+
+/// A scriptable model: fails the first `failures_` calls with the given
+/// code, then succeeds forever.
+class FlakyLlm : public LanguageModel {
+ public:
+  FlakyLlm(int failures, StatusCode code = StatusCode::kUnavailable)
+      : failures_(failures), code_(code) {}
+
+  Result<LlmResponse> Complete(const LlmRequest& request) override {
+    ++calls_;
+    if (calls_ <= failures_) {
+      return Status::FromCode(code_, "scripted failure #" +
+                                         std::to_string(calls_));
+    }
+    LlmResponse r;
+    r.text = "answer to: " + request.prompt;
+    return r;
+  }
+
+  std::string name() const override { return "flaky-llm"; }
+  int calls() const { return calls_; }
+
+ private:
+  int failures_;
+  StatusCode code_;
+  int calls_ = 0;
+};
+
+LlmResilienceConfig FastConfig() {
+  LlmResilienceConfig c;
+  c.retry.max_attempts = 3;
+  c.retry.initial_backoff_ms = 10.0;
+  c.breaker.failure_threshold = 2;
+  c.breaker.open_duration_ms = 1000.0;
+  c.breaker.half_open_successes = 1;
+  return c;
+}
+
+LlmRequest Req(const std::string& prompt) {
+  LlmRequest r;
+  r.prompt = prompt;
+  return r;
+}
+
+TEST(ResilientLlmTest, TransparentOnHealthyModel) {
+  MockClock clock;
+  auto inner = std::make_unique<FlakyLlm>(0);
+  FlakyLlm* raw = inner.get();
+  ResilientLlm llm(std::move(inner), FastConfig(), &clock);
+  EXPECT_EQ(llm.name(), "flaky-llm");
+  auto r = llm.Complete(Req("hi"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->text, "answer to: hi");
+  EXPECT_EQ(raw->calls(), 1);
+  EXPECT_EQ(clock.NowMicros(), 0);  // no backoff, no sleep
+  EXPECT_EQ(llm.breaker_state(), BreakerState::kClosed);
+}
+
+TEST(ResilientLlmTest, RetriesAbsorbTransientBurst) {
+  MockClock clock;
+  auto inner = std::make_unique<FlakyLlm>(2);
+  FlakyLlm* raw = inner.get();
+  ResilientLlm llm(std::move(inner), FastConfig(), &clock);
+  auto r = llm.Complete(Req("hi"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(raw->calls(), 3);
+  EXPECT_EQ(llm.last_retry_stats().attempts, 3);
+  // The absorbed burst is one breaker success: still closed, streak 0.
+  EXPECT_EQ(llm.breaker_state(), BreakerState::kClosed);
+  EXPECT_EQ(llm.breaker().consecutive_failures(), 0u);
+}
+
+TEST(ResilientLlmTest, PermanentErrorPropagatesWithoutRetry) {
+  MockClock clock;
+  auto inner =
+      std::make_unique<FlakyLlm>(100, StatusCode::kInvalidArgument);
+  FlakyLlm* raw = inner.get();
+  ResilientLlm llm(std::move(inner), FastConfig(), &clock);
+  auto r = llm.Complete(Req("hi"));
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(raw->calls(), 1);
+  // A permanent answer keeps the breaker closed.
+  EXPECT_EQ(llm.breaker_state(), BreakerState::kClosed);
+}
+
+TEST(ResilientLlmTest, PersistentOutageTripsBreakerThenFailsFast) {
+  MockClock clock;
+  auto inner = std::make_unique<FlakyLlm>(1000000);
+  FlakyLlm* raw = inner.get();
+  ResilientLlm llm(std::move(inner), FastConfig(), &clock);
+
+  // Two exhausted retry loops (threshold 2) trip the breaker.
+  EXPECT_EQ(llm.Complete(Req("a")).status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(llm.Complete(Req("b")).status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(llm.breaker_state(), BreakerState::kOpen);
+  const int calls_when_open = raw->calls();
+  EXPECT_EQ(calls_when_open, 6);  // 2 loops x 3 attempts
+
+  // While open: fail fast, inner model never touched.
+  auto r = llm.Complete(Req("c"));
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(r.status().message().find("circuit breaker"), std::string::npos);
+  EXPECT_EQ(raw->calls(), calls_when_open);
+}
+
+TEST(ResilientLlmTest, RecoversThroughHalfOpenProbe) {
+  MockClock clock;
+  auto inner = std::make_unique<FlakyLlm>(6);  // exactly two failed loops
+  ResilientLlm llm(std::move(inner), FastConfig(), &clock);
+  EXPECT_FALSE(llm.Complete(Req("a")).ok());
+  EXPECT_FALSE(llm.Complete(Req("b")).ok());
+  EXPECT_EQ(llm.breaker_state(), BreakerState::kOpen);
+
+  clock.AdvanceMillis(1001.0);
+  auto r = llm.Complete(Req("c"));  // the half-open probe, now healthy
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(llm.breaker_state(), BreakerState::kClosed);
+  EXPECT_EQ(llm.breaker().transitions(),
+            (std::vector<BreakerState>{
+                BreakerState::kClosed, BreakerState::kOpen,
+                BreakerState::kHalfOpen, BreakerState::kClosed}));
+}
+
+}  // namespace
+}  // namespace mqa

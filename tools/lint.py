@@ -12,6 +12,11 @@ Enforced rules (over src/):
               stream '\n' instead.
   assert      no raw assert() / <cassert> outside common/check.h; use
               MQA_CHECK / MQA_DCHECK, which survive NDEBUG and carry context.
+  sleep       no direct std::this_thread::sleep_for / sleep_until in src/
+              outside common/clock.cc: waiting code must go through the
+              mqa::Clock interface so retry backoff, breaker cool-downs and
+              injected fault latency stay mockable (tests never sleep).
+              Escape hatch: NOLINT(mqa-sleep) with a reason.
 
 Also drives clang-tidy (--clang-tidy auto|on|off) when a binary and a
 compile_commands.json are available, and clang-format checking
@@ -35,6 +40,7 @@ NOLINT_RE = re.compile(r"NOLINT")
 NEW_RE = re.compile(r"\bnew\s+[A-Za-z_:<]")
 OWNED_RE = re.compile(r"unique_ptr|shared_ptr|make_unique|make_shared")
 ASSERT_RE = re.compile(r"(^|[^_\w.])assert\s*\(")
+SLEEP_RE = re.compile(r"\bsleep_(for|until)\s*\(")
 GUARD_IF_RE = re.compile(r"^#ifndef\s+(\S+)")
 GUARD_DEF_RE = re.compile(r"^#define\s+(\S+)")
 
@@ -116,6 +122,13 @@ def lint_file(root, path, errors):
             errors.append(
                 "%s:%d: [assert] <cassert> include; use common/check.h"
                 % (rel, i))
+
+        if SLEEP_RE.search(code) and not has_nolint:
+            if not rel.endswith(os.path.join("common", "clock.cc")):
+                errors.append(
+                    "%s:%d: [sleep] direct sleep_for/sleep_until; go "
+                    "through mqa::Clock (common/clock.h) so the wait is "
+                    "mockable in tests" % (rel, i))
 
         prev_code = code
 
