@@ -63,7 +63,7 @@ Result<GroundingScore> Evaluate(bool enable_kb, float temperature) {
   return score;
 }
 
-int Run() {
+int Run(const bench::BenchArgs& args) {
   bench::Banner(
       "E8: answer grounding with vs without retrieval augmentation "
       "(sim-llm, 60 questions)");
@@ -89,6 +89,11 @@ int Run() {
                   FormatDouble(score->admits_unverified, 3)});
   }
   table.Print();
+  if (!args.json_path.empty()) {
+    bench::JsonReporter report("bench_answer_grounding");
+    report.AddTable(table);
+    if (!report.WriteToFile(args.json_path)) return 1;
+  }
   std::printf(
       "\nExpected shape: with retrieval the answer names the target concept\n"
       "and cites knowledge-base objects nearly always; without retrieval\n"
@@ -101,4 +106,6 @@ int Run() {
 }  // namespace
 }  // namespace mqa
 
-int main() { return mqa::Run(); }
+int main(int argc, char** argv) {
+  return mqa::Run(mqa::bench::ParseBenchArgs(&argc, argv));
+}

@@ -20,7 +20,7 @@
 namespace mqa {
 namespace {
 
-int Run() {
+int Run(const bench::BenchArgs& args) {
   bench::Banner(
       "Figure 5 reproduction: two-round comparison of retrieval frameworks");
 
@@ -131,6 +131,11 @@ int Run() {
   }
 
   table.Print();
+  if (!args.json_path.empty()) {
+    bench::JsonReporter report("bench_comparative_rounds");
+    report.AddTable(table);
+    if (!report.WriteToFile(args.json_path)) return 1;
+  }
   std::printf(
       "\nExpected shape (gt-hit = fraction of the true nearest objects\n"
       "retrieved, the metric behind 'images that align with the user's\n"
@@ -147,4 +152,6 @@ int Run() {
 }  // namespace
 }  // namespace mqa
 
-int main() { return mqa::Run(); }
+int main(int argc, char** argv) {
+  return mqa::Run(mqa::bench::ParseBenchArgs(&argc, argv));
+}

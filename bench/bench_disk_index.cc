@@ -18,19 +18,25 @@
 namespace mqa {
 namespace {
 
-int Run() {
-  bench::Banner(
-      "Starling-E6: disk-resident index I/O (N = 20000, page = 4KB, "
-      "k = 10, beam = 64)");
+int Run(const bench::BenchArgs& args) {
+  const size_t n = bench::Scaled(20000, args.scale, 2000);
+  bench::Banner("Starling-E6: disk-resident index I/O (N = " +
+                std::to_string(n) + ", page = 4KB, k = 10, beam = 64)");
 
   WorldConfig wc;
   wc.num_concepts = 40;
   wc.latent_dim = 32;
   wc.raw_image_dim = 64;
   wc.seed = 37;
-  auto corpus = MakeExperimentCorpus(wc, 20000);
+  auto corpus = MakeExperimentCorpus(wc, n);
   if (!corpus.ok()) return 1;
   const VectorStore& store = *corpus->represented.store;
+
+  bench::JsonReporter report("bench_disk_index");
+  report.AddConfig("n", static_cast<double>(n));
+  report.AddConfig("k", 10.0);
+  report.AddConfig("beam", 64.0);
+  report.AddConfig("scale", args.scale);
 
   // Build the in-memory source graph once.
   auto wd = WeightedMultiDistance::Create(store.schema(),
@@ -44,7 +50,7 @@ int Run() {
       std::make_unique<MultiVectorDistanceComputer>(&store, *wd, true));
   if (!mem_index.ok()) return 1;
 
-  const size_t kQueries = 100;
+  const size_t kQueries = bench::Scaled(100, args.scale, 20);
   std::vector<Vector> queries;
   Rng rng(41);
   for (size_t i = 0; i < kQueries; ++i) {
@@ -115,8 +121,19 @@ int Run() {
                                    static_cast<uint64_t>(reads)),
                                2),
                   FormatDouble(recall / kQueries, 3)});
+    const std::string prefix = std::string(s.layout) +
+                               (s.aware ? "_aware" : "_plain") + "_c" +
+                               std::to_string(s.cache) + "_p" +
+                               std::to_string(s.pivots);
+    report.AddMetric(prefix + "/page_reads_per_query", reads);
+    report.AddMetric(prefix + "/cache_hits_per_query",
+                     static_cast<double>(io.cache_hits) / kQueries);
+    report.AddMetric(prefix + "/recall_vs_memory", recall / kQueries);
   }
   table.Print();
+  if (!args.json_path.empty() && !report.WriteToFile(args.json_path)) {
+    return 1;
+  }
   std::printf(
       "\nExpected shape: the BFS block layout needs ~2-3x fewer page reads\n"
       "than id order (neighborhoods share pages), and bigger caches help\n"
@@ -132,4 +149,6 @@ int Run() {
 }  // namespace
 }  // namespace mqa
 
-int main() { return mqa::Run(); }
+int main(int argc, char** argv) {
+  return mqa::Run(mqa::bench::ParseBenchArgs(&argc, argv));
+}

@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "common/random.h"
 #include "vector/multi_distance.h"
 #include "vector/vector_store.h"
@@ -102,7 +103,40 @@ void BM_FlatStoreScan(benchmark::State& state) {
 }
 BENCHMARK(BM_FlatStoreScan);
 
+/// Console output as usual, plus every per-iteration run captured as a
+/// `<name-slug>/ns_per_op` metric for the JSON report.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CaptureReporter(bench::JsonReporter* out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      out_->AddMetric(bench::JsonReporter::Slug(run.benchmark_name()) +
+                          "/ns_per_op",
+                      run.GetAdjustedRealTime());
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  bench::JsonReporter* out_;
+};
+
 }  // namespace
 }  // namespace mqa
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Take --json/--scale out of argv before google-benchmark sees them
+  // (it rejects unknown flags).
+  const mqa::bench::BenchArgs args = mqa::bench::ParseBenchArgs(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  mqa::bench::JsonReporter report("bench_distance_kernels");
+  mqa::CaptureReporter console(&report);
+  benchmark::RunSpecifiedBenchmarks(&console);
+  if (!args.json_path.empty() && !report.WriteToFile(args.json_path)) {
+    return 1;
+  }
+  return 0;
+}

@@ -17,7 +17,7 @@
 namespace mqa {
 namespace {
 
-int Run() {
+int Run(const bench::BenchArgs& args) {
   bench::Banner(
       "MUST-E1: framework accuracy across corpus sizes (k = 10, beam = 96)");
   bench::Table table({"N", "framework", "R1 concept-prec", "R2 concept-prec",
@@ -54,6 +54,11 @@ int Run() {
     }
   }
   table.Print();
+  if (!args.json_path.empty()) {
+    bench::JsonReporter report("bench_framework_recall");
+    report.AddTable(table);
+    if (!report.WriteToFile(args.json_path)) return 1;
+  }
   std::printf(
       "\nExpected shape: round 1 ties across frameworks (text-only is\n"
       "easy); on round 2 must beats mr at every N, and beats je on\n"
@@ -68,4 +73,6 @@ int Run() {
 }  // namespace
 }  // namespace mqa
 
-int main() { return mqa::Run(); }
+int main(int argc, char** argv) {
+  return mqa::Run(mqa::bench::ParseBenchArgs(&argc, argv));
+}

@@ -26,7 +26,7 @@ struct Setting {
   std::vector<float> weights;  // empty = learned
 };
 
-int Run() {
+int Run(const bench::BenchArgs& args) {
   bench::Banner(
       "MUST-E4: incremental-scanning pruning ablation (N = 12000, k = 10, "
       "beam = 96)");
@@ -110,6 +110,11 @@ int Run() {
     }
   }
   table.Print();
+  if (!args.json_path.empty()) {
+    bench::JsonReporter report("bench_incremental_pruning");
+    report.AddTable(table);
+    if (!report.WriteToFile(args.json_path)) return 1;
+  }
   std::printf(
       "\nExpected shape: early abandonment and scanned-dimension savings\n"
       "grow with modality count and with weight skew (heaviest-first scan\n"
@@ -123,4 +128,6 @@ int Run() {
 }  // namespace
 }  // namespace mqa
 
-int main() { return mqa::Run(); }
+int main(int argc, char** argv) {
+  return mqa::Run(mqa::bench::ParseBenchArgs(&argc, argv));
+}

@@ -20,7 +20,7 @@
 namespace mqa {
 namespace {
 
-int Run() {
+int Run(const bench::BenchArgs& args) {
   bench::Banner(
       "Pipeline-E5: index algorithms in the unified pipeline (N = 20000, "
       "weighted multi-vector space)");
@@ -111,6 +111,11 @@ int Run() {
          FormatDouble(kQueries / elapsed, 0), stages});
   }
   table.Print();
+  if (!args.json_path.empty()) {
+    bench::JsonReporter report("bench_index_algorithms");
+    report.AddTable(table);
+    if (!report.WriteToFile(args.json_path)) return 1;
+  }
   std::printf(
       "\nExpected shape: every refined graph (nsg, vamana, mqa-hybrid,\n"
       "hnsw) reaches ~0.93+ recall at several times the QPS of bruteforce\n"
@@ -123,4 +128,6 @@ int Run() {
 }  // namespace
 }  // namespace mqa
 
-int main() { return mqa::Run(); }
+int main(int argc, char** argv) {
+  return mqa::Run(mqa::bench::ParseBenchArgs(&argc, argv));
+}

@@ -15,7 +15,7 @@
 namespace mqa {
 namespace {
 
-int Run() {
+int Run(const bench::BenchArgs& args) {
   bench::Banner(
       "Fig-1/4: interactive session latency breakdown (N = 10000, k = 5)");
 
@@ -87,6 +87,11 @@ int Run() {
                 FormatDouble(img_ans / img_rounds, 2),
                 std::to_string(img_rounds)});
   table.Print();
+  if (!args.json_path.empty()) {
+    bench::JsonReporter report("bench_interaction");
+    report.AddTable(table);
+    if (!report.WriteToFile(args.json_path)) return 1;
+  }
   std::printf(
       "\nExpected shape: both round types complete in single-digit\n"
       "milliseconds end to end — interactive latency — with retrieval a\n"
@@ -97,4 +102,6 @@ int Run() {
 }  // namespace
 }  // namespace mqa
 
-int main() { return mqa::Run(); }
+int main(int argc, char** argv) {
+  return mqa::Run(mqa::bench::ParseBenchArgs(&argc, argv));
+}

@@ -13,7 +13,7 @@
 namespace mqa {
 namespace {
 
-int Run() {
+int Run(const bench::BenchArgs& args) {
   bench::Banner(
       "Live ingestion: incremental insertion vs rebuild (must / mqa-hybrid)");
 
@@ -78,6 +78,11 @@ int Run() {
                   std::to_string(coordinator->kb().size())});
   }
   table.Print();
+  if (!args.json_path.empty()) {
+    bench::JsonReporter report("bench_live_ingestion");
+    report.AddTable(table);
+    if (!report.WriteToFile(args.json_path)) return 1;
+  }
   std::printf(
       "\nExpected shape: ingestion costs a few milliseconds per object\n"
       "(one beam search + RobustPrune) and retrieval accuracy holds as the\n"
@@ -88,4 +93,6 @@ int Run() {
 }  // namespace
 }  // namespace mqa
 
-int main() { return mqa::Run(); }
+int main(int argc, char** argv) {
+  return mqa::Run(mqa::bench::ParseBenchArgs(&argc, argv));
+}

@@ -20,19 +20,26 @@
 namespace mqa {
 namespace {
 
-int Run() {
-  bench::Banner("MUST-E2: QPS vs recall per framework (N = 20000, k = 10)");
+int Run(const bench::BenchArgs& args) {
+  const size_t n = bench::Scaled(20000, args.scale, 2000);
+  bench::Banner("MUST-E2: QPS vs recall per framework (N = " +
+                std::to_string(n) + ", k = 10)");
 
   WorldConfig wc;
   wc.num_concepts = 40;
   wc.latent_dim = 32;
   wc.raw_image_dim = 64;
   wc.seed = 3;
-  auto corpus = MakeExperimentCorpus(wc, 20000);
+  auto corpus = MakeExperimentCorpus(wc, n);
   if (!corpus.ok()) return 1;
 
+  bench::JsonReporter report("bench_qps_recall");
+  report.AddConfig("n", static_cast<double>(n));
+  report.AddConfig("k", 10.0);
+  report.AddConfig("scale", args.scale);
+
   // Pre-encode a bank of two-round-style queries (text-only, filled).
-  const size_t kQueries = 100;
+  const size_t kQueries = bench::Scaled(100, args.scale, 20);
   std::vector<RetrievalQuery> queries;
   Rng rng(5);
   for (size_t i = 0; i < kQueries; ++i) {
@@ -91,9 +98,17 @@ int Run() {
                     FormatDouble(recall / kQueries, 3),
                     FormatDouble(kQueries / elapsed, 0),
                     std::to_string(dist_comps / kQueries)});
+      const std::string prefix = name + "/beam" + std::to_string(beam);
+      report.AddMetric(prefix + "/recall_at_10", recall / kQueries);
+      report.AddMetric(prefix + "/qps", kQueries / elapsed);
+      report.AddMetric(prefix + "/dist_comps",
+                       static_cast<double>(dist_comps / kQueries));
     }
   }
   table.Print();
+  if (!args.json_path.empty() && !report.WriteToFile(args.json_path)) {
+    return 1;
+  }
   std::printf(
       "\nExpected shape: recall rises with beam width for every framework;\n"
       "at matched recall, must achieves higher QPS than mr (one unified\n"
@@ -104,4 +119,6 @@ int Run() {
 }  // namespace
 }  // namespace mqa
 
-int main() { return mqa::Run(); }
+int main(int argc, char** argv) {
+  return mqa::Run(mqa::bench::ParseBenchArgs(&argc, argv));
+}

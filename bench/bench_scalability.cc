@@ -18,7 +18,7 @@
 namespace mqa {
 namespace {
 
-int Run() {
+int Run(const bench::BenchArgs& args) {
   bench::Banner("Scal-E7: end-to-end scalability in corpus size (must)");
   bench::Table table({"N", "encode+learn s", "index build s", "QPS",
                       "avg dist comps", "scan frac", "R1 concept-prec"});
@@ -74,6 +74,11 @@ int Run() {
                   FormatDouble(precision / kQueries, 3)});
   }
   table.Print();
+  if (!args.json_path.empty()) {
+    bench::JsonReporter report("bench_scalability");
+    report.AddTable(table);
+    if (!report.WriteToFile(args.json_path)) return 1;
+  }
   std::printf(
       "\nExpected shape: per-query distance computations grow sublinearly\n"
       "(the scanned fraction of the corpus falls as N grows), QPS degrades\n"
@@ -84,4 +89,6 @@ int Run() {
 }  // namespace
 }  // namespace mqa
 
-int main() { return mqa::Run(); }
+int main(int argc, char** argv) {
+  return mqa::Run(mqa::bench::ParseBenchArgs(&argc, argv));
+}

@@ -2,8 +2,14 @@
 #define MQA_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <map>
 #include <string>
 #include <vector>
+
+#include "common/json.h"
 
 namespace mqa::bench {
 
@@ -14,6 +20,9 @@ class Table {
       : headers_(std::move(headers)) {}
 
   void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
 
   void Print() const {
     std::vector<size_t> width(headers_.size());
@@ -51,6 +60,164 @@ inline void Banner(const std::string& title) {
   std::printf("%s\n", title.c_str());
   std::printf("==============================================================\n");
 }
+
+/// Command-line options shared by every bench binary.
+struct BenchArgs {
+  /// --json <path>: also write the results as machine-readable JSON
+  /// (see JsonReporter). Empty = print tables only.
+  std::string json_path;
+  /// --scale <f>: multiply the workload (corpus size, query count) by `f`.
+  /// CI smoke runs use a fraction; 1.0 is the paper-scale default.
+  double scale = 1.0;
+};
+
+/// Parses and REMOVES --json/--scale from argv, so the remaining flags can
+/// be handed to another harness (google-benchmark's Initialize rejects
+/// flags it does not know). Unrecognized arguments are left in place.
+inline BenchArgs ParseBenchArgs(int* argc, char** argv) {
+  BenchArgs out;
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    bool is_json = false;
+    bool is_scale = false;
+    if (std::strncmp(arg, "--json=", 7) == 0) {
+      is_json = true;
+      value = arg + 7;
+    } else if (std::strcmp(arg, "--json") == 0 && i + 1 < *argc) {
+      is_json = true;
+      value = argv[++i];
+    } else if (std::strncmp(arg, "--scale=", 8) == 0) {
+      is_scale = true;
+      value = arg + 8;
+    } else if (std::strcmp(arg, "--scale") == 0 && i + 1 < *argc) {
+      is_scale = true;
+      value = argv[++i];
+    }
+    if (is_json) {
+      out.json_path = value;
+    } else if (is_scale) {
+      const double s = std::strtod(value, nullptr);
+      if (s > 0) out.scale = s;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+  return out;
+}
+
+/// Scales a workload size, keeping at least `floor` (a bench at --scale
+/// 0.05 must still have enough objects to build a graph).
+inline size_t Scaled(size_t n, double scale, size_t floor = 1) {
+  const size_t scaled = static_cast<size_t>(static_cast<double>(n) * scale);
+  return scaled < floor ? floor : scaled;
+}
+
+/// Collects one bench run as machine-readable JSON:
+///   {"bench": name, "config": {...}, "metrics": {...}, "timestamp": secs}
+/// Metric names follow the repo-wide `group/name` convention so
+/// tools/bench_check.py can gate them against bench/baselines.json.
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string bench) : bench_(std::move(bench)) {}
+
+  void AddConfig(const std::string& key, const std::string& value) {
+    config_[key] = value;
+  }
+  void AddConfig(const std::string& key, double value) {
+    config_[key] = JsonNumber(value);
+  }
+  void AddMetric(const std::string& name, double value) {
+    metrics_[name] = value;
+  }
+
+  /// Generic table capture for benches without hand-picked metrics: each
+  /// numeric cell of row i becomes metric "row<i>/<header-slug>", and the
+  /// row's non-numeric cells become the config entry "row<i>" (the row's
+  /// identity). Row order is part of the schema: renumbering happens only
+  /// when the bench's settings list changes.
+  void AddTable(const Table& table) {
+    const std::vector<std::string>& headers = table.headers();
+    for (size_t r = 0; r < table.rows().size(); ++r) {
+      const std::vector<std::string>& row = table.rows()[r];
+      const std::string prefix = "row" + std::to_string(r);
+      std::string label;
+      for (size_t c = 0; c < row.size() && c < headers.size(); ++c) {
+        double v = 0;
+        if (ParseNumericCell(row[c], &v)) {
+          AddMetric(prefix + "/" + Slug(headers[c]), v);
+        } else {
+          if (!label.empty()) label += " ";
+          label += row[c];
+        }
+      }
+      if (!label.empty()) AddConfig(prefix, label);
+    }
+  }
+
+  std::string ToJson() const {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("bench").String(bench_);
+    w.Key("config").BeginObject();
+    for (const auto& [k, v] : config_) w.Key(k).String(v);
+    w.EndObject();
+    w.Key("metrics").BeginObject();
+    for (const auto& [k, v] : metrics_) w.Key(k).Number(v);
+    w.EndObject();
+    w.Key("timestamp").Int(static_cast<int64_t>(std::time(nullptr)));
+    w.EndObject();
+    return w.str();
+  }
+
+  /// Writes ToJson() (plus a trailing newline) to `path`. Returns false
+  /// (with a note on stderr) when the file cannot be written.
+  bool WriteToFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    const std::string json = ToJson();
+    const bool ok = std::fwrite(json.data(), 1, json.size(), f) ==
+                        json.size() &&
+                    std::fputc('\n', f) != EOF;
+    std::fclose(f);
+    if (!ok) std::fprintf(stderr, "short write to %s\n", path.c_str());
+    return ok;
+  }
+
+  /// "recall@10 (vs exact)" -> "recall_10_vs_exact": lowercase, runs of
+  /// non-alphanumerics collapse to one '_', trimmed at both ends.
+  static std::string Slug(const std::string& text) {
+    std::string out;
+    for (char ch : text) {
+      if ((ch >= 'a' && ch <= 'z') || (ch >= '0' && ch <= '9')) {
+        out += ch;
+      } else if (ch >= 'A' && ch <= 'Z') {
+        out += static_cast<char>(ch - 'A' + 'a');
+      } else if (!out.empty() && out.back() != '_') {
+        out += '_';
+      }
+    }
+    while (!out.empty() && out.back() == '_') out.pop_back();
+    return out;
+  }
+
+ private:
+  static bool ParseNumericCell(const std::string& cell, double* value) {
+    if (cell.empty()) return false;
+    char* end = nullptr;
+    *value = std::strtod(cell.c_str(), &end);
+    return end == cell.c_str() + cell.size();
+  }
+
+  std::string bench_;
+  std::map<std::string, std::string> config_;
+  std::map<std::string, double> metrics_;
+};
 
 }  // namespace mqa::bench
 

@@ -24,7 +24,7 @@ struct NoiseSetting {
   float text_noise;
 };
 
-int Run() {
+int Run(const bench::BenchArgs& args) {
   bench::Banner(
       "MUST-E3: contrastive weight learning vs fixed weights "
       "(N = 6000, 32 concepts)");
@@ -109,6 +109,11 @@ int Run() {
                   FormatDouble(eval(inverted), 3)});
   }
   table.Print();
+  if (!args.json_path.empty()) {
+    bench::JsonReporter report("bench_weight_learning");
+    report.AddTable(table);
+    if (!report.WriteToFile(args.json_path)) return 1;
+  }
   std::printf(
       "\nExpected shape: the learner tracks modality informativeness (w_txt\n"
       "falls as text noise rises, w_img falls as image noise rises);\n"
@@ -122,4 +127,6 @@ int Run() {
 }  // namespace
 }  // namespace mqa
 
-int main() { return mqa::Run(); }
+int main(int argc, char** argv) {
+  return mqa::Run(mqa::bench::ParseBenchArgs(&argc, argv));
+}

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/metrics.h"
+
 namespace mqa {
 
 const char* BreakerStateToString(BreakerState state) {
@@ -36,6 +38,15 @@ void CircuitBreaker::MaybeHalfOpenLocked() {
 std::function<void()> CircuitBreaker::TransitionLocked(BreakerState next) {
   state_ = next;
   transitions_.push_back(next);
+  // Counter increments are atomic, safe under mu_; the name encodes the
+  // destination state so dashboards can see trips vs. recoveries.
+  MetricsRegistry::Global()
+      .GetCounter(std::string("breaker/to_") +
+                  (next == BreakerState::kOpen
+                       ? "open"
+                       : next == BreakerState::kHalfOpen ? "half_open"
+                                                         : "closed"))
+      ->Increment();
   if (!on_transition_) return nullptr;
   auto cb = on_transition_;
   return [cb, next]() { cb(next); };

@@ -2,6 +2,8 @@
 
 #include <functional>
 
+#include "common/metrics.h"
+
 namespace mqa {
 
 FaultInjector& FaultInjector::Global() {
@@ -107,11 +109,20 @@ Status FaultInjector::CheckSlow(std::string_view point) {
     }
     clock = clock_;
   }
+  // Injected misbehaviour is observable: without these, a chaos run's
+  // latency spikes and error storms would be invisible to any timing.
+  MetricsRegistry::Global().GetCounter("fault/fires")->Increment();
   // The latency spike sleeps outside the lock so concurrent fault points
   // (and Arm/Disarm from a driver thread) never serialize behind it.
   if (latency_ms > 0.0) {
+    MetricsRegistry::Global()
+        .GetHistogram("fault/injected_latency_ms")
+        ->Record(latency_ms);
     if (clock == nullptr) clock = SystemClock();
     clock->SleepForMillis(latency_ms);
+  }
+  if (!injected.ok()) {
+    MetricsRegistry::Global().GetCounter("fault/injected_errors")->Increment();
   }
   return injected;
 }

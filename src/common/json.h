@@ -1,0 +1,54 @@
+#ifndef MQA_COMMON_JSON_H_
+#define MQA_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mqa {
+
+/// Escapes a string for inclusion inside JSON double quotes (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(std::string_view s);
+
+/// Renders a double deterministically for JSON: integral values within
+/// uint64 range print without a fraction ("12"), everything else through
+/// "%.6g". NaN/inf (not representable in JSON) become null.
+std::string JsonNumber(double v);
+
+/// A minimal streaming JSON writer — just enough for the observability
+/// exports (MetricsRegistry::ToJson, Trace::ToJson, bench reports). The
+/// caller is responsible for well-formed nesting; commas are inserted
+/// automatically between siblings.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Object key; must be followed by a value or Begin*.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Number(double value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& UInt(uint64_t value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  const std::string& str() const { return out_; }
+
+ private:
+  /// Emits the separating comma when a sibling value precedes this one.
+  void BeforeValue();
+
+  std::string out_;
+  std::vector<bool> has_sibling_;  ///< per open scope
+  bool pending_key_ = false;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_COMMON_JSON_H_

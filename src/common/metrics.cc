@@ -1,0 +1,286 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/clock.h"
+#include "common/json.h"
+
+namespace mqa {
+
+namespace {
+
+/// min_/max_ rest at the identity elements so Record needs no seeding
+/// branch; Snapshot maps a still-idle extreme back to 0.
+constexpr double kIdleMin = std::numeric_limits<double>::infinity();
+constexpr double kIdleMax = -std::numeric_limits<double>::infinity();
+
+/// Relaxed CAS add for pre-C++20-hardware-support atomic doubles.
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(cur, cur + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* target, double value) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (value < cur && !target->compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (value > cur && !target->compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+// --- HistogramSnapshot ------------------------------------------------------
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest rank, 1-based: the k-th smallest recorded value.
+  const uint64_t k = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(p / 100.0 * count)));
+  uint64_t cum = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (cum + counts[i] < k) {
+      cum += counts[i];
+      continue;
+    }
+    if (i >= bounds.size()) return max;  // overflow bucket
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const double upper = bounds[i];
+    // Position of the k-th value inside this bucket, interpolated as if
+    // the bucket's samples were evenly spread over (lower, upper].
+    const double frac =
+        static_cast<double>(k - cum) / static_cast<double>(counts[i]);
+    const double est = lower + (upper - lower) * frac;
+    return std::clamp(est, min, max);
+  }
+  return max;
+}
+
+Status HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (other.bounds != bounds) {
+    return Status::InvalidArgument(
+        "cannot merge histograms with different bucket bounds");
+  }
+  for (size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  if (other.count > 0) {
+    min = count == 0 ? other.min : std::min(min, other.min);
+    max = count == 0 ? other.max : std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  return Status::OK();
+}
+
+// --- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  if (bounds_.empty()) bounds_.push_back(1.0);
+  counts_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+  min_.store(kIdleMin, std::memory_order_relaxed);
+  max_.store(kIdleMax, std::memory_order_relaxed);
+}
+
+void Histogram::Record(double value) {
+  // First finite bound >= value, i.e. bucket i spans (bounds[i-1],
+  // bounds[i]]; everything above the last bound lands in the overflow slot.
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = min_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  // min_/max_ idle at +/-inf until the first Record lands.
+  if (!std::isfinite(snap.min)) snap.min = 0.0;
+  if (!std::isfinite(snap.max)) snap.max = 0.0;
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(kIdleMin, std::memory_order_relaxed);
+  max_.store(kIdleMax, std::memory_order_relaxed);
+}
+
+const std::vector<double>& Histogram::DefaultLatencyBoundsMs() {
+  static const std::vector<double>* const kBounds =  // NOLINT(mqa-naked-new)
+      new std::vector<double>{0.01, 0.025, 0.05, 0.1,  0.25, 0.5,  1.0,
+                              2.5,  5.0,   10.0, 25.0, 50.0, 100.0,
+                              250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0};
+  return *kBounds;
+}
+
+// --- MetricsRegistry --------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Intentionally leaked singleton (never destroyed, shared by threads).
+  static MetricsRegistry* const kRegistry =  // NOLINT(mqa-naked-new)
+      new MetricsRegistry();
+  return *kRegistry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(bounds))
+             .first;
+  }
+  return it->second.get();
+}
+
+uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+double MetricsRegistry::GaugeValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second->value();
+}
+
+HistogramSnapshot MetricsRegistry::HistogramSnapshotOf(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? HistogramSnapshot{}
+                                 : it->second->Snapshot();
+}
+
+std::vector<std::string> MetricsRegistry::CounterNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> MetricsRegistry::HistogramNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) names.push_back(name);
+  return names;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    w.Key(name).UInt(counter->value());
+  }
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    w.Key(name).Number(gauge->value());
+  }
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    const HistogramSnapshot snap = histogram->Snapshot();
+    w.Key(name).BeginObject();
+    w.Key("count").UInt(snap.count);
+    w.Key("sum").Number(snap.sum);
+    w.Key("min").Number(snap.min);
+    w.Key("max").Number(snap.max);
+    w.Key("mean").Number(snap.Mean());
+    w.Key("p50").Number(snap.Percentile(50));
+    w.Key("p95").Number(snap.Percentile(95));
+    w.Key("p99").Number(snap.Percentile(99));
+    w.Key("buckets").BeginArray();
+    for (size_t i = 0; i < snap.counts.size(); ++i) {
+      if (snap.counts[i] == 0) continue;  // sparse: skip empty buckets
+      w.BeginArray();
+      if (i < snap.bounds.size()) {
+        w.Number(snap.bounds[i]);
+      } else {
+        w.Null();  // overflow bucket has no upper bound
+      }
+      w.UInt(snap.counts[i]);
+      w.EndArray();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+// --- ScopedLatency ----------------------------------------------------------
+
+ScopedLatency::ScopedLatency(Histogram* histogram)
+    : histogram_(histogram), start_micros_(SystemClock()->NowMicros()) {}
+
+ScopedLatency::~ScopedLatency() {
+  if (histogram_ == nullptr) return;
+  histogram_->Record(
+      static_cast<double>(SystemClock()->NowMicros() - start_micros_) / 1e3);
+}
+
+}  // namespace mqa

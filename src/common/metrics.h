@@ -1,0 +1,170 @@
+#ifndef MQA_COMMON_METRICS_H_
+#define MQA_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mqa {
+
+/// A monotonically increasing event count. All operations are relaxed
+/// atomics: totals are exact once writers quiesce, and increments never
+/// serialize hot paths. Pointers returned by the registry are stable for
+/// the process lifetime, so call sites fetch once and cache.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A last-written instantaneous value (queue depth, cache size, ...).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// An immutable copy of a histogram's state, detached from the live atomics
+/// so it can be merged, summarized and exported without racing recorders.
+/// `bounds` are the inclusive upper edges of the finite buckets; one extra
+/// overflow bucket collects everything above the last bound.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;  ///< bounds.size() + 1 entries
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< meaningful only when count > 0
+  double max = 0.0;
+
+  double Mean() const { return count == 0 ? 0.0 : sum / count; }
+
+  /// Nearest-rank percentile with linear interpolation inside the bucket
+  /// (bucket i spans (bounds[i-1], bounds[i]], bucket 0 starts at 0).
+  /// The estimate is clamped to the observed [min, max]; the overflow
+  /// bucket reports max. p in [0, 100].
+  double Percentile(double p) const;
+
+  /// Element-wise merge of another snapshot recorded with identical
+  /// bounds (per-shard or per-process aggregation).
+  Status Merge(const HistogramSnapshot& other);
+};
+
+/// A thread-safe fixed-bucket histogram. Recording is wait-free on the
+/// bucket counters plus CAS loops for sum/min/max; there is no lock, so
+/// concurrent Record calls from query threads never contend on a mutex.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Record(double value);
+
+  HistogramSnapshot Snapshot() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  void Reset();
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// The registry's default bucketing, tuned for latencies in
+  /// milliseconds: exponential edges from 10 us to 10 s.
+  static const std::vector<double>& DefaultLatencyBoundsMs();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// The process-wide metrics surface: named counters, gauges and histograms
+/// (naming convention `component/name`, e.g. "diskindex/page_reads").
+///
+/// Lookup takes a mutex; the returned pointers are stable until process
+/// exit, so instrumented call sites resolve their metric once (usually
+/// into a function-local static or a member) and afterwards pay only a
+/// relaxed atomic per event — near-zero cost when nobody is exporting.
+/// Entries are never removed; ResetAll zeroes values but keeps pointers
+/// valid, so tests and benches can bracket a measured region.
+///
+/// Production code records through Global(); independent instances exist
+/// for unit tests and for merging experiments.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  /// Finds or creates. A histogram's bounds are fixed by the first caller;
+  /// later callers get the existing instance regardless of `bounds`.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name,
+                          const std::vector<double>& bounds =
+                              Histogram::DefaultLatencyBoundsMs());
+
+  /// Read-side helpers (zero / empty snapshot when the metric is absent).
+  uint64_t CounterValue(std::string_view name) const;
+  double GaugeValue(std::string_view name) const;
+  HistogramSnapshot HistogramSnapshotOf(std::string_view name) const;
+
+  /// All registered names, sorted (counters, gauges and histograms share
+  /// one namespace section each).
+  std::vector<std::string> CounterNames() const;
+  std::vector<std::string> HistogramNames() const;
+
+  /// Zeroes every metric (pointers stay valid).
+  void ResetAll();
+
+  /// Machine-readable export:
+  ///   {"counters":{...},"gauges":{...},
+  ///    "histograms":{name:{count,sum,min,max,mean,p50,p95,p99,
+  ///                        buckets:[[bound,count],...]}}}
+  /// Keys are sorted, numbers deterministic — golden-testable.
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  // node-based maps: pointers to mapped values are stable across inserts.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Measures wall time from construction to destruction through a
+/// monotonic clock and records milliseconds into a histogram. For
+/// latency distributions where a trace span would be too fine-grained.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram* histogram);
+  ~ScopedLatency();
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Histogram* histogram_;
+  int64_t start_micros_;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_COMMON_METRICS_H_

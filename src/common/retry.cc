@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "common/metrics.h"
+
 namespace mqa {
 
 BackoffSchedule::BackoffSchedule(const RetryPolicy& policy)
@@ -39,6 +41,22 @@ Status Retrier::Run(const std::function<Status()>& op) {
   stats_ = RetryStats{};
   schedule_.Reset();
   const double start_ms = clock_->NowMillis();
+  // Backoff sleeps happen through clock_ and are otherwise invisible to
+  // wall-clock timing — account for them in the registry on every exit
+  // path so a retry storm shows up in the perf trajectory.
+  struct RecordOnExit {
+    const RetryStats* stats;
+    ~RecordOnExit() {
+      MetricsRegistry& m = MetricsRegistry::Global();
+      m.GetCounter("retry/attempts")
+          ->Increment(static_cast<uint64_t>(stats->attempts));
+      if (stats->attempts > 1) {
+        m.GetCounter("retry/retries")
+            ->Increment(static_cast<uint64_t>(stats->attempts - 1));
+        m.GetHistogram("retry/backoff_ms")->Record(stats->total_backoff_ms);
+      }
+    }
+  } record_on_exit{&stats_};
 
   for (int attempt = 1;; ++attempt) {
     const double attempt_start_ms = clock_->NowMillis();

@@ -1,0 +1,164 @@
+#include "common/trace.h"
+
+#include "common/json.h"
+#include "common/string_util.h"
+
+namespace mqa {
+
+namespace {
+
+thread_local Trace* tls_trace = nullptr;
+thread_local int32_t tls_span = -1;
+
+}  // namespace
+
+Trace* ActiveTrace() { return tls_trace; }
+int32_t ActiveSpanId() { return tls_span; }
+
+// --- Trace ------------------------------------------------------------------
+
+Trace::Trace(std::string name, Clock* clock)
+    : name_(std::move(name)),
+      clock_(clock != nullptr ? clock : SystemClock()),
+      epoch_micros_(clock_->NowMicros()) {}
+
+int32_t Trace::BeginSpan(std::string_view name, int32_t parent) {
+  const int64_t now = clock_->NowMicros() - epoch_micros_;
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanRecord span;
+  span.id = static_cast<int32_t>(spans_.size());
+  span.parent = parent;
+  span.name = std::string(name);
+  span.start_micros = now;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Trace::EndSpan(int32_t id) {
+  const int64_t now = clock_->NowMicros() - epoch_micros_;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || static_cast<size_t>(id) >= spans_.size()) return;
+  if (spans_[id].end_micros < 0) spans_[id].end_micros = now;
+}
+
+std::vector<SpanRecord> Trace::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+int64_t Trace::TotalMicros() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const SpanRecord& s : spans_) {
+    if (s.parent < 0) total += s.DurationMicros();
+  }
+  return total;
+}
+
+std::string Trace::ToJson() const {
+  const std::vector<SpanRecord> spans = this->spans();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("trace").String(name_);
+  w.Key("spans").BeginArray();
+  for (const SpanRecord& s : spans) {
+    w.BeginObject();
+    w.Key("id").Int(s.id);
+    w.Key("parent").Int(s.parent);
+    w.Key("name").String(s.name);
+    w.Key("start_us").Int(s.start_micros);
+    w.Key("dur_us").Int(s.end_micros < 0 ? -1 : s.DurationMicros());
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+std::string Trace::Render() const {
+  const std::vector<SpanRecord> spans = this->spans();
+  // Children of each span, in Begin order (span ids are Begin-ordered).
+  std::vector<std::vector<size_t>> children(spans.size());
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const int32_t p = spans[i].parent;
+    if (p >= 0 && static_cast<size_t>(p) < spans.size()) {
+      children[p].push_back(i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+  std::string out = name_ + " (" +
+                    FormatDouble(static_cast<double>(TotalMicros()) / 1e3, 3) +
+                    " ms total)\n";
+  // Depth-first render; explicit stack keeps sibling order stable.
+  struct Frame {
+    size_t span;
+    size_t depth;
+  };
+  std::vector<Frame> stack;
+  for (size_t r = roots.size(); r > 0; --r) {
+    stack.push_back(Frame{roots[r - 1], 0});
+  }
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const SpanRecord& s = spans[f.span];
+    out += std::string(2 * (f.depth + 1), ' ');
+    out += s.name;
+    if (s.end_micros < 0) {
+      out += " (open)";
+    } else {
+      out += ": " + FormatDouble(s.DurationMillis(), 3) + " ms";
+      const int64_t parent_dur =
+          s.parent >= 0 ? spans[s.parent].DurationMicros() : TotalMicros();
+      if (parent_dur > 0) {
+        const double share =
+            100.0 * static_cast<double>(s.DurationMicros()) /
+            static_cast<double>(parent_dur);
+        out += " (" + FormatDouble(share, 1) + "%)";
+      }
+    }
+    out += "\n";
+    for (size_t c = children[f.span].size(); c > 0; --c) {
+      stack.push_back(Frame{children[f.span][c - 1], f.depth + 1});
+    }
+  }
+  return out;
+}
+
+// --- ScopedTrace / Span -----------------------------------------------------
+
+ScopedTrace::ScopedTrace(Trace* trace, int32_t parent_span)
+    : prev_trace_(tls_trace), prev_span_(tls_span) {
+  tls_trace = trace;
+  tls_span = parent_span;
+}
+
+ScopedTrace::~ScopedTrace() {
+  tls_trace = prev_trace_;
+  tls_span = prev_span_;
+}
+
+Span::Span(std::string_view name) {
+  trace_ = tls_trace;
+  if (trace_ == nullptr) return;
+  prev_span_ = tls_span;
+  id_ = trace_->BeginSpan(name, prev_span_);
+  tls_span = id_;
+  ambient_ = true;
+}
+
+Span::Span(Trace* trace, std::string_view name, int32_t parent)
+    : trace_(trace) {
+  if (trace_ == nullptr) return;
+  id_ = trace_->BeginSpan(name, parent);
+}
+
+Span::~Span() {
+  if (trace_ == nullptr) return;
+  trace_->EndSpan(id_);
+  if (ambient_) tls_span = prev_span_;
+}
+
+}  // namespace mqa

@@ -1,0 +1,127 @@
+#ifndef MQA_COMMON_TRACE_H_
+#define MQA_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace mqa {
+
+/// One completed (or still-open) span of a trace tree.
+struct SpanRecord {
+  int32_t id = -1;
+  int32_t parent = -1;  ///< -1 = root-level span
+  std::string name;     ///< convention: component/operation
+  int64_t start_micros = 0;  ///< relative to the trace epoch
+  int64_t end_micros = -1;   ///< -1 while the span is open
+
+  int64_t DurationMicros() const {
+    return end_micros < 0 ? 0 : end_micros - start_micros;
+  }
+  double DurationMillis() const {
+    return static_cast<double>(DurationMicros()) / 1e3;
+  }
+};
+
+/// The span tree of one unit of work (a query turn, an offline build).
+/// Spans carry start/end timestamps read from the trace's Clock — tests
+/// install a MockClock, making every duration exact and deterministic.
+///
+/// Thread-safe: DAG stages running on pool threads append spans to the
+/// same trace concurrently. Span ids are assigned in Begin order; the
+/// parent chain is supplied by the Span/ScopedTrace helpers below.
+class Trace {
+ public:
+  /// `clock` drives all timestamps; null = SystemClock(). Timestamps are
+  /// stored relative to the clock reading at construction (the epoch), so
+  /// a MockClock starting anywhere yields the same trace.
+  explicit Trace(std::string name, Clock* clock = nullptr);
+
+  /// Opens a span under `parent` (-1 = root) and returns its id.
+  int32_t BeginSpan(std::string_view name, int32_t parent = -1);
+
+  /// Closes an open span (idempotent; unknown ids are ignored).
+  void EndSpan(int32_t id);
+
+  const std::string& name() const { return name_; }
+  Clock* clock() const { return clock_; }
+
+  /// Snapshot of all spans recorded so far, in Begin order.
+  std::vector<SpanRecord> spans() const;
+
+  /// Sum of root-span durations — the trace's total accounted time.
+  int64_t TotalMicros() const;
+
+  /// {"trace":name,"spans":[{id,parent,name,start_us,dur_us},...]} with
+  /// deterministic ordering and numbers — golden-testable under MockClock.
+  std::string ToJson() const;
+
+  /// Human `--explain`-style breakdown: one line per span, indented by
+  /// depth, with duration and share of the parent's time. Open spans
+  /// render as "(open)".
+  std::string Render() const;
+
+ private:
+  std::string name_;
+  Clock* clock_;
+  int64_t epoch_micros_;
+
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+};
+
+/// The calling thread's ambient trace (installed by ScopedTrace), or null.
+/// Instrumented code constructs ambient `Span`s unconditionally; when no
+/// trace is installed they are no-ops, so tracing costs one thread-local
+/// load on untraced paths.
+Trace* ActiveTrace();
+
+/// The ambient span id new child spans attach under (-1 at the root).
+int32_t ActiveSpanId();
+
+/// Installs a trace (and optionally a parent span id) as the calling
+/// thread's ambient trace for the current scope. Used at the top of a
+/// query turn and when a DAG hands a stage to a pool thread: the worker
+/// re-installs the pipeline's trace with the pipeline span as parent, so
+/// stage spans land in the right subtree.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(Trace* trace, int32_t parent_span = -1);
+  ~ScopedTrace();
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  Trace* prev_trace_;
+  int32_t prev_span_;
+};
+
+/// RAII span. The ambient form attaches to ActiveTrace() under the
+/// current ambient span and becomes the ambient span itself until
+/// destruction; the explicit form writes into a given trace under a given
+/// parent without touching thread-local state.
+class Span {
+ public:
+  explicit Span(std::string_view name);                     // ambient
+  Span(Trace* trace, std::string_view name, int32_t parent);  // explicit
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Id within the trace (-1 when no trace was active).
+  int32_t id() const { return id_; }
+
+ private:
+  Trace* trace_ = nullptr;
+  int32_t id_ = -1;
+  int32_t prev_span_ = -1;
+  bool ambient_ = false;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_COMMON_TRACE_H_

@@ -42,6 +42,24 @@ struct ResilienceOptions {
   Clock* clock = nullptr;
 };
 
+/// Knobs of the observability layer (metrics + per-turn tracing). Metrics
+/// (MetricsRegistry::Global()) are always on — recording is a relaxed
+/// atomic per event. Tracing allocates a small span tree per query turn;
+/// it defaults on (the paper's status-monitoring panel needs it) and can
+/// be disabled for benchmark runs chasing the last microsecond.
+struct ObservabilityOptions {
+  /// Build a Trace for every Coordinator::Ask (exposed on AnswerTurn).
+  bool trace_turns = true;
+  /// Also emit the human-readable per-turn breakdown (Trace::Render)
+  /// through the StatusMonitor — the `--explain` view.
+  bool explain_turns = false;
+  /// Trace the offline build pipeline (Coordinator::Create).
+  bool trace_build = true;
+  /// Non-owning clock for trace timestamps; null = SystemClock. Tests use
+  /// a MockClock so span durations are exact.
+  Clock* clock = nullptr;
+};
+
 /// Everything the frontend's configuration panel edits, in one struct:
 /// knowledge base, embedding, weight learning, index, retrieval and LLM
 /// settings.
@@ -79,6 +97,9 @@ struct MqaConfig {
 
   // --- Resilience (fault handling in the online pipeline) ---
   ResilienceOptions resilience;
+
+  // --- Observability (metrics + tracing) ---
+  ObservabilityOptions observability;
 
   uint64_t seed = 42;
 };

@@ -125,6 +125,15 @@ Result<MqaConfig> ParseMqaConfig(const std::vector<std::string>& lines) {
     } else if (key == "resilience.io_error_budget") {
       MQA_ASSIGN_OR_RETURN(config.index.disk.io_error_budget,
                            ParseUint(key, value));
+    } else if (key == "observability.trace_turns") {
+      MQA_ASSIGN_OR_RETURN(config.observability.trace_turns,
+                           ParseBool(key, value));
+    } else if (key == "observability.explain_turns") {
+      MQA_ASSIGN_OR_RETURN(config.observability.explain_turns,
+                           ParseBool(key, value));
+    } else if (key == "observability.trace_build") {
+      MQA_ASSIGN_OR_RETURN(config.observability.trace_build,
+                           ParseBool(key, value));
     } else if (key == "seed") {
       MQA_ASSIGN_OR_RETURN(config.seed, ParseUint(key, value));
       config.world.seed = config.seed;

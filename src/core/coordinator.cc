@@ -1,8 +1,10 @@
 #include "core/coordinator.h"
 
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include <istream>
+#include <optional>
 
 #include "llm/resilient_llm.h"
 #include "llm/sim_llm.h"
@@ -49,6 +51,17 @@ Result<std::unique_ptr<Coordinator>> Coordinator::Create(
   std::unique_ptr<Coordinator> c(new Coordinator());
   c->config_ = config;
 
+  // Trace the offline pipeline: stage spans below nest under build/root,
+  // and DAG stages dispatched to pool threads re-attach via the ambient
+  // trace (see DagPipeline::Run).
+  if (config.observability.trace_build) {
+    c->build_trace_ =
+        std::make_shared<Trace>("offline-build", config.observability.clock);
+  }
+  std::optional<ScopedTrace> scoped_trace;
+  if (c->build_trace_ != nullptr) scoped_trace.emplace(c->build_trace_.get());
+  Span build_span("coordinator/build");
+
   // --- Data preprocessing: build the world and ingest the corpus. ---
   Timer timer;
   MQA_ASSIGN_OR_RETURN(World world, World::Create(config.world));
@@ -57,6 +70,7 @@ Result<std::unique_ptr<Coordinator>> Coordinator::Create(
     if (config.corpus_size == 0) {
       return Status::InvalidArgument("corpus_size must be > 0");
     }
+    Span span("build/preprocess");
     MQA_ASSIGN_OR_RETURN(
         KnowledgeBase kb,
         c->world_->GenerateCorpus(config.corpus_size, config.kb_name));
@@ -92,16 +106,19 @@ Result<std::unique_ptr<Coordinator>> Coordinator::Create(
 
   // --- Vector representation: encoders + optional weight learning. ---
   timer.Reset();
-  MQA_ASSIGN_OR_RETURN(
-      EncoderSet encoders,
-      MakeSimEncoderSet(c->world_.get(), config.encoder_preset,
-                        config.embedding_dim));
-  c->encoders_ = std::make_unique<EncoderSet>(std::move(encoders));
-  MQA_ASSIGN_OR_RETURN(
-      c->represented_,
-      RepresentCorpus(*c->kb_, *c->encoders_, config.learn_weights,
-                      config.learner, config.num_training_triplets,
-                      c->world_.get()));
+  {
+    Span span("build/represent");
+    MQA_ASSIGN_OR_RETURN(
+        EncoderSet encoders,
+        MakeSimEncoderSet(c->world_.get(), config.encoder_preset,
+                          config.embedding_dim));
+    c->encoders_ = std::make_unique<EncoderSet>(std::move(encoders));
+    MQA_ASSIGN_OR_RETURN(
+        c->represented_,
+        RepresentCorpus(*c->kb_, *c->encoders_, config.learn_weights,
+                        config.learner, config.num_training_triplets,
+                        c->world_.get()));
+  }
   {
     std::string msg = "encoder " + config.encoder_preset + ", dim " +
                       std::to_string(config.embedding_dim) + ", weights [";
@@ -116,11 +133,14 @@ Result<std::unique_ptr<Coordinator>> Coordinator::Create(
 
   // --- Index construction through the retrieval framework. ---
   timer.Reset();
-  MQA_ASSIGN_OR_RETURN(
-      c->framework_,
-      CreateRetrievalFramework(config.framework, c->represented_.store,
-                               c->represented_.weights, config.index,
-                               &c->build_report_));
+  {
+    Span span("build/index");
+    MQA_ASSIGN_OR_RETURN(
+        c->framework_,
+        CreateRetrievalFramework(config.framework, c->represented_.store,
+                                 c->represented_.weights, config.index,
+                                 &c->build_report_));
+  }
   c->monitor_.Emit(ComponentStage::kIndexConstruction,
                    "framework " + config.framework + ", index " +
                        config.index.algorithm,
@@ -139,6 +159,34 @@ Result<std::unique_ptr<Coordinator>> Coordinator::Create(
 }
 
 Result<AnswerTurn> Coordinator::Ask(const UserQuery& query) {
+  MetricsRegistry::Global().GetCounter("coordinator/turns")->Increment();
+  std::shared_ptr<Trace> trace;
+  if (config_.observability.trace_turns) {
+    trace = std::make_shared<Trace>("turn", config_.observability.clock);
+  }
+  // The root span must close before Render/ToJson, so the turn body runs
+  // inside this block.
+  Result<AnswerTurn> result = [&]() -> Result<AnswerTurn> {
+    std::optional<ScopedTrace> scoped_trace;
+    if (trace != nullptr) scoped_trace.emplace(trace.get());
+    Span root("coordinator/turn");
+    return RunTurn(query);
+  }();
+  if (!result.ok()) return result;
+  AnswerTurn turn = std::move(result).Value();
+  turn.trace = std::move(trace);
+  if (turn.degraded) {
+    MetricsRegistry::Global().GetCounter("coordinator/degraded_turns")
+        ->Increment();
+  }
+  if (turn.trace != nullptr && config_.observability.explain_turns) {
+    monitor_.Emit(ComponentStage::kCoordinator,
+                  "per-turn breakdown:\n" + turn.trace->Render());
+  }
+  return turn;
+}
+
+Result<AnswerTurn> Coordinator::RunTurn(const UserQuery& query) {
   AnswerTurn turn;
   if (config_.enable_knowledge_base) {
     Timer timer;
@@ -146,6 +194,7 @@ Result<AnswerTurn> Coordinator::Ask(const UserQuery& query) {
     // the answer generator still sees the user's own words.
     UserQuery effective = query;
     if (config_.rewrite_vague_queries && !query.text.empty()) {
+      Span rewrite_span("coordinator/rewrite");
       Result<std::string> rewritten = rewriter_.RewriteChecked(query.text);
       if (rewritten.ok()) {
         effective.text = std::move(rewritten).Value();
@@ -180,8 +229,11 @@ Result<AnswerTurn> Coordinator::Ask(const UserQuery& query) {
                   timer.ElapsedMillis());
   }
   Timer timer;
-  MQA_ASSIGN_OR_RETURN(turn.answer,
-                       answer_generator_->Generate(query.text, turn.items));
+  {
+    Span span("coordinator/answer");
+    MQA_ASSIGN_OR_RETURN(turn.answer,
+                         answer_generator_->Generate(query.text, turn.items));
+  }
   if (answer_generator_->last_used_fallback()) {
     turn.degradation_notes.push_back(
         "LLM unavailable (" + answer_generator_->last_failure().message() +
@@ -206,6 +258,14 @@ Result<std::unique_ptr<Coordinator>> Coordinator::CreateFromState(
   }
   std::unique_ptr<Coordinator> c(new Coordinator());
   c->config_ = config;
+
+  if (config.observability.trace_build) {
+    c->build_trace_ =
+        std::make_shared<Trace>("restore", config.observability.clock);
+  }
+  std::optional<ScopedTrace> scoped_trace;
+  if (c->build_trace_ != nullptr) scoped_trace.emplace(c->build_trace_.get());
+  Span build_span("coordinator/restore");
 
   Timer timer;
   MQA_ASSIGN_OR_RETURN(World world, World::Create(config.world));

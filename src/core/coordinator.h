@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.h"
 #include "core/answer_generator.h"
 #include "core/config.h"
 #include "core/query_executor.h"
@@ -27,6 +28,10 @@ struct AnswerTurn {
   /// query text after a rewriter outage). Details in degradation_notes.
   bool degraded = false;
   std::vector<std::string> degradation_notes;
+  /// Span tree of this round (null when observability.trace_turns is off).
+  /// `trace->Render()` is the `--explain` breakdown; `trace->ToJson()` the
+  /// machine-readable form.
+  std::shared_ptr<Trace> trace;
 };
 
 /// The system's central nexus (Figure 2): owns the five backend components
@@ -83,11 +88,18 @@ class Coordinator {
   const BuildReport& build_report() const { return build_report_; }
   AnswerGenerator* answer_generator() { return answer_generator_.get(); }
 
+  /// Span tree of the offline build pipeline (null when
+  /// observability.trace_build is off).
+  const Trace* build_trace() const { return build_trace_.get(); }
+
   /// Resets the dialogue history (a fresh conversation).
   void ResetDialogue();
 
  private:
   Coordinator() = default;
+
+  /// The body of Ask(): runs under the turn's ambient trace.
+  Result<AnswerTurn> RunTurn(const UserQuery& query);
 
   MqaConfig config_;
   StatusMonitor monitor_;
@@ -97,6 +109,7 @@ class Coordinator {
   RepresentedCorpus represented_;
   std::unique_ptr<RetrievalFramework> framework_;
   BuildReport build_report_;
+  std::shared_ptr<Trace> build_trace_;
   std::unique_ptr<QueryExecutor> executor_;
   std::unique_ptr<AnswerGenerator> answer_generator_;
   ContextualQueryRewriter rewriter_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "vector/distance.h"
 
 namespace mqa {
@@ -35,6 +37,7 @@ Result<Vector> QueryExecutor::EncodeSlot(size_t slot,
 
 Result<RetrievalQuery> QueryExecutor::EncodeUserQuery(
     const UserQuery& query, std::vector<std::string>* degradation) const {
+  Span span("query/encode");
   RetrievalQuery out;
   out.modalities.parts.resize(encoders_->num_modalities());
   out.weights = query.weight_override;
@@ -127,6 +130,9 @@ Result<RetrievalQuery> QueryExecutor::EncodeUserQuery(
 
 Result<QueryOutcome> QueryExecutor::Execute(const UserQuery& query,
                                             const SearchParams& params) {
+  Span span("query/execute");
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  metrics.GetCounter("query/executions")->Increment();
   QueryOutcome outcome;
   MQA_ASSIGN_OR_RETURN(RetrievalQuery rq,
                        EncodeUserQuery(query, &outcome.degradation));
@@ -138,12 +144,22 @@ Result<QueryOutcome> QueryExecutor::Execute(const UserQuery& query,
       return id < kb->size() && object_filter(kb->at(id));
     };
   }
-  MQA_ASSIGN_OR_RETURN(outcome.retrieval,
-                       framework_->Retrieve(rq, effective));
+  {
+    Span retrieve_span("query/retrieve");
+    MQA_ASSIGN_OR_RETURN(outcome.retrieval,
+                         framework_->Retrieve(rq, effective));
+  }
+  metrics.GetCounter("query/hops")
+      ->Increment(outcome.retrieval.stats.hops);
+  metrics.GetCounter("query/dist_comps")
+      ->Increment(outcome.retrieval.stats.dist_comps);
   if (outcome.retrieval.stats.partial) {
     outcome.degradation.push_back(
         "disk index served partial (cache-only) results after " +
         std::to_string(outcome.retrieval.stats.io_errors) + " I/O errors");
+  }
+  if (!outcome.degradation.empty()) {
+    metrics.GetCounter("query/degraded")->Increment();
   }
   // Preference markers: items sharing the clicked result's concept are
   // flagged for the answer generator.

@@ -5,8 +5,10 @@
 #include <queue>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "common/trace.h"
 
 namespace mqa::dag {
 
@@ -93,7 +95,17 @@ Status DagPipeline::Run(DagContext* ctx, bool parallel) {
     if (indegree[i] == 0) ready.push(i);
   }
 
+  // Capture the caller's ambient trace so stages dispatched to pool
+  // threads still record under the pipeline's span (TLS does not cross
+  // thread boundaries by itself). The trace object is thread-safe.
+  Trace* const trace = ActiveTrace();
+  const int32_t trace_parent = ActiveSpanId();
+
   auto run_node = [&](size_t i) {
+    // Re-install the pipeline's trace on whichever thread runs the stage;
+    // the stage span nests under the caller's current span.
+    ScopedTrace scoped_trace(trace, trace_parent);
+    Span span(trace != nullptr ? "dag/" + nodes_[i].name : std::string());
     Timer timer;
     // A stage that throws must still be accounted for: in parallel mode the
     // pool's future is never drained, so an escaping exception would leave
@@ -110,6 +122,10 @@ Status DagPipeline::Run(DagContext* ctx, bool parallel) {
                             "' threw a non-std exception");
     }
     const double ms = timer.ElapsedMillis();
+    MetricsRegistry::Global().GetHistogram("dag/stage_ms")->Record(ms);
+    if (!st.ok()) {
+      MetricsRegistry::Global().GetCounter("dag/stage_failures")->Increment();
+    }
     std::lock_guard<std::mutex> lock(mu);
     reports_.push_back(NodeReport{nodes_[i].name, ms, st});
     --inflight;

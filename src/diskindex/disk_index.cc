@@ -6,8 +6,34 @@
 #include <queue>
 
 #include "common/fault.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace mqa {
+
+namespace {
+
+/// Process-wide mirrors of DiskIoStats. Resolved once (pointers are
+/// stable), then each event costs one relaxed atomic add — FetchPage is
+/// the hottest disk-path function, so no registry lookups happen per call.
+struct DiskCounters {
+  Counter* page_reads;
+  Counter* cache_hits;
+  Counter* io_errors;
+  Counter* bytes_read;
+};
+
+const DiskCounters& GlobalDiskCounters() {
+  static const DiskCounters kCounters = {
+      MetricsRegistry::Global().GetCounter("diskindex/page_reads"),
+      MetricsRegistry::Global().GetCounter("diskindex/cache_hits"),
+      MetricsRegistry::Global().GetCounter("diskindex/io_errors"),
+      MetricsRegistry::Global().GetCounter("diskindex/bytes_read"),
+  };
+  return kCounters;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<DiskGraphIndex>> DiskGraphIndex::Create(
     const DiskIndexConfig& config, const GraphIndex& mem_index,
@@ -121,6 +147,7 @@ const char* DiskGraphIndex::FetchPage(size_t page, QueryIoState* io) {
     // Move to the front of the recency list.
     lru_.splice(lru_.begin(), lru_, it->second);
     io_stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    GlobalDiskCounters().cache_hits->Increment();
     io->last_was_cached = true;
     return disk_.data() + page * config_.page_size;
   }
@@ -134,6 +161,7 @@ const char* DiskGraphIndex::FetchPage(size_t page, QueryIoState* io) {
     const Status st = FaultInjector::Global().Check("diskindex/read_page");
     if (!st.ok()) {
       io_stats_.io_errors.fetch_add(1, std::memory_order_relaxed);
+      GlobalDiskCounters().io_errors->Increment();
       ++io->errors;
       if (io->errors > config_.io_error_budget) io->cache_only = true;
       return nullptr;
@@ -142,6 +170,8 @@ const char* DiskGraphIndex::FetchPage(size_t page, QueryIoState* io) {
   io_stats_.page_reads.fetch_add(1, std::memory_order_relaxed);
   io_stats_.bytes_read.fetch_add(config_.page_size,
                                  std::memory_order_relaxed);
+  GlobalDiskCounters().page_reads->Increment();
+  GlobalDiskCounters().bytes_read->Increment(config_.page_size);
   lru_.push_front(page);
   cached_[page] = lru_.begin();
   if (cached_.size() > config_.cache_pages) {
@@ -166,6 +196,7 @@ DiskGraphIndex::NodeRecord DiskGraphIndex::ReadRecord(
 
 Result<std::vector<Neighbor>> DiskGraphIndex::Search(
     const float* query, const SearchParams& params, SearchStats* stats) {
+  Span span("diskindex/search");
   if (params.k == 0) return Status::InvalidArgument("k must be > 0");
   if (num_nodes_ == 0) return Status::FailedPrecondition("empty index");
   const size_t beam_width = std::max(params.beam_width, params.k);

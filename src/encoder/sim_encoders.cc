@@ -5,7 +5,9 @@
 #include <functional>
 
 #include "common/fault.h"
+#include "common/metrics.h"
 #include "common/random.h"
+#include "common/trace.h"
 #include "vector/distance.h"
 
 namespace mqa {
@@ -82,6 +84,8 @@ SimTextEncoder::SimTextEncoder(const World* world, SimEncoderConfig config)
                                  world->config().latent_dim, config.seed)) {}
 
 Result<Vector> SimTextEncoder::Encode(const Payload& payload) {
+  Span span("encoder/sim-text");
+  MetricsRegistry::Global().GetCounter("encoder/encode_calls")->Increment();
   // Chaos hook: a GPU-hosted text encoder going down ("encoder/sim-text").
   // The enabled() guard keeps the disarmed fast path allocation-free.
   if (FaultInjector::Global().enabled()) {
@@ -108,6 +112,8 @@ SimFeatureEncoder::SimFeatureEncoder(const World* world,
                                  world->config().latent_dim, config.seed)) {}
 
 Result<Vector> SimFeatureEncoder::Encode(const Payload& payload) {
+  Span span(ActiveTrace() != nullptr ? "encoder/" + name_ : std::string());
+  MetricsRegistry::Global().GetCounter("encoder/encode_calls")->Increment();
   // Chaos hook: e.g. "encoder/sim-image" for the ResNet/CLIP-image slot.
   if (FaultInjector::Global().enabled()) {
     MQA_RETURN_NOT_OK(FaultInjector::Global().Check("encoder/" + name_));

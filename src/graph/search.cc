@@ -6,6 +6,9 @@
 #include <ostream>
 #include <queue>
 
+#include "common/metrics.h"
+#include "common/trace.h"
+
 namespace mqa {
 
 std::vector<Neighbor> BeamSearch(const AdjacencyGraph& graph,
@@ -99,10 +102,28 @@ uint32_t ApproximateMedoid(DistanceComputer* dist, Rng* rng,
 Result<std::vector<Neighbor>> GraphIndex::Search(const float* query,
                                                  const SearchParams& params,
                                                  SearchStats* stats) {
+  Span span("graph/search");
   if (params.k == 0) return Status::InvalidArgument("k must be > 0");
   if (graph_.num_nodes() == 0) return Status::FailedPrecondition("empty index");
-  return BeamSearch(graph_, dist_.get(), query, entry_points_, params.k,
-                    params.beam_width, stats, nullptr, params.filter);
+  // Counters are accumulated from per-query SearchStats at the end (one
+  // resolved-pointer add per query), keeping the traversal loop untouched.
+  SearchStats local;
+  SearchStats* effective = stats != nullptr ? stats : &local;
+  const uint64_t hops_before = effective->hops;
+  const uint64_t comps_before = effective->dist_comps;
+  std::vector<Neighbor> out =
+      BeamSearch(graph_, dist_.get(), query, entry_points_, params.k,
+                 params.beam_width, effective, nullptr, params.filter);
+  static Counter* const searches =
+      MetricsRegistry::Global().GetCounter("graph/searches");
+  static Counter* const hops =
+      MetricsRegistry::Global().GetCounter("graph/hops");
+  static Counter* const dist_comps =
+      MetricsRegistry::Global().GetCounter("graph/dist_comps");
+  searches->Increment();
+  hops->Increment(effective->hops - hops_before);
+  dist_comps->Increment(effective->dist_comps - comps_before);
+  return out;
 }
 
 Status GraphIndex::Save(std::ostream& out) const {

@@ -3,7 +3,9 @@
 #include <unordered_set>
 
 #include "common/fault.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 
 namespace mqa {
 
@@ -53,8 +55,14 @@ void ContextualQueryRewriter::ObserveTurn(const std::string& user_text) {
 
 Result<std::string> ContextualQueryRewriter::RewriteChecked(
     const std::string& text) const {
+  Span span("llm/rewrite");
+  MetricsRegistry::Global().GetCounter("rewriter/calls")->Increment();
   MQA_RETURN_NOT_OK(FaultInjector::Global().Check("llm/rewrite"));
-  return Rewrite(text);
+  std::string out = Rewrite(text);
+  if (out != text) {
+    MetricsRegistry::Global().GetCounter("rewriter/rewrites")->Increment();
+  }
+  return out;
 }
 
 std::string ContextualQueryRewriter::Rewrite(const std::string& text) const {

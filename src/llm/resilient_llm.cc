@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "common/metrics.h"
+#include "common/trace.h"
+
 namespace mqa {
 
 ResilientLlm::ResilientLlm(std::unique_ptr<LanguageModel> inner,
@@ -11,15 +14,23 @@ ResilientLlm::ResilientLlm(std::unique_ptr<LanguageModel> inner,
       breaker_(config.breaker, clock) {}
 
 Result<LlmResponse> ResilientLlm::Complete(const LlmRequest& request) {
+  Span span("llm/complete");
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  metrics.GetCounter("llm/requests")->Increment();
   // Fail fast while the breaker is open: no retry loop, no backoff — the
   // caller immediately falls back to the extractive answer path.
-  MQA_RETURN_NOT_OK(breaker_.Admit());
+  Status admitted = breaker_.Admit();
+  if (!admitted.ok()) {
+    metrics.GetCounter("llm/breaker_rejections")->Increment();
+    return admitted;
+  }
   // One admitted call = one retry loop; the breaker sees its overall
   // outcome, so a burst of transient errors absorbed by retries counts as
   // one success, while an exhausted retry budget counts as one failure.
   Result<LlmResponse> response =
       retrier_.Run<LlmResponse>([&] { return inner_->Complete(request); });
   breaker_.Record(response.ok() ? Status::OK() : response.status());
+  if (!response.ok()) metrics.GetCounter("llm/failures")->Increment();
   return response;
 }
 

@@ -1,0 +1,74 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace mqa {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainTextThrough) {
+  EXPECT_EQ(JsonEscape("hello world"), "hello world");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonNumberTest, IntegralValuesPrintWithoutFraction) {
+  EXPECT_EQ(JsonNumber(0.0), "0");
+  EXPECT_EQ(JsonNumber(42.0), "42");
+  EXPECT_EQ(JsonNumber(-7.0), "-7");
+}
+
+TEST(JsonNumberTest, FractionsUseShortestSixDigitForm) {
+  EXPECT_EQ(JsonNumber(1.5), "1.5");
+  EXPECT_EQ(JsonNumber(0.25), "0.25");
+}
+
+TEST(JsonNumberTest, NonFiniteBecomesNull) {
+  EXPECT_EQ(JsonNumber(std::nan("")), "null");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonWriterTest, ObjectWithSiblingsAndNesting) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a").Int(1);
+  w.Key("b").String("x");
+  w.Key("c").BeginArray();
+  w.Number(1.5);
+  w.Bool(true);
+  w.Null();
+  w.BeginObject();
+  w.Key("d").UInt(9);
+  w.EndObject();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":"x","c":[1.5,true,null,{"d":9}]})");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("o").BeginObject().EndObject();
+  w.Key("a").BeginArray().EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(), R"({"o":{},"a":[]})");
+}
+
+TEST(JsonWriterTest, KeysAreEscaped) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("we\"ird").Int(1);
+  w.EndObject();
+  EXPECT_EQ(w.str(), R"({"we\"ird":1})");
+}
+
+}  // namespace
+}  // namespace mqa

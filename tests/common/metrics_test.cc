@@ -1,0 +1,245 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mqa {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  // Run under TSan this also proves the relaxed atomics are race-free.
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetAndRead) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(HistogramTest, BucketAssignmentInclusiveUpperEdge) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Record(1.0);  // exactly on an edge: belongs to bucket 0 (0, 1]
+  h.Record(1.5);  // bucket 1 (1, 2]
+  h.Record(4.0);  // bucket 2 (2, 4]
+  h.Record(9.0);  // overflow
+  const HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 1u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 15.5);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 9.0);
+}
+
+TEST(HistogramTest, EmptySnapshotIsZeroed) {
+  Histogram h({1.0});
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max, 0.0);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, PercentileExactSmallCase) {
+  // One sample per bucket: 0.5 in (0,1], 1.5 in (1,2], 3 in (2,4],
+  // 6 in (4,8].
+  Histogram h({1.0, 2.0, 4.0, 8.0});
+  for (double v : {0.5, 1.5, 3.0, 6.0}) h.Record(v);
+  const HistogramSnapshot snap = h.Snapshot();
+  // p50 -> 2nd smallest: interpolates to the top of bucket (1, 2].
+  EXPECT_DOUBLE_EQ(snap.Percentile(50), 2.0);
+  // p100 -> 4th: bucket (4, 8] interpolates to 8, clamped to max = 6.
+  EXPECT_DOUBLE_EQ(snap.Percentile(100), 6.0);
+  // p1 -> 1st: bucket (0, 1] interpolates to 1.0 (within [min, max]).
+  EXPECT_DOUBLE_EQ(snap.Percentile(1), 1.0);
+}
+
+TEST(HistogramTest, PercentileSingleValueClampsToObserved) {
+  Histogram h({10.0});
+  h.Record(5.0);
+  // Interpolation alone would report the bucket top (10); the clamp to
+  // the observed [min, max] recovers the exact value.
+  EXPECT_DOUBLE_EQ(h.Snapshot().Percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(h.Snapshot().Percentile(99), 5.0);
+}
+
+TEST(HistogramTest, PercentileOverflowBucketReportsMax) {
+  Histogram h({1.0});
+  h.Record(0.5);
+  h.Record(100.0);
+  h.Record(200.0);
+  EXPECT_DOUBLE_EQ(h.Snapshot().Percentile(99), 200.0);
+}
+
+TEST(HistogramTest, MergeCombinesCountsAndExtremes) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 2.0});
+  a.Record(0.5);
+  a.Record(1.5);
+  b.Record(1.7);
+  b.Record(10.0);
+  HistogramSnapshot merged = a.Snapshot();
+  ASSERT_TRUE(merged.Merge(b.Snapshot()).ok());
+  EXPECT_EQ(merged.count, 4u);
+  EXPECT_DOUBLE_EQ(merged.sum, 13.7);
+  EXPECT_DOUBLE_EQ(merged.min, 0.5);
+  EXPECT_DOUBLE_EQ(merged.max, 10.0);
+  EXPECT_EQ(merged.counts[0], 1u);
+  EXPECT_EQ(merged.counts[1], 2u);
+  EXPECT_EQ(merged.counts[2], 1u);
+  // Percentiles work on the merged distribution: p50 -> 2nd of 4, in
+  // bucket (1, 2] holding ranks 2-3; frac = 1/2 -> 1.5.
+  EXPECT_DOUBLE_EQ(merged.Percentile(50), 1.5);
+}
+
+TEST(HistogramTest, MergeIntoEmptyAdoptsExtremes) {
+  Histogram empty({1.0, 2.0});
+  Histogram full({1.0, 2.0});
+  full.Record(0.25);
+  full.Record(1.25);
+  HistogramSnapshot merged = empty.Snapshot();
+  ASSERT_TRUE(merged.Merge(full.Snapshot()).ok());
+  EXPECT_DOUBLE_EQ(merged.min, 0.25);
+  EXPECT_DOUBLE_EQ(merged.max, 1.25);
+  EXPECT_EQ(merged.count, 2u);
+}
+
+TEST(HistogramTest, MergeRejectsMismatchedBounds) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 3.0});
+  HistogramSnapshot snap = a.Snapshot();
+  const Status st = snap.Merge(b.Snapshot());
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HistogramTest, ConcurrentRecordsAreExact) {
+  Histogram h({1.0, 2.0, 3.0});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(0.5 + t);  // one bucket per thread
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 3.5);
+  EXPECT_EQ(snap.counts[0], static_cast<uint64_t>(kPerThread));  // 0.5
+  EXPECT_EQ(snap.counts[1], static_cast<uint64_t>(kPerThread));  // 1.5
+  EXPECT_EQ(snap.counts[2], static_cast<uint64_t>(kPerThread));  // 2.5
+  EXPECT_EQ(snap.counts[3], static_cast<uint64_t>(kPerThread));  // 3.5 overflows
+}
+
+TEST(MetricsRegistryTest, PointersAreStableAndShared) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("x/count");
+  Counter* b = reg.GetCounter("x/count");
+  EXPECT_EQ(a, b);
+  a->Increment(7);
+  EXPECT_EQ(reg.CounterValue("x/count"), 7u);
+  EXPECT_EQ(reg.CounterValue("absent"), 0u);
+  Histogram* h = reg.GetHistogram("x/lat", {1.0, 2.0});
+  // Later callers get the existing instance regardless of bounds.
+  EXPECT_EQ(reg.GetHistogram("x/lat", {99.0}), h);
+  EXPECT_EQ(h->bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(MetricsRegistryTest, ResetAllKeepsPointersValid) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("a");
+  Histogram* h = reg.GetHistogram("b", {1.0});
+  c->Increment(3);
+  h->Record(0.5);
+  reg.ResetAll();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(reg.GetCounter("a"), c);
+}
+
+TEST(MetricsRegistryTest, ToJsonGoldenEmpty) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.ToJson(), R"({"counters":{},"gauges":{},"histograms":{}})");
+}
+
+TEST(MetricsRegistryTest, ToJsonGolden) {
+  MetricsRegistry reg;
+  reg.GetCounter("a/b")->Increment(3);
+  reg.GetGauge("g")->Set(1.5);
+  Histogram* h = reg.GetHistogram("h", {1.0, 2.0});
+  h->Record(0.5);   // bucket (0, 1]
+  h->Record(3.0);   // overflow
+  const std::string expected =
+      R"({"counters":{"a/b":3},"gauges":{"g":1.5},"histograms":)"
+      R"({"h":{"count":2,"sum":3.5,"min":0.5,"max":3,"mean":1.75,)"
+      R"("p50":1,"p95":3,"p99":3,"buckets":[[1,1],[null,1]]}}})";
+  EXPECT_EQ(reg.ToJson(), expected);
+}
+
+TEST(MetricsRegistryTest, ToJsonSortsNames) {
+  MetricsRegistry reg;
+  reg.GetCounter("z");
+  reg.GetCounter("a");
+  const std::string json = reg.ToJson();
+  EXPECT_LT(json.find("\"a\""), json.find("\"z\""));
+  EXPECT_EQ(reg.CounterNames(), (std::vector<std::string>{"a", "z"}));
+}
+
+TEST(MetricsRegistryTest, GlobalIsASingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+TEST(ScopedLatencyTest, RecordsOneSample) {
+  Histogram h({1000.0});
+  { ScopedLatency latency(&h); }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(HistogramTest, DefaultLatencyBoundsAreSortedAndNonEmpty) {
+  const std::vector<double>& bounds = Histogram::DefaultLatencyBoundsMs();
+  ASSERT_FALSE(bounds.empty());
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+}  // namespace
+}  // namespace mqa

@@ -1,0 +1,185 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace mqa {
+namespace {
+
+TEST(TraceTest, SpanNestingAndOrdering) {
+  MockClock clock(5'000'000);  // a nonzero epoch must not leak into spans
+  Trace trace("turn", &clock);
+  {
+    ScopedTrace scoped(&trace);
+    Span root("coordinator/turn");
+    clock.AdvanceMicros(100);
+    {
+      Span rewrite("llm/rewrite");
+      clock.AdvanceMicros(250);
+    }
+    {
+      Span retrieve("query/retrieve");
+      clock.AdvanceMicros(600);
+      {
+        Span search("graph/search");
+        clock.AdvanceMicros(50);
+      }
+    }
+  }
+  const std::vector<SpanRecord> spans = trace.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  // Ids in Begin order; parents form the expected tree.
+  EXPECT_EQ(spans[0].name, "coordinator/turn");
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_EQ(spans[1].name, "llm/rewrite");
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  EXPECT_EQ(spans[2].name, "query/retrieve");
+  EXPECT_EQ(spans[2].parent, spans[0].id);
+  EXPECT_EQ(spans[3].name, "graph/search");
+  EXPECT_EQ(spans[3].parent, spans[2].id);
+  // Timestamps are epoch-relative and exact under the MockClock.
+  EXPECT_EQ(spans[0].start_micros, 0);
+  EXPECT_EQ(spans[0].end_micros, 1000);
+  EXPECT_EQ(spans[1].start_micros, 100);
+  EXPECT_EQ(spans[1].DurationMicros(), 250);
+  EXPECT_EQ(spans[2].DurationMicros(), 650);
+  EXPECT_EQ(spans[3].DurationMicros(), 50);
+}
+
+TEST(TraceTest, ChildDurationsSumConsistently) {
+  // The acceptance check: children of a span account for at most the
+  // parent's duration, and exactly when nothing happens between them.
+  MockClock clock;
+  Trace trace("turn", &clock);
+  {
+    ScopedTrace scoped(&trace);
+    Span root("root");
+    {
+      Span a("a");
+      clock.AdvanceMicros(300);
+    }
+    {
+      Span b("b");
+      clock.AdvanceMicros(700);
+    }
+  }
+  const std::vector<SpanRecord> spans = trace.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  int64_t child_sum = 0;
+  for (const SpanRecord& s : spans) {
+    if (s.parent == spans[0].id) child_sum += s.DurationMicros();
+  }
+  EXPECT_EQ(child_sum, spans[0].DurationMicros());
+  EXPECT_EQ(trace.TotalMicros(), 1000);
+}
+
+TEST(TraceTest, NoActiveTraceMakesSpansNoOps) {
+  ASSERT_EQ(ActiveTrace(), nullptr);
+  Span span("ignored");
+  EXPECT_EQ(span.id(), -1);
+  EXPECT_EQ(ActiveSpanId(), -1);
+}
+
+TEST(TraceTest, ScopedTraceRestoresPreviousAmbient) {
+  MockClock clock;
+  Trace outer("outer", &clock);
+  Trace inner("inner", &clock);
+  ScopedTrace outer_scope(&outer);
+  EXPECT_EQ(ActiveTrace(), &outer);
+  {
+    ScopedTrace inner_scope(&inner, 7);
+    EXPECT_EQ(ActiveTrace(), &inner);
+    EXPECT_EQ(ActiveSpanId(), 7);
+  }
+  EXPECT_EQ(ActiveTrace(), &outer);
+  EXPECT_EQ(ActiveSpanId(), -1);
+}
+
+TEST(TraceTest, ExplicitSpanDoesNotTouchAmbientState) {
+  MockClock clock;
+  Trace trace("t", &clock);
+  {
+    Span span(&trace, "explicit", -1);
+    clock.AdvanceMicros(10);
+    EXPECT_EQ(ActiveTrace(), nullptr);  // explicit form leaves TLS alone
+  }
+  ASSERT_EQ(trace.spans().size(), 1u);
+  EXPECT_EQ(trace.spans()[0].DurationMicros(), 10);
+}
+
+TEST(TraceTest, EndSpanIsIdempotent) {
+  MockClock clock;
+  Trace trace("t", &clock);
+  const int32_t id = trace.BeginSpan("s");
+  clock.AdvanceMicros(5);
+  trace.EndSpan(id);
+  clock.AdvanceMicros(100);
+  trace.EndSpan(id);           // second end must not move the timestamp
+  trace.EndSpan(999);          // unknown ids are ignored
+  trace.EndSpan(-3);
+  EXPECT_EQ(trace.spans()[0].DurationMicros(), 5);
+}
+
+TEST(TraceTest, ToJsonGolden) {
+  MockClock clock;
+  Trace trace("turn", &clock);
+  const int32_t root = trace.BeginSpan("coordinator/turn");
+  clock.AdvanceMicros(100);
+  const int32_t child = trace.BeginSpan("query/retrieve", root);
+  clock.AdvanceMicros(400);
+  trace.EndSpan(child);
+  trace.EndSpan(root);
+  const int32_t open = trace.BeginSpan("dangling", root);
+  (void)open;  // left open on purpose
+  const std::string expected =
+      R"({"trace":"turn","spans":[)"
+      R"({"id":0,"parent":-1,"name":"coordinator/turn","start_us":0,)"
+      R"("dur_us":500},)"
+      R"({"id":1,"parent":0,"name":"query/retrieve","start_us":100,)"
+      R"("dur_us":400},)"
+      R"({"id":2,"parent":0,"name":"dangling","start_us":500,)"
+      R"("dur_us":-1}]})";
+  EXPECT_EQ(trace.ToJson(), expected);
+}
+
+TEST(TraceTest, RenderShowsTreeAndShares) {
+  MockClock clock;
+  Trace trace("turn", &clock);
+  {
+    ScopedTrace scoped(&trace);
+    Span root("coordinator/turn");
+    {
+      Span retrieve("query/retrieve");
+      clock.AdvanceMicros(750);
+    }
+    {
+      Span answer("coordinator/answer");
+      clock.AdvanceMicros(250);
+    }
+  }
+  const std::string rendered = trace.Render();
+  EXPECT_NE(rendered.find("turn (1.000 ms total)"), std::string::npos);
+  EXPECT_NE(rendered.find("  coordinator/turn: 1.000 ms (100.0%)"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("    query/retrieve: 0.750 ms (75.0%)"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("    coordinator/answer: 0.250 ms (25.0%)"),
+            std::string::npos);
+  // Sibling order in the render matches Begin order.
+  EXPECT_LT(rendered.find("query/retrieve"),
+            rendered.find("coordinator/answer"));
+}
+
+TEST(TraceTest, RenderMarksOpenSpans) {
+  MockClock clock;
+  Trace trace("t", &clock);
+  (void)trace.BeginSpan("stuck");
+  EXPECT_NE(trace.Render().find("stuck (open)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mqa

@@ -56,6 +56,23 @@ TEST(ConfigParserTest, BooleanSpellings) {
   }
 }
 
+TEST(ConfigParserTest, ParsesObservabilityKeys) {
+  auto config = ParseMqaConfigText(
+      "observability.trace_turns = false\n"
+      "observability.explain_turns = true\n"
+      "observability.trace_build = false\n");
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_FALSE(config->observability.trace_turns);
+  EXPECT_TRUE(config->observability.explain_turns);
+  EXPECT_FALSE(config->observability.trace_build);
+  // Defaults: tracing on, the explain view opt-in.
+  auto defaults = ParseMqaConfig({});
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_TRUE(defaults->observability.trace_turns);
+  EXPECT_FALSE(defaults->observability.explain_turns);
+  EXPECT_TRUE(defaults->observability.trace_build);
+}
+
 TEST(ConfigParserTest, RejectsUnknownKey) {
   auto config = ParseMqaConfigText("not_a_key = 5");
   EXPECT_FALSE(config.ok());

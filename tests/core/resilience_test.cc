@@ -5,6 +5,7 @@
 
 #include "common/clock.h"
 #include "common/fault.h"
+#include "common/metrics.h"
 #include "core/coordinator.h"
 #include "core_test_util.h"
 #include "llm/resilient_llm.h"
@@ -194,6 +195,50 @@ TEST_F(ResilienceTest, RewriterOutageSearchesWithRawText) {
   EXPECT_NE(turn->degradation_notes.front().find("query rewriter unavailable"),
             std::string::npos);
   EXPECT_EQ(turn->items.size(), 5u);  // the raw text still retrieves
+}
+
+TEST_F(ResilienceTest, ChaosMetricsAreRecorded) {
+  // Injected misbehaviour must be observable: latency spikes land in
+  // fault/injected_latency_ms and retry storms in retry/*. The registry is
+  // process-global and append-only, so all assertions are deltas.
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  const uint64_t fires_before = metrics.CounterValue("fault/fires");
+  const uint64_t attempts_before = metrics.CounterValue("retry/attempts");
+  const uint64_t retries_before = metrics.CounterValue("retry/retries");
+  const uint64_t spikes_before =
+      metrics.HistogramSnapshotOf("fault/injected_latency_ms").count;
+  const uint64_t backoffs_before =
+      metrics.HistogramSnapshotOf("retry/backoff_ms").count;
+
+  // A pure latency spike (no error) on the LLM hop.
+  FaultSpec slow;
+  slow.code = StatusCode::kOk;
+  slow.latency_ms = 50.0;
+  slow.max_fires = 1;
+  FaultInjector::Global().Arm("llm/complete", slow);
+  auto t1 = coordinator_->Ask(ConceptQuery(0));
+  ASSERT_TRUE(t1.ok()) << t1.status().ToString();
+  EXPECT_FALSE(t1->degraded);
+  const HistogramSnapshot spikes =
+      metrics.HistogramSnapshotOf("fault/injected_latency_ms");
+  EXPECT_EQ(spikes.count, spikes_before + 1);
+  EXPECT_GE(spikes.max, 50.0);
+
+  // A transient error burst, absorbed by two retries.
+  FaultSpec flaky;
+  flaky.max_fires = 2;
+  FaultInjector::Global().Arm("llm/complete", flaky);
+  auto t2 = coordinator_->Ask(ConceptQuery(0));
+  ASSERT_TRUE(t2.ok()) << t2.status().ToString();
+  EXPECT_FALSE(t2->degraded);
+
+  EXPECT_GE(metrics.CounterValue("fault/fires"), fires_before + 3);
+  // The answering retrier alone contributes 1 + 3 attempts across the two
+  // rounds (encoder/rewriter retriers may add more, never less).
+  EXPECT_GE(metrics.CounterValue("retry/attempts"), attempts_before + 4);
+  EXPECT_GE(metrics.CounterValue("retry/retries"), retries_before + 2);
+  EXPECT_GE(metrics.HistogramSnapshotOf("retry/backoff_ms").count,
+            backoffs_before + 1);
 }
 
 TEST_F(ResilienceTest, DisarmedFaultsKeepResultsBitIdentical) {

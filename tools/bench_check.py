@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""CI perf gate: checks bench JSON reports against floor/ceiling baselines.
+
+Usage:
+    bench_check.py --baselines bench/baselines.json BENCH_foo.json ...
+
+Each report file is the output of a bench binary's --json flag:
+
+    {"bench": "bench_qps_recall", "config": {...},
+     "metrics": {"must/beam64/qps": 22678.1, ...}, "timestamp": 1720000000}
+
+bench/baselines.json maps bench names to per-metric constraints:
+
+    {"bench_qps_recall": {
+        "metrics": {"must/beam64/recall_at_10": {"min": 0.9},
+                    "must/beam64/qps": {"min": 1500.0}}}}
+
+A metric listed in the baselines but absent from the report is a failure
+(a silently dropped metric must not pass the gate). Reports whose bench
+has no baselines entry pass with a note. Exit code 0 = all constraints
+hold, 1 = at least one violation (or unreadable input).
+"""
+
+import argparse
+import json
+import sys
+
+
+def check_report(report, baseline):
+    """Returns a list of violation strings for one report (empty = pass)."""
+    violations = []
+    bench = report.get("bench", "<unnamed>")
+    metrics = report.get("metrics", {})
+    for name, bounds in sorted(baseline.get("metrics", {}).items()):
+        value = metrics.get(name)
+        if value is None:
+            violations.append(
+                f"{bench}: metric '{name}' missing from the report")
+            continue
+        lo = bounds.get("min")
+        hi = bounds.get("max")
+        if lo is not None and value < lo:
+            violations.append(
+                f"{bench}: {name} = {value:g} below floor {lo:g}")
+        if hi is not None and value > hi:
+            violations.append(
+                f"{bench}: {name} = {value:g} above ceiling {hi:g}")
+    return violations
+
+
+def run(baselines_path, report_paths, out=sys.stdout):
+    """Checks every report; returns the process exit code."""
+    try:
+        with open(baselines_path, encoding="utf-8") as f:
+            baselines = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"cannot read baselines {baselines_path}: {e}", file=out)
+        return 1
+
+    failed = False
+    for path in report_paths:
+        try:
+            with open(path, encoding="utf-8") as f:
+                report = json.load(f)
+        except (OSError, ValueError) as e:
+            print(f"FAIL {path}: unreadable report: {e}", file=out)
+            failed = True
+            continue
+        bench = report.get("bench", "<unnamed>")
+        baseline = baselines.get(bench)
+        if baseline is None:
+            print(f"SKIP {path}: no baselines for '{bench}'", file=out)
+            continue
+        violations = check_report(report, baseline)
+        if violations:
+            failed = True
+            print(f"FAIL {path}:", file=out)
+            for v in violations:
+                print(f"  {v}", file=out)
+        else:
+            n = len(baseline.get("metrics", {}))
+            print(f"PASS {path}: {n} constraint(s) hold", file=out)
+    return 1 if failed else 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baselines", required=True,
+                        help="path to bench/baselines.json")
+    parser.add_argument("reports", nargs="+",
+                        help="bench --json output files to gate")
+    args = parser.parse_args(argv)
+    return run(args.baselines, args.reports)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

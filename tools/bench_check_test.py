@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Tests for the bench_check.py perf gate, including the negative case:
+a synthetic regression (QPS below the floor) must fail the gate."""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_check  # noqa: E402  (path set up above)
+
+BASELINES = {
+    "bench_qps_recall": {
+        "metrics": {
+            "must/beam64/qps": {"min": 1000.0},
+            "must/beam64/recall_at_10": {"min": 0.9},
+        }
+    },
+    "bench_disk_index": {
+        "metrics": {
+            "bfs_aware_c64_p0/page_reads_per_query": {"max": 300.0},
+        }
+    },
+}
+
+
+def report(bench, metrics):
+    return {"bench": bench, "config": {}, "metrics": metrics,
+            "timestamp": 1700000000}
+
+
+class CheckReportTest(unittest.TestCase):
+    def test_all_constraints_hold(self):
+        r = report("bench_qps_recall",
+                   {"must/beam64/qps": 22678.1,
+                    "must/beam64/recall_at_10": 0.996})
+        self.assertEqual(
+            bench_check.check_report(r, BASELINES["bench_qps_recall"]), [])
+
+    def test_synthetic_regression_fails(self):
+        # The negative test: QPS collapsed to a tenth of the floor.
+        r = report("bench_qps_recall",
+                   {"must/beam64/qps": 100.0,
+                    "must/beam64/recall_at_10": 0.996})
+        violations = bench_check.check_report(
+            r, BASELINES["bench_qps_recall"])
+        self.assertEqual(len(violations), 1)
+        self.assertIn("below floor", violations[0])
+        self.assertIn("must/beam64/qps", violations[0])
+
+    def test_ceiling_violation_fails(self):
+        r = report("bench_disk_index",
+                   {"bfs_aware_c64_p0/page_reads_per_query": 450.0})
+        violations = bench_check.check_report(
+            r, BASELINES["bench_disk_index"])
+        self.assertEqual(len(violations), 1)
+        self.assertIn("above ceiling", violations[0])
+
+    def test_missing_metric_fails(self):
+        r = report("bench_qps_recall", {"must/beam64/qps": 22678.1})
+        violations = bench_check.check_report(
+            r, BASELINES["bench_qps_recall"])
+        self.assertEqual(len(violations), 1)
+        self.assertIn("missing", violations[0])
+
+    def test_boundary_values_pass(self):
+        r = report("bench_qps_recall",
+                   {"must/beam64/qps": 1000.0,
+                    "must/beam64/recall_at_10": 0.9})
+        self.assertEqual(
+            bench_check.check_report(r, BASELINES["bench_qps_recall"]), [])
+
+
+class RunTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.baselines = self.write("baselines.json", BASELINES)
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def write(self, name, obj):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(obj, f)
+        return path
+
+    def run_gate(self, *reports):
+        out = io.StringIO()
+        code = bench_check.run(self.baselines, list(reports), out=out)
+        return code, out.getvalue()
+
+    def test_passing_reports_exit_zero(self):
+        ok = self.write("ok.json", report(
+            "bench_qps_recall",
+            {"must/beam64/qps": 5000.0, "must/beam64/recall_at_10": 0.95}))
+        code, text = self.run_gate(ok)
+        self.assertEqual(code, 0)
+        self.assertIn("PASS", text)
+
+    def test_regression_exits_one(self):
+        bad = self.write("bad.json", report(
+            "bench_qps_recall",
+            {"must/beam64/qps": 5.0, "must/beam64/recall_at_10": 0.95}))
+        code, text = self.run_gate(bad)
+        self.assertEqual(code, 1)
+        self.assertIn("FAIL", text)
+        self.assertIn("below floor", text)
+
+    def test_unknown_bench_skips(self):
+        other = self.write("other.json", report("bench_novel", {"x/y": 1.0}))
+        code, text = self.run_gate(other)
+        self.assertEqual(code, 0)
+        self.assertIn("SKIP", text)
+
+    def test_unreadable_report_fails(self):
+        path = os.path.join(self.dir.name, "broken.json")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write("{not json")
+        code, text = self.run_gate(path)
+        self.assertEqual(code, 1)
+        self.assertIn("unreadable", text)
+
+    def test_repo_baselines_file_parses(self):
+        # The committed baselines must stay valid JSON with min/max bounds.
+        repo_baselines = os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "..", "bench",
+            "baselines.json")
+        with open(repo_baselines, encoding="utf-8") as f:
+            data = json.load(f)
+        for bench, entry in data.items():
+            if bench.startswith("_"):
+                continue
+            self.assertIn("metrics", entry)
+            for name, bounds in entry["metrics"].items():
+                self.assertTrue(
+                    set(bounds) <= {"min", "max"},
+                    f"{bench}:{name} has unknown bound keys {set(bounds)}")
+
+
+if __name__ == "__main__":
+    unittest.main()
