@@ -56,7 +56,7 @@ Status CircuitBreaker::Admit() {
   std::function<void()> notify;
   Status out = Status::OK();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     MaybeHalfOpenLocked();
     notify = std::move(pending_callback_);
     switch (state_) {
@@ -99,7 +99,7 @@ void CircuitBreaker::Record(const Status& status) {
 void CircuitBreaker::RecordSuccess() {
   std::function<void()> notify;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     consecutive_failures_ = 0;
     if (state_ == BreakerState::kHalfOpen) {
       half_open_inflight_ = std::max(0, half_open_inflight_ - 1);
@@ -115,7 +115,7 @@ void CircuitBreaker::RecordSuccess() {
 void CircuitBreaker::RecordFailure() {
   std::function<void()> notify;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++consecutive_failures_;
     const bool trip =
         state_ == BreakerState::kHalfOpen ||
@@ -133,24 +133,24 @@ void CircuitBreaker::RecordFailure() {
 }
 
 BreakerState CircuitBreaker::state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // state() is a pure observer: an elapsed cool-down only rolls to
   // half-open when the next call is admitted.
   return state_;
 }
 
 std::vector<BreakerState> CircuitBreaker::transitions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return transitions_;
 }
 
 void CircuitBreaker::OnTransition(std::function<void(BreakerState)> callback) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   on_transition_ = std::move(callback);
 }
 
 uint64_t CircuitBreaker::consecutive_failures() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return consecutive_failures_;
 }
 

@@ -3,12 +3,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace mqa {
 
@@ -69,26 +69,28 @@ class CircuitBreaker {
   uint64_t consecutive_failures() const;
 
  private:
-  /// Rolls open -> half-open when the cool-down elapsed. Caller holds mu_;
-  /// any resulting notifier is parked in pending_callback_ for the caller
-  /// to invoke after unlocking.
-  void MaybeHalfOpenLocked();
-  /// Switches state and records the transition. Caller holds mu_; returns
-  /// a ready-to-invoke notifier (or null) to call outside the lock.
-  std::function<void()> TransitionLocked(BreakerState next);
+  /// Rolls open -> half-open when the cool-down elapsed. Any resulting
+  /// notifier is parked in pending_callback_ for the caller to invoke
+  /// after unlocking.
+  void MaybeHalfOpenLocked() MQA_REQUIRES(mu_);
+  /// Switches state and records the transition. Returns a ready-to-invoke
+  /// notifier (or null) to call outside the lock.
+  std::function<void()> TransitionLocked(BreakerState next) MQA_REQUIRES(mu_);
 
   CircuitBreakerConfig config_;
   Clock* clock_;
 
-  mutable std::mutex mu_;
-  BreakerState state_ = BreakerState::kClosed;
-  uint64_t consecutive_failures_ = 0;
-  int half_open_successes_ = 0;
-  int half_open_inflight_ = 0;
-  double opened_at_ms_ = 0.0;
-  std::vector<BreakerState> transitions_{BreakerState::kClosed};
-  std::function<void(BreakerState)> on_transition_;
-  std::function<void()> pending_callback_;  ///< see MaybeHalfOpenLocked
+  mutable Mutex mu_;
+  BreakerState state_ MQA_GUARDED_BY(mu_) = BreakerState::kClosed;
+  uint64_t consecutive_failures_ MQA_GUARDED_BY(mu_) = 0;
+  int half_open_successes_ MQA_GUARDED_BY(mu_) = 0;
+  int half_open_inflight_ MQA_GUARDED_BY(mu_) = 0;
+  double opened_at_ms_ MQA_GUARDED_BY(mu_) = 0.0;
+  std::vector<BreakerState> transitions_ MQA_GUARDED_BY(mu_){
+      BreakerState::kClosed};
+  std::function<void(BreakerState)> on_transition_ MQA_GUARDED_BY(mu_);
+  /// see MaybeHalfOpenLocked
+  std::function<void()> pending_callback_ MQA_GUARDED_BY(mu_);
 };
 
 }  // namespace mqa

@@ -2,7 +2,8 @@
 #define MQA_COMMON_CLOCK_H_
 
 #include <cstdint>
-#include <mutex>
+
+#include "common/sync.h"
 
 namespace mqa {
 
@@ -44,20 +45,20 @@ class MockClock : public Clock {
   explicit MockClock(int64_t start_micros = 0) : now_micros_(start_micros) {}
 
   int64_t NowMicros() const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return now_micros_;
   }
 
   void SleepForMicros(int64_t micros) override {
     if (micros <= 0) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     now_micros_ += micros;
   }
 
   /// Moves time forward without a sleeper (e.g. to expire a breaker
   /// cool-down between calls).
   void AdvanceMicros(int64_t micros) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     now_micros_ += micros;
   }
   void AdvanceMillis(double millis) {
@@ -68,8 +69,8 @@ class MockClock : public Clock {
   int64_t ElapsedMicros() const { return NowMicros(); }
 
  private:
-  mutable std::mutex mu_;
-  int64_t now_micros_;
+  mutable Mutex mu_;
+  int64_t now_micros_ MQA_GUARDED_BY(mu_);
 };
 
 }  // namespace mqa

@@ -14,7 +14,7 @@ FaultInjector& FaultInjector::Global() {
 }
 
 void FaultInjector::Arm(const std::string& point, FaultSpec spec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   PointState& state =
       points_.insert_or_assign(point, PointState{}).first->second;
   state.spec = std::move(spec);
@@ -27,36 +27,36 @@ void FaultInjector::Arm(const std::string& point, FaultSpec spec) {
 }
 
 void FaultInjector::Disarm(const std::string& point) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   points_.erase(point);
   armed_points_.store(static_cast<int>(CountArmedLocked()),
                       std::memory_order_relaxed);
 }
 
 void FaultInjector::DisarmAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   points_.clear();
   armed_points_.store(0, std::memory_order_relaxed);
 }
 
 void FaultInjector::Seed(uint64_t seed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   seed_ = seed;
 }
 
 void FaultInjector::SetClock(Clock* clock) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   clock_ = clock;
 }
 
 FaultPointStats FaultInjector::stats(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = points_.find(point);
   return it == points_.end() ? FaultPointStats{} : it->second.stats;
 }
 
 std::vector<std::string> FaultInjector::ArmedPoints() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> out;
   for (const auto& [name, state] : points_) {
     if (state.armed) out.push_back(name);
@@ -77,7 +77,7 @@ Status FaultInjector::CheckSlow(std::string_view point) {
   Status injected = Status::OK();
   Clock* clock = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     const auto it = points_.find(point);
     if (it == points_.end() || !it->second.armed) return Status::OK();
     PointState& state = it->second;

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -12,6 +11,7 @@
 #include "common/clock.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace mqa {
 
@@ -114,15 +114,39 @@ class FaultInjector {
 
   Status CheckSlow(std::string_view point);
 
-  /// Number of points still armed. Caller holds mu_.
-  size_t CountArmedLocked() const;
+  /// Number of points still armed.
+  size_t CountArmedLocked() const MQA_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::atomic<int> armed_points_{0};
-  uint64_t seed_ = 42;
-  Clock* clock_ = nullptr;  // null = SystemClock()
+  uint64_t seed_ MQA_GUARDED_BY(mu_) = 42;
+  Clock* clock_ MQA_GUARDED_BY(mu_) = nullptr;  // null = SystemClock()
   // Transparent comparator: lookup by string_view without allocating.
-  std::map<std::string, PointState, std::less<>> points_;
+  std::map<std::string, PointState, std::less<>> points_ MQA_GUARDED_BY(mu_);
+};
+
+/// RAII arming of one fault point: arms on construction, disarms on
+/// destruction, so a test/chaos scope can never leak an armed fault into
+/// later tests. [[nodiscard]] because a discarded temporary would disarm
+/// immediately, silently testing nothing.
+class [[nodiscard]] ScopedFault {
+ public:
+  [[nodiscard]] explicit ScopedFault(std::string point, FaultSpec spec = {},
+                                     FaultInjector* injector = nullptr)
+      : injector_(injector != nullptr ? injector : &FaultInjector::Global()),
+        point_(std::move(point)) {
+    injector_->Arm(point_, std::move(spec));
+  }
+  ~ScopedFault() { injector_->Disarm(point_); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+  const std::string& point() const { return point_; }
+
+ private:
+  FaultInjector* const injector_;
+  const std::string point_;
 };
 
 }  // namespace mqa

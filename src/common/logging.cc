@@ -3,7 +3,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
+
+#include "common/sync.h"
 
 namespace mqa {
 
@@ -11,9 +12,9 @@ namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
 
-std::mutex& LogMutex() {
+Mutex& LogMutex() {
   // Intentionally leaked so logging from static destructors stays safe.
-  static std::mutex* mu = new std::mutex;  // NOLINT(mqa-naked-new)
+  static Mutex* mu = new Mutex;  // NOLINT(mqa-naked-new)
   return *mu;
 }
 
@@ -58,7 +59,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (!enabled_) return;
-  std::lock_guard<std::mutex> lock(LogMutex());
+  MutexLock lock(&LogMutex());
   std::fprintf(stderr, "%s\n", stream_.str().c_str());
 }
 

@@ -152,8 +152,18 @@ MetricsRegistry& MetricsRegistry::Global() {
   return *kRegistry;
 }
 
+// Find-or-create, reader-writer style: the hot path (name already
+// registered) finishes under the shared lock; only a genuinely new name
+// upgrades to the exclusive side, re-checking after the reacquire since
+// another thread may have inserted it in the gap. Entries are never
+// removed, so pointers read under either mode stay valid forever.
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  {
+    ReaderLock lock(&mu_);
+    const auto it = counters_.find(name);
+    if (it != counters_.end()) return it->second.get();
+  }
+  WriterLock lock(&mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -163,7 +173,12 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  {
+    ReaderLock lock(&mu_);
+    const auto it = gauges_.find(name);
+    if (it != gauges_.end()) return it->second.get();
+  }
+  WriterLock lock(&mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -173,7 +188,12 @@ Gauge* MetricsRegistry::GetGauge(std::string_view name) {
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name,
                                          const std::vector<double>& bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  {
+    ReaderLock lock(&mu_);
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) return it->second.get();
+  }
+  WriterLock lock(&mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -184,27 +204,27 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
 }
 
 uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second->value();
 }
 
 double MetricsRegistry::GaugeValue(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? 0.0 : it->second->value();
 }
 
 HistogramSnapshot MetricsRegistry::HistogramSnapshotOf(
     std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? HistogramSnapshot{}
                                  : it->second->Snapshot();
 }
 
 std::vector<std::string> MetricsRegistry::CounterNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) names.push_back(name);
@@ -212,7 +232,7 @@ std::vector<std::string> MetricsRegistry::CounterNames() const {
 }
 
 std::vector<std::string> MetricsRegistry::HistogramNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(histograms_.size());
   for (const auto& [name, histogram] : histograms_) names.push_back(name);
@@ -220,14 +240,14 @@ std::vector<std::string> MetricsRegistry::HistogramNames() const {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
 }
 
 std::string MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   JsonWriter w;
   w.BeginObject();
   w.Key("counters").BeginObject();

@@ -5,12 +5,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace mqa {
 
@@ -97,10 +97,12 @@ class Histogram {
 /// The process-wide metrics surface: named counters, gauges and histograms
 /// (naming convention `component/name`, e.g. "diskindex/page_reads").
 ///
-/// Lookup takes a mutex; the returned pointers are stable until process
-/// exit, so instrumented call sites resolve their metric once (usually
-/// into a function-local static or a member) and afterwards pay only a
-/// relaxed atomic per event — near-zero cost when nobody is exporting.
+/// Lookup takes a reader-writer lock (shared for the common found-it
+/// path, exclusive only to insert a new name); the returned pointers are
+/// stable until process exit, so instrumented call sites resolve their
+/// metric once (usually into a function-local static or a member) and
+/// afterwards pay only a relaxed atomic per event — near-zero cost when
+/// nobody is exporting.
 /// Entries are never removed; ResetAll zeroes values but keeps pointers
 /// valid, so tests and benches can bracket a measured region.
 ///
@@ -143,11 +145,17 @@ class MetricsRegistry {
   std::string ToJson() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable SharedMutex mu_;
   // node-based maps: pointers to mapped values are stable across inserts.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // The lock guards map *structure* only; the mapped metric objects are
+  // internally thread-safe (relaxed atomics), so readers holding the
+  // shared side may observe and reset them.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      MQA_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      MQA_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      MQA_GUARDED_BY(mu_);
 };
 
 /// Measures wall time from construction to destruction through a

@@ -1,0 +1,191 @@
+#ifndef MQA_COMMON_SYNC_H_
+#define MQA_COMMON_SYNC_H_
+
+// The repo's synchronization vocabulary: every mutex, reader-writer lock
+// and condition variable in src/ goes through the wrappers below (the
+// `raw-mutex` lint rule bans std::mutex et al. outside this header), so
+// each lock-protected invariant can carry Clang Thread Safety Analysis
+// annotations and be checked at *compile time* under the `tsa` preset
+// (-Wthread-safety -Werror=thread-safety).
+//
+// Conventions (see DESIGN.md "Concurrency contracts & static analysis"):
+//   * every field protected by a lock is annotated MQA_GUARDED_BY(mu_);
+//   * every private *Locked() helper that expects the lock to be held is
+//     annotated MQA_REQUIRES(mu_);
+//   * inter-mutex acquisition order is declared with MQA_ACQUIRED_BEFORE
+//     on the mutex member that is taken first;
+//   * the static lock-order auditor (tools/lint.py) parses these
+//     annotations plus lexically nested MutexLock scopes across src/ and
+//     fails the build on an ordering cycle.
+//
+// On non-Clang toolchains every macro expands to nothing and the wrappers
+// compile down to the underlying std primitives — zero size and zero
+// runtime cost (verified by bench_distance_kernels/bench_interaction).
+
+#include <condition_variable>  // NOLINT(mqa-raw-mutex): the one wrap site
+#include <mutex>               // NOLINT(mqa-raw-mutex)
+#include <shared_mutex>        // NOLINT(mqa-raw-mutex)
+
+#if defined(__clang__)
+#define MQA_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define MQA_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex", "shared_mutex").
+#define MQA_CAPABILITY(x) MQA_THREAD_ANNOTATION_(capability(x))
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define MQA_SCOPED_CAPABILITY MQA_THREAD_ANNOTATION_(scoped_lockable)
+/// Field is protected by the given mutex.
+#define MQA_GUARDED_BY(x) MQA_THREAD_ANNOTATION_(guarded_by(x))
+/// Pointee (not the pointer itself) is protected by the given mutex.
+#define MQA_PT_GUARDED_BY(x) MQA_THREAD_ANNOTATION_(pt_guarded_by(x))
+/// Declares lock-acquisition order: this mutex is taken before `...`.
+#define MQA_ACQUIRED_BEFORE(...) \
+  MQA_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define MQA_ACQUIRED_AFTER(...) \
+  MQA_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+/// Function requires the capability to be held (exclusively / shared).
+#define MQA_REQUIRES(...) \
+  MQA_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define MQA_REQUIRES_SHARED(...) \
+  MQA_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+/// Function acquires / releases the capability.
+#define MQA_ACQUIRE(...) \
+  MQA_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define MQA_ACQUIRE_SHARED(...) \
+  MQA_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define MQA_RELEASE(...) \
+  MQA_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define MQA_RELEASE_SHARED(...) \
+  MQA_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define MQA_TRY_ACQUIRE(...) \
+  MQA_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+/// Function must be called with the capability NOT held.
+#define MQA_EXCLUDES(...) MQA_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define MQA_ASSERT_CAPABILITY(x) MQA_THREAD_ANNOTATION_(assert_capability(x))
+#define MQA_RETURN_CAPABILITY(x) MQA_THREAD_ANNOTATION_(lock_returned(x))
+/// Escape hatch for code the analysis cannot follow; use sparingly and
+/// leave a comment explaining why.
+#define MQA_NO_THREAD_SAFETY_ANALYSIS \
+  MQA_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace mqa {
+
+class CondVar;
+
+/// An annotated exclusive mutex. Prefer the RAII MutexLock below; call
+/// Lock/Unlock directly only where RAII scoping is impossible.
+class MQA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() MQA_ACQUIRE() { mu_.lock(); }
+  void Unlock() MQA_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool TryLock() MQA_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// An annotated reader-writer mutex: many concurrent shared holders OR one
+/// exclusive holder. Used on read-mostly structures (metric lookups).
+class MQA_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() MQA_ACQUIRE() { mu_.lock(); }
+  void Unlock() MQA_RELEASE() { mu_.unlock(); }
+  void LockShared() MQA_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() MQA_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock on a Mutex. [[nodiscard]] on the constructor makes
+/// the classic `MutexLock(&mu_);` temporary (which unlocks immediately) a
+/// compile error under -Werror=unused-result.
+class MQA_SCOPED_CAPABILITY MutexLock {
+ public:
+  [[nodiscard]] explicit MutexLock(Mutex* mu) MQA_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~MutexLock() MQA_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// RAII shared (reader) lock on a SharedMutex.
+class MQA_SCOPED_CAPABILITY ReaderLock {
+ public:
+  [[nodiscard]] explicit ReaderLock(SharedMutex* mu) MQA_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_->LockShared();
+  }
+  ~ReaderLock() MQA_RELEASE() { mu_->UnlockShared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// RAII exclusive (writer) lock on a SharedMutex.
+class MQA_SCOPED_CAPABILITY WriterLock {
+ public:
+  [[nodiscard]] explicit WriterLock(SharedMutex* mu) MQA_ACQUIRE(mu)
+      : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterLock() MQA_RELEASE() { mu_->Unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// Condition variable paired with mqa::Mutex. No predicate overload on
+/// purpose: spelling the `while (!cond) cv.Wait(&mu);` loop at the call
+/// site keeps every guarded-field read lexically inside the locked scope,
+/// where the thread-safety analysis can see it (a predicate lambda would
+/// be opaque to TSA).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `*mu`, blocks until notified, reacquires. The
+  /// caller must hold `*mu` (checked by TSA); spurious wakeups happen, so
+  /// always wait in a predicate loop.
+  void Wait(Mutex* mu) MQA_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_COMMON_SYNC_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <exception>
 
+#include "common/logging.h"
+
 namespace mqa {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -15,23 +17,34 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Enqueue(std::unique_ptr<Task> task) {
+  {
+    MutexLock lock(&mu_);
+    queue_.push(std::move(task));
+  }
+  cv_.NotifyOne();
 }
 
 std::future<void> ThreadPool::Submit(std::function<void()> task) {
   auto t = std::make_unique<Task>();
   t->fn = std::move(task);
   std::future<void> fut = t->done.get_future();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    queue_.push(std::move(t));
-  }
-  cv_.notify_one();
+  Enqueue(std::move(t));
   return fut;
+}
+
+void ThreadPool::Post(std::function<void()> task) {
+  auto t = std::make_unique<Task>();
+  t->fn = std::move(task);
+  t->detached = true;
+  Enqueue(std::move(t));
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -67,20 +80,22 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::unique_ptr<Task> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (shutdown_) return;
-        continue;
-      }
+      MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) cv_.Wait(&mu_);
+      if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop();
     }
     try {
       task->fn();
-      task->done.set_value();
+      if (!task->detached) task->done.set_value();
     } catch (...) {
-      task->done.set_exception(std::current_exception());
+      if (task->detached) {
+        // Post()ed tasks have no future to carry the exception.
+        MQA_LOG(Error) << "detached pool task threw; exception dropped";
+      } else {
+        task->done.set_exception(std::current_exception());
+      }
     }
   }
 }

@@ -1,15 +1,15 @@
 #ifndef MQA_COMMON_THREAD_POOL_H_
 #define MQA_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace mqa {
 
@@ -27,8 +27,16 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task; returns a future resolved on completion.
-  std::future<void> Submit(std::function<void()> task);
+  /// Enqueues a task; returns a future resolved on completion. The future
+  /// is the only completion/exception channel — discarding it loses
+  /// errors, so it is [[nodiscard]]; use Post for fire-and-forget work.
+  [[nodiscard]] std::future<void> Submit(std::function<void()> task);
+
+  /// Fire-and-forget enqueue: no promise/future is allocated. The task
+  /// must not throw (an escaping exception is logged and swallowed);
+  /// completion must be tracked out of band (e.g. a counter + CondVar,
+  /// as the DAG scheduler does).
+  void Post(std::function<void()> task);
 
   /// Runs fn(i) for i in [0, n) across the pool and blocks until all
   /// iterations finish. Iterations are chunked to limit queue overhead.
@@ -46,15 +54,17 @@ class ThreadPool {
   struct Task {
     std::function<void()> fn;
     std::promise<void> done;
+    bool detached = false;  ///< Post()ed: nobody is waiting on `done`
   };
 
+  void Enqueue(std::unique_ptr<Task> task) MQA_EXCLUDES(mu_);
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::unique_ptr<Task>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::queue<std::unique_ptr<Task>> queue_ MQA_GUARDED_BY(mu_);
+  bool shutdown_ MQA_GUARDED_BY(mu_) = false;
 };
 
 /// A process-wide default pool sized to the hardware concurrency.

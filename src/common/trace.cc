@@ -24,7 +24,7 @@ Trace::Trace(std::string name, Clock* clock)
 
 int32_t Trace::BeginSpan(std::string_view name, int32_t parent) {
   const int64_t now = clock_->NowMicros() - epoch_micros_;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   SpanRecord span;
   span.id = static_cast<int32_t>(spans_.size());
   span.parent = parent;
@@ -36,18 +36,18 @@ int32_t Trace::BeginSpan(std::string_view name, int32_t parent) {
 
 void Trace::EndSpan(int32_t id) {
   const int64_t now = clock_->NowMicros() - epoch_micros_;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (id < 0 || static_cast<size_t>(id) >= spans_.size()) return;
   if (spans_[id].end_micros < 0) spans_[id].end_micros = now;
 }
 
 std::vector<SpanRecord> Trace::spans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return spans_;
 }
 
 int64_t Trace::TotalMicros() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   int64_t total = 0;
   for (const SpanRecord& s : spans_) {
     if (s.parent < 0) total += s.DurationMicros();

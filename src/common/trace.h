@@ -2,12 +2,12 @@
 #define MQA_COMMON_TRACE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/sync.h"
 
 namespace mqa {
 
@@ -70,8 +70,8 @@ class Trace {
   Clock* clock_;
   int64_t epoch_micros_;
 
-  mutable std::mutex mu_;
-  std::vector<SpanRecord> spans_;
+  mutable Mutex mu_;
+  std::vector<SpanRecord> spans_ MQA_GUARDED_BY(mu_);
 };
 
 /// The calling thread's ambient trace (installed by ScopedTrace), or null.

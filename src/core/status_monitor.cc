@@ -25,7 +25,7 @@ const char* ComponentStageToString(ComponentStage stage) {
 void StatusMonitor::Emit(StatusEvent event) {
   Callback callback;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     history_.push_back(event);
     callback = callback_;
   }

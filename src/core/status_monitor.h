@@ -2,9 +2,10 @@
 #define MQA_CORE_STATUS_MONITOR_H_
 
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace mqa {
 
@@ -46,7 +47,7 @@ class StatusMonitor {
 
   /// Registers a subscriber (replaces any previous one).
   void Subscribe(Callback callback) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     callback_ = std::move(callback);
   }
 
@@ -61,12 +62,12 @@ class StatusMonitor {
 
   /// Snapshot of all events recorded so far.
   std::vector<StatusEvent> history() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return history_;
   }
 
   void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     history_.clear();
   }
 
@@ -74,9 +75,9 @@ class StatusMonitor {
   std::string Render() const;
 
  private:
-  mutable std::mutex mu_;
-  Callback callback_;
-  std::vector<StatusEvent> history_;
+  mutable Mutex mu_;
+  Callback callback_ MQA_GUARDED_BY(mu_);
+  std::vector<StatusEvent> history_ MQA_GUARDED_BY(mu_);
 };
 
 }  // namespace mqa

@@ -1,11 +1,11 @@
 #include "dag/dag.h"
 
-#include <condition_variable>
 #include <exception>
 #include <queue>
 #include <string>
 
 #include "common/metrics.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "common/trace.h"
@@ -83,8 +83,8 @@ Status DagPipeline::Run(DagContext* ctx, bool parallel) {
     }
   }
 
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   std::queue<size_t> ready;
   size_t completed = 0;
   size_t inflight = 0;
@@ -126,7 +126,7 @@ Status DagPipeline::Run(DagContext* ctx, bool parallel) {
     if (!st.ok()) {
       MetricsRegistry::Global().GetCounter("dag/stage_failures")->Increment();
     }
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     reports_.push_back(NodeReport{nodes_[i].name, ms, st});
     --inflight;
     ++completed;
@@ -140,7 +140,7 @@ Status DagPipeline::Run(DagContext* ctx, bool parallel) {
         if (--indegree[v] == 0) ready.push(v);
       }
     }
-    cv.notify_all();
+    cv.NotifyAll();
   };
 
   if (!parallel) {
@@ -159,20 +159,23 @@ Status DagPipeline::Run(DagContext* ctx, bool parallel) {
   }
 
   ThreadPool& pool = DefaultThreadPool();
-  std::unique_lock<std::mutex> lock(mu);
+  // Stage completion is tracked by completed/inflight under `mu` plus the
+  // CondVar, so stages are Post()ed fire-and-forget (no per-stage future;
+  // run_node converts exceptions to Status itself).
+  MutexLock lock(&mu);
   for (;;) {
     while (!failed && !ready.empty()) {
       const size_t i = ready.front();
       ready.pop();
       ++inflight;
-      pool.Submit([&run_node, i] { run_node(i); });
+      pool.Post([&run_node, i] { run_node(i); });
     }
     if (failed && inflight == 0) return first_error;
     if (completed == nodes_.size()) return Status::OK();
     if (ready.empty() && inflight == 0) {
       return Status::Internal("pipeline stalled with unscheduled nodes");
     }
-    cv.wait(lock);
+    cv.Wait(&mu);
   }
 }
 

@@ -5,12 +5,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace mqa::dag {
 
@@ -22,7 +22,7 @@ class DagContext {
   /// Stores `value` under `key`, replacing any previous entry.
   template <typename T>
   void Put(const std::string& key, T value) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     values_[key] = std::make_shared<std::any>(std::move(value));
   }
 
@@ -34,7 +34,7 @@ class DagContext {
   Result<T*> Get(const std::string& key) {
     std::shared_ptr<std::any> holder;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       auto it = values_.find(key);
       if (it == values_.end()) {
         return Status::NotFound("context key not found: " + key);
@@ -49,13 +49,13 @@ class DagContext {
   }
 
   bool Contains(const std::string& key) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return values_.count(key) > 0;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<std::any>> values_;
+  mutable Mutex mu_;
+  std::map<std::string, std::shared_ptr<std::any>> values_ MQA_GUARDED_BY(mu_);
 };
 
 /// The body of a pipeline stage.

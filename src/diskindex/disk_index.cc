@@ -141,15 +141,17 @@ Result<std::unique_ptr<DiskGraphIndex>> DiskGraphIndex::Create(
 }
 
 const char* DiskGraphIndex::FetchPage(size_t page, QueryIoState* io) {
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  auto it = cached_.find(page);
-  if (it != cached_.end()) {
-    // Move to the front of the recency list.
-    lru_.splice(lru_.begin(), lru_, it->second);
-    io_stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
-    GlobalDiskCounters().cache_hits->Increment();
-    io->last_was_cached = true;
-    return disk_.data() + page * config_.page_size;
+  {
+    MutexLock lock(&cache_mu_);
+    auto it = cached_.find(page);
+    if (it != cached_.end()) {
+      // Move to the front of the recency list.
+      lru_.splice(lru_.begin(), lru_, it->second);
+      io_stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      GlobalDiskCounters().cache_hits->Increment();
+      io->last_was_cached = true;
+      return disk_.data() + page * config_.page_size;
+    }
   }
   io->last_was_cached = false;
   // Budget exhausted: serve cache-only, never pay for another read.
@@ -157,6 +159,11 @@ const char* DiskGraphIndex::FetchPage(size_t page, QueryIoState* io) {
   // The simulated device read; the "diskindex/read_page" fault point makes
   // it fail. A failed read is charged against the query's error budget and
   // the page is simply not delivered — the caller routes around it.
+  //
+  // Deliberately OUTSIDE cache_mu_ (the static lock auditor's
+  // wait-while-locked rule enforces this): an injected latency spike
+  // sleeps through the Clock, and holding the cache lock across it would
+  // serialize every concurrent query behind one slow read.
   if (FaultInjector::Global().enabled()) {
     const Status st = FaultInjector::Global().Check("diskindex/read_page");
     if (!st.ok()) {
@@ -172,11 +179,20 @@ const char* DiskGraphIndex::FetchPage(size_t page, QueryIoState* io) {
                                  std::memory_order_relaxed);
   GlobalDiskCounters().page_reads->Increment();
   GlobalDiskCounters().bytes_read->Increment(config_.page_size);
-  lru_.push_front(page);
-  cached_[page] = lru_.begin();
-  if (cached_.size() > config_.cache_pages) {
-    cached_.erase(lru_.back());
-    lru_.pop_back();
+  MutexLock lock(&cache_mu_);
+  auto it = cached_.find(page);
+  if (it == cached_.end()) {
+    lru_.push_front(page);
+    cached_[page] = lru_.begin();
+    if (cached_.size() > config_.cache_pages) {
+      cached_.erase(lru_.back());
+      lru_.pop_back();
+    }
+  } else {
+    // Another query read the same page while we were off the lock: both
+    // paid a device read (as real concurrent misses would); just refresh
+    // its recency.
+    lru_.splice(lru_.begin(), lru_, it->second);
   }
   return disk_.data() + page * config_.page_size;
 }
@@ -306,7 +322,7 @@ Result<std::vector<Neighbor>> DiskGraphIndex::Search(
 }
 
 void DiskGraphIndex::ClearCache() {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(&cache_mu_);
   lru_.clear();
   cached_.clear();
 }

@@ -5,12 +5,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "common/sync.h"
 #include "graph/index.h"
 #include "graph/search.h"
 #include "vector/multi_distance.h"
@@ -113,7 +113,7 @@ class DiskGraphIndex : public VectorIndex {
   }
 
   /// Drops all cached pages (e.g. between benchmark phases).
-  void ClearCache();
+  void ClearCache() MQA_EXCLUDES(cache_mu_);
 
   size_t num_pages() const { return num_pages_; }
   size_t nodes_per_page() const { return nodes_per_page_; }
@@ -147,8 +147,11 @@ class DiskGraphIndex : public VectorIndex {
   /// "diskindex/read_page" fault point or when the query's I/O error
   /// budget is exhausted and the page is not cached (cache-only serving).
   /// Thread-safe: the cache is guarded by cache_mu_, so read-only queries
-  /// may run concurrently on a shared index.
-  const char* FetchPage(size_t page, QueryIoState* io);
+  /// may run concurrently on a shared index. The (possibly latency-
+  /// injecting) simulated device read happens with cache_mu_ RELEASED, so
+  /// one slow read never stalls concurrent cache hits.
+  const char* FetchPage(size_t page, QueryIoState* io)
+      MQA_EXCLUDES(cache_mu_);
 
   NodeRecord ReadRecord(uint32_t node, const char* page_data) const;
 
@@ -176,9 +179,10 @@ class DiskGraphIndex : public VectorIndex {
   // cache_mu_ so concurrent queries on a shared index are safe; page
   // *contents* live in the immutable disk_ image, so returned pointers
   // stay valid across evictions.
-  mutable std::mutex cache_mu_;
-  std::list<size_t> lru_;
-  std::unordered_map<size_t, std::list<size_t>::iterator> cached_;
+  mutable Mutex cache_mu_;
+  std::list<size_t> lru_ MQA_GUARDED_BY(cache_mu_);
+  std::unordered_map<size_t, std::list<size_t>::iterator> cached_
+      MQA_GUARDED_BY(cache_mu_);
 
   DiskIoStats io_stats_;
 };

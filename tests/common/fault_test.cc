@@ -152,6 +152,19 @@ TEST(FaultInjectorTest, ArmedPointsListsActivePoints) {
   EXPECT_TRUE(injector.ArmedPoints().empty());
 }
 
+TEST(FaultInjectorTest, ScopedFaultArmsAndDisarmsViaRaii) {
+  FaultInjector injector;
+  {
+    ScopedFault fault("scoped/p", FaultSpec{}, &injector);
+    EXPECT_EQ(fault.point(), "scoped/p");
+    EXPECT_TRUE(injector.enabled());
+    EXPECT_FALSE(injector.Check("scoped/p").ok());
+  }
+  // Scope exit disarmed the point: later checks pass and cost nothing.
+  EXPECT_FALSE(injector.enabled());
+  EXPECT_TRUE(injector.Check("scoped/p").ok());
+}
+
 TEST(FaultInjectorTest, GlobalInstanceIsProcessWide) {
   FaultInjector::Global().Arm("global/p", FaultSpec{});
   EXPECT_TRUE(FaultInjector::Global().enabled());

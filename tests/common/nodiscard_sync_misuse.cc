@@ -1,0 +1,26 @@
+// NOT part of any test binary. This translation unit deliberately discards
+// [[nodiscard]] values from the concurrency layer; the
+// `common.nodiscard_sync_enforced` ctest compiles it with
+// -Werror=unused-result and expects the compile to FAIL (WILL_FAIL),
+// proving that:
+//   1. a ThreadPool::Submit future cannot be silently dropped (use Post
+//      for fire-and-forget work);
+//   2. the classic `MutexLock{&mu};` temporary — which unlocks again
+//      before the next statement — is rejected;
+//   3. a ScopedFault temporary — which disarms its fault point
+//      immediately — is rejected.
+
+#include "common/fault.h"
+#include "common/sync.h"
+#include "common/thread_pool.h"
+
+int main() {
+  mqa::ThreadPool pool(1);
+  pool.Submit([] {});  // discarded future: must be a compile error
+
+  mqa::Mutex mu;
+  mqa::MutexLock{&mu};  // guard temporary: must be a compile error
+
+  mqa::ScopedFault{"test/point"};  // fault temporary: must be a compile error
+  return 0;
+}

@@ -1,0 +1,142 @@
+#include "common/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace mqa {
+namespace {
+
+TEST(SyncTest, MutexLockMutualExclusion) {
+  Mutex mu;
+  int counter = 0;  // deliberately non-atomic: the lock is the protection
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        MutexLock lock(&mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(SyncTest, TryLockReflectsHeldState) {
+  Mutex mu;
+  mu.Lock();
+  std::atomic<bool> acquired{true};
+  // TryLock from another thread must fail while this thread holds the
+  // lock (same-thread try_lock on a held std::mutex is UB).
+  std::thread probe([&] { acquired = mu.TryLock(); });
+  probe.join();
+  EXPECT_FALSE(acquired.load());
+  mu.Unlock();
+  EXPECT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(SyncTest, CondVarHandoff) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  int observed = 0;
+  std::thread consumer([&] {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(&mu);
+    observed = 42;
+  });
+  {
+    MutexLock lock(&mu);
+    ready = true;
+  }
+  cv.NotifyOne();
+  consumer.join();
+  EXPECT_EQ(observed, 42);
+}
+
+TEST(SyncTest, CondVarNotifyAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  std::atomic<int> woke{0};
+  constexpr int kWaiters = 4;
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int t = 0; t < kWaiters; ++t) {
+    waiters.emplace_back([&] {
+      MutexLock lock(&mu);
+      while (!go) cv.Wait(&mu);
+      woke.fetch_add(1);
+    });
+  }
+  {
+    MutexLock lock(&mu);
+    go = true;
+  }
+  cv.NotifyAll();
+  for (auto& th : waiters) th.join();
+  EXPECT_EQ(woke.load(), kWaiters);
+}
+
+TEST(SyncTest, SharedMutexAllowsConcurrentReaders) {
+  SharedMutex mu;
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  constexpr int kReaders = 4;
+  // Barrier-ish: all readers hold the shared lock until every reader has
+  // arrived, proving the holds overlap.
+  std::atomic<int> arrived{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      ReaderLock lock(&mu);
+      const int now = concurrent.fetch_add(1) + 1;
+      int expect = peak.load();
+      while (expect < now && !peak.compare_exchange_weak(expect, now)) {
+      }
+      arrived.fetch_add(1);
+      while (arrived.load() < kReaders) std::this_thread::yield();
+      concurrent.fetch_sub(1);
+    });
+  }
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(peak.load(), kReaders);
+}
+
+TEST(SyncTest, WriterLockExcludesReaders) {
+  SharedMutex mu;
+  int value = 0;
+  std::atomic<bool> reader_started{false};
+  std::atomic<bool> reader_done{false};
+  std::thread reader;
+  {
+    WriterLock lock(&mu);
+    value = 7;
+    reader = std::thread([&] {
+      reader_started = true;
+      ReaderLock rlock(&mu);
+      // The writer's release happens-before our acquisition: the
+      // intermediate value 7 must never be visible here.
+      EXPECT_EQ(value, 8);
+      reader_done = true;
+    });
+    while (!reader_started.load()) std::this_thread::yield();
+    value = 8;
+    // The reader cannot have acquired the shared lock while we hold the
+    // exclusive one.
+    EXPECT_FALSE(reader_done.load());
+  }
+  reader.join();
+  EXPECT_TRUE(reader_done.load());
+}
+
+}  // namespace
+}  // namespace mqa

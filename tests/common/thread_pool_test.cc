@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 
 namespace mqa {
 namespace {
@@ -61,10 +63,32 @@ TEST(ThreadPoolTest, PendingTasksExecuteBeforeShutdown) {
   {
     ThreadPool pool(1);
     for (int i = 0; i < 20; ++i) {
-      pool.Submit([&counter] { ++counter; });
+      pool.Post([&counter] { ++counter; });
     }
   }  // destructor drains
   EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, PostRunsDetachedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Post([&counter] { ++counter; });
+  }
+  // Post has no completion channel; rendezvous through a submitted fence
+  // per worker is not enough (workers race), so spin on the counter.
+  while (counter.load() < 50) std::this_thread::yield();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, PostSwallowsExceptions) {
+  std::atomic<bool> after{false};
+  {
+    ThreadPool pool(1);
+    pool.Post([] { throw std::runtime_error("detached boom"); });
+    pool.Post([&after] { after = true; });
+  }  // drains; the throwing task must not take down the worker
+  EXPECT_TRUE(after.load());
 }
 
 TEST(ThreadPoolTest, DefaultPoolIsSingleton) {

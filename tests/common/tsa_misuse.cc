@@ -1,0 +1,40 @@
+// NOT part of any test binary. This translation unit deliberately breaks
+// the concurrency contracts from common/sync.h; the `common.tsa_enforced`
+// ctest (Clang only) compiles it with -Wthread-safety
+// -Werror=thread-safety and expects the compile to FAIL (WILL_FAIL),
+// proving that the annotations reject (1) reading a guarded field without
+// the lock and (2) calling an MQA_REQUIRES method without holding it.
+
+#include "common/sync.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    mqa::MutexLock lock(&mu_);
+    balance_ += amount;
+  }
+
+  // Violation 1: reads an MQA_GUARDED_BY field with the lock not held.
+  int UnsafeRead() { return balance_; }
+
+  void WithdrawLocked(int amount) MQA_REQUIRES(mu_) { balance_ -= amount; }
+
+  // Violation 2: calls an MQA_REQUIRES method without acquiring mu_.
+  void BadWithdraw(int amount) { WithdrawLocked(amount); }
+
+ private:
+  mqa::Mutex mu_;
+  int balance_ MQA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  static_cast<void>(account.UnsafeRead());
+  account.BadWithdraw(1);
+  return 0;
+}

@@ -1,0 +1,374 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/lint.py: the lock-order auditor (cycle detection
+on synthetic trees, annotation + nested-scope edges, scope retirement),
+the raw-mutex and wait-while-locked rules with their NOLINT escapes, and
+compile_commands.json auto-discovery. Runs as ctest `tools_lint_test`."""
+
+import os
+import sys
+import tempfile
+import textwrap
+import time
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import lint  # noqa: E402
+
+
+def write_tree(root, files):
+    for rel, content in files.items():
+        path = os.path.join(root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(textwrap.dedent(content))
+
+
+def lint_src(files, lock_order_only=False):
+    with tempfile.TemporaryDirectory() as tmp:
+        write_tree(tmp, files)
+        errors, _, nlocks, nedges = lint.lint_tree(
+            tmp, lock_order_only=lock_order_only)
+        return errors, nlocks, nedges
+
+
+class LockOrderAuditTest(unittest.TestCase):
+    def test_inter_file_cycle_detected(self):
+        # Store::Put takes a_mu_ then b_mu_; Store::Get (in another file)
+        # takes b_mu_ then a_mu_: the classic A->B->A deadlock candidate.
+        errors, _, nedges = lint_src({
+            "src/store/put.cc": """
+                namespace mqa {
+                void Store::Put() {
+                  MutexLock l1(&a_mu_);
+                  MutexLock l2(&b_mu_);
+                }
+                }  // namespace mqa
+            """,
+            "src/store/get.cc": """
+                namespace mqa {
+                void Store::Get() {
+                  MutexLock l1(&b_mu_);
+                  MutexLock l2(&a_mu_);
+                }
+                }  // namespace mqa
+            """,
+        }, lock_order_only=True)
+        self.assertEqual(nedges, 2)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("[lock-order]", errors[0])
+        self.assertIn("Store::a_mu_", errors[0])
+        self.assertIn("Store::b_mu_", errors[0])
+
+    def test_consistent_order_passes(self):
+        errors, _, nedges = lint_src({
+            "src/store/put.cc": """
+                namespace mqa {
+                void Store::Put() {
+                  MutexLock l1(&a_mu_);
+                  MutexLock l2(&b_mu_);
+                }
+                void Store::Get() {
+                  MutexLock l1(&a_mu_);
+                  MutexLock l2(&b_mu_);
+                }
+                }  // namespace mqa
+            """,
+        }, lock_order_only=True)
+        self.assertEqual(nedges, 1)
+        self.assertEqual(errors, [])
+
+    def test_annotation_conflicts_with_nesting(self):
+        # Header declares a_mu_ before b_mu_; a source nests the other way.
+        errors, _, _ = lint_src({
+            "src/store/store.h": """
+                #ifndef MQA_STORE_STORE_H_
+                #define MQA_STORE_STORE_H_
+                namespace mqa {
+                class Store {
+                 private:
+                  Mutex a_mu_ MQA_ACQUIRED_BEFORE(b_mu_);
+                  Mutex b_mu_;
+                };
+                }  // namespace mqa
+                #endif  // MQA_STORE_STORE_H_
+            """,
+            "src/store/store.cc": """
+                namespace mqa {
+                void Store::Swap() {
+                  MutexLock l1(&b_mu_);
+                  MutexLock l2(&a_mu_);
+                }
+                }  // namespace mqa
+            """,
+        }, lock_order_only=True)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("lock-order cycle", errors[0])
+
+    def test_acquired_after_direction(self):
+        # ACQUIRED_AFTER reverses the edge: b after a == a before b, which
+        # is consistent with nesting a -> b.
+        errors, _, nedges = lint_src({
+            "src/store/store.h": """
+                #ifndef MQA_STORE_STORE_H_
+                #define MQA_STORE_STORE_H_
+                namespace mqa {
+                class Store {
+                 private:
+                  Mutex a_mu_;
+                  Mutex b_mu_ MQA_ACQUIRED_AFTER(a_mu_);
+                };
+                }  // namespace mqa
+                #endif  // MQA_STORE_STORE_H_
+            """,
+            "src/store/store.cc": """
+                namespace mqa {
+                void Store::Both() {
+                  MutexLock l1(&a_mu_);
+                  MutexLock l2(&b_mu_);
+                }
+                }  // namespace mqa
+            """,
+        }, lock_order_only=True)
+        self.assertEqual(nedges, 1)
+        self.assertEqual(errors, [])
+
+    def test_scope_exit_releases_lock(self):
+        # The first lock's scope closes before the second opens: no edge.
+        errors, nlocks, nedges = lint_src({
+            "src/store/store.cc": """
+                namespace mqa {
+                void Store::Sequential() {
+                  {
+                    MutexLock l1(&a_mu_);
+                  }
+                  MutexLock l2(&b_mu_);
+                }
+                void Store::Reversed() {
+                  {
+                    MutexLock l1(&b_mu_);
+                  }
+                  MutexLock l2(&a_mu_);
+                }
+                }  // namespace mqa
+            """,
+        }, lock_order_only=True)
+        self.assertEqual(nlocks, 2)
+        self.assertEqual(nedges, 0)
+        self.assertEqual(errors, [])
+
+    def test_nolint_lock_order_suppresses_edges(self):
+        errors, _, _ = lint_src({
+            "src/store/store.cc": """
+                namespace mqa {
+                void Store::Put() {
+                  MutexLock l1(&a_mu_);
+                  MutexLock l2(&b_mu_);
+                }
+                void Store::Get() {
+                  MutexLock l1(&b_mu_);
+                  // NOLINT(mqa-lock-order): order proven safe by trylock
+                  MutexLock l2(&a_mu_);
+                }
+                }  // namespace mqa
+            """,
+        }, lock_order_only=True)
+        self.assertEqual(errors, [])
+
+    def test_reader_and_writer_locks_participate(self):
+        errors, _, _ = lint_src({
+            "src/store/store.cc": """
+                namespace mqa {
+                void Store::A() {
+                  ReaderLock l1(&map_mu_);
+                  MutexLock l2(&log_mu_);
+                }
+                void Store::B() {
+                  MutexLock l1(&log_mu_);
+                  WriterLock l2(&map_mu_);
+                }
+                }  // namespace mqa
+            """,
+        }, lock_order_only=True)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("Store::map_mu_", errors[0])
+        self.assertIn("Store::log_mu_", errors[0])
+
+
+class RawMutexRuleTest(unittest.TestCase):
+    def test_flags_std_mutex_outside_sync_h(self):
+        errors, _, _ = lint_src({
+            "src/util/cache.cc": """
+                namespace mqa {
+                std::mutex mu;
+                }  // namespace mqa
+            """,
+        })
+        self.assertTrue(any("[raw-mutex]" in e for e in errors))
+
+    def test_sync_header_is_exempt(self):
+        errors, _, _ = lint_src({
+            "src/common/sync.h": """
+                #ifndef MQA_COMMON_SYNC_H_
+                #define MQA_COMMON_SYNC_H_
+                namespace mqa {
+                class Mutex {
+                  std::mutex mu_;
+                };
+                }  // namespace mqa
+                #endif  // MQA_COMMON_SYNC_H_
+            """,
+        })
+        self.assertEqual([e for e in errors if "[raw-mutex]" in e], [])
+
+    def test_nolint_escape(self):
+        errors, _, _ = lint_src({
+            "src/util/cache.cc": """
+                namespace mqa {
+                // NOLINT(mqa-raw-mutex): interop with external API
+                std::unique_lock<std::mutex> lk(ext);
+                }  // namespace mqa
+            """,
+        })
+        self.assertEqual([e for e in errors if "[raw-mutex]" in e], [])
+
+    def test_flags_condition_variable_and_lock_guard(self):
+        errors, _, _ = lint_src({
+            "src/util/cache.cc": """
+                namespace mqa {
+                std::condition_variable cv;
+                std::lock_guard<std::mutex> lk(mu);
+                }  // namespace mqa
+            """,
+        })
+        self.assertEqual(
+            len([e for e in errors if "[raw-mutex]" in e]), 2)
+
+
+class WaitWhileLockedRuleTest(unittest.TestCase):
+    def test_sleep_under_lock_flagged(self):
+        errors, _, _ = lint_src({
+            "src/util/poll.cc": """
+                namespace mqa {
+                void Poller::Run() {
+                  MutexLock lock(&mu_);
+                  clock_->SleepForMillis(5);
+                }
+                }  // namespace mqa
+            """,
+        })
+        hits = [e for e in errors if "[wait-while-locked]" in e]
+        self.assertEqual(len(hits), 1)
+        self.assertIn("Poller::mu_", hits[0])
+
+    def test_sleep_after_scope_close_ok(self):
+        errors, _, _ = lint_src({
+            "src/util/poll.cc": """
+                namespace mqa {
+                void Poller::Run() {
+                  {
+                    MutexLock lock(&mu_);
+                  }
+                  clock_->SleepForMillis(5);
+                }
+                }  // namespace mqa
+            """,
+        })
+        self.assertEqual(
+            [e for e in errors if "[wait-while-locked]" in e], [])
+
+    def test_sleep_in_next_function_ok(self):
+        # The lock must not leak past the end of the function body.
+        errors, _, _ = lint_src({
+            "src/util/poll.cc": """
+                namespace mqa {
+                void Poller::Hold() {
+                  MutexLock lock(&mu_);
+                }
+                void Poller::Nap() {
+                  clock_->SleepForMillis(5);
+                }
+                }  // namespace mqa
+            """,
+        })
+        self.assertEqual(
+            [e for e in errors if "[wait-while-locked]" in e], [])
+
+    def test_parallel_for_under_lock_flagged(self):
+        errors, _, _ = lint_src({
+            "src/util/poll.cc": """
+                namespace mqa {
+                void Poller::Run() {
+                  MutexLock lock(&mu_);
+                  pool_->ParallelFor(0, n, fn);
+                }
+                }  // namespace mqa
+            """,
+        })
+        self.assertEqual(
+            len([e for e in errors if "[wait-while-locked]" in e]), 1)
+
+    def test_nolint_escape(self):
+        errors, _, _ = lint_src({
+            "src/util/poll.cc": """
+                namespace mqa {
+                void Poller::Run() {
+                  MutexLock lock(&mu_);
+                  // NOLINT(mqa-wait-while-locked): mock clock, no real wait
+                  clock_->SleepForMillis(5);
+                }
+                }  // namespace mqa
+            """,
+        })
+        self.assertEqual(
+            [e for e in errors if "[wait-while-locked]" in e], [])
+
+
+class CompileCommandsDiscoveryTest(unittest.TestCase):
+    def test_picks_newest_build_dir(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            old = os.path.join(tmp, "build-release")
+            new = os.path.join(tmp, "build-tsa")
+            for d in (old, new):
+                os.makedirs(d)
+                with open(os.path.join(d, "compile_commands.json"),
+                          "w") as f:
+                    f.write("[]")
+            past = time.time() - 1000
+            os.utime(os.path.join(old, "compile_commands.json"),
+                     (past, past))
+            build_dir, db = lint.find_compile_commands(tmp, None)
+            self.assertEqual(build_dir, new)
+            self.assertTrue(db.endswith("compile_commands.json"))
+
+    def test_explicit_build_dir_wins(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            chosen = os.path.join(tmp, "out")
+            os.makedirs(chosen)
+            with open(os.path.join(chosen, "compile_commands.json"),
+                      "w") as f:
+                f.write("[]")
+            build_dir, db = lint.find_compile_commands(tmp, chosen)
+            self.assertEqual(build_dir, chosen)
+            self.assertIsNotNone(db)
+
+    def test_no_database_found(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            build_dir, db = lint.find_compile_commands(tmp, None)
+            self.assertIsNone(build_dir)
+            self.assertIsNone(db)
+
+
+class RepoSelfCheckTest(unittest.TestCase):
+    def test_repo_src_is_clean(self):
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        if not os.path.isdir(os.path.join(repo, "src")):
+            self.skipTest("not running inside the repo")
+        errors, nfiles, nlocks, _ = lint.lint_tree(repo)
+        self.assertEqual(errors, [])
+        self.assertGreater(nfiles, 50)
+        # The migration left every acquisition visible to the auditor.
+        self.assertGreater(nlocks, 5)
+
+
+if __name__ == "__main__":
+    unittest.main()
