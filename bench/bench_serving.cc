@@ -1,0 +1,263 @@
+// Serving-E10 (concurrent front end): open-loop latency of the
+// multi-session server under steady load, and behaviour under a burst
+// that deliberately overruns the admission queue. Requests arrive on a
+// Poisson schedule from a seeded RNG (open loop: arrivals never wait for
+// completions, so queueing delay is measured honestly), fan out over
+// concurrent sessions round-robin, and execute on the worker pool with
+// cross-query batching. Reported per scenario: completed/shed counts,
+// latency percentiles (p50/p95/p99) of completed turns, and mean
+// search-batch occupancy.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "server/server.h"
+
+namespace mqa {
+namespace {
+
+struct ScenarioResult {
+  size_t requests = 0;
+  size_t completed = 0;
+  size_t shed = 0;
+  size_t failed = 0;
+  double wall_ms = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double mean_batch = 0;  ///< mean search-batch occupancy
+};
+
+double Percentile(std::vector<double>* values, double p) {
+  if (values->empty()) return 0;
+  std::sort(values->begin(), values->end());
+  const size_t idx =
+      static_cast<size_t>(p * static_cast<double>(values->size() - 1) + 0.5);
+  return (*values)[std::min(idx, values->size() - 1)];
+}
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Drives `requests` turns through the server on an open-loop arrival
+/// schedule at `rate_qps` (0 = back-to-back burst), spread round-robin
+/// over `num_sessions` sessions.
+ScenarioResult RunScenario(Server* server, size_t requests, double rate_qps,
+                           size_t num_sessions, uint64_t seed) {
+  ScenarioResult out;
+  out.requests = requests;
+
+  std::vector<uint64_t> sessions(num_sessions);
+  for (size_t s = 0; s < num_sessions; ++s) {
+    sessions[s] = server->OpenSession();
+  }
+
+  // Pre-generate the Poisson schedule so RNG cost is off the timed path;
+  // arrivals are absolute offsets, so sleep jitter does not accumulate.
+  Rng rng(seed);
+  std::vector<int64_t> arrival_micros(requests, 0);
+  int64_t t = 0;
+  for (size_t i = 0; i < requests; ++i) {
+    if (rate_qps > 0) {
+      const double u = std::max(1e-12, 1.0 - rng.UniformDouble());
+      t += static_cast<int64_t>(-std::log(u) / rate_qps * 1e6);
+    }
+    arrival_micros[i] = t;
+  }
+
+  const uint32_t num_concepts = server->coordinator()->world().num_concepts();
+  const BatcherStats search_before = server->search_batcher() != nullptr
+                                         ? server->search_batcher()->stats()
+                                         : BatcherStats();
+
+  // Completion records are preallocated; each callback touches only its
+  // own slot plus the shared counters.
+  std::vector<double> latency_ms(requests, -1.0);
+  std::vector<int64_t> submitted_micros(requests, 0);
+  std::atomic<size_t> completed{0};
+  std::atomic<size_t> failed{0};
+  std::atomic<size_t> outstanding{0};
+
+  const int64_t start = NowMicros();
+  size_t shed = 0;
+  for (size_t i = 0; i < requests; ++i) {
+    // Open loop: wait until this request's scheduled arrival, regardless
+    // of how the previous ones are doing.
+    const int64_t due = start + arrival_micros[i];
+    int64_t now = NowMicros();
+    if (now < due) {
+      SystemClock()->SleepForMicros(due - now);
+      now = NowMicros();
+    }
+    UserQuery query;
+    query.text = "show me " + server->coordinator()->world().ConceptName(
+                                  static_cast<uint32_t>(i) % num_concepts);
+    submitted_micros[i] = now;
+    outstanding.fetch_add(1);
+    Status admitted = server->Submit(
+        sessions[i % num_sessions], std::move(query),
+        [i, &latency_ms, &submitted_micros, &completed, &failed,
+         &outstanding](Result<AnswerTurn> turn) {
+          if (turn.ok()) {
+            latency_ms[i] =
+                static_cast<double>(NowMicros() - submitted_micros[i]) / 1e3;
+            completed.fetch_add(1);
+          } else {
+            failed.fetch_add(1);
+          }
+          outstanding.fetch_sub(1);
+        });
+    if (!admitted.ok()) {
+      ++shed;
+      outstanding.fetch_sub(1);
+    }
+  }
+  while (outstanding.load() > 0) std::this_thread::yield();
+  out.wall_ms = static_cast<double>(NowMicros() - start) / 1e3;
+
+  out.completed = completed.load();
+  out.failed = failed.load();
+  out.shed = shed;
+  std::vector<double> completed_latencies;
+  completed_latencies.reserve(out.completed);
+  for (double l : latency_ms) {
+    if (l >= 0) completed_latencies.push_back(l);
+  }
+  out.p50_ms = Percentile(&completed_latencies, 0.50);
+  out.p95_ms = Percentile(&completed_latencies, 0.95);
+  out.p99_ms = Percentile(&completed_latencies, 0.99);
+
+  if (server->search_batcher() != nullptr) {
+    const BatcherStats search_after = server->search_batcher()->stats();
+    const uint64_t batches = search_after.batches - search_before.batches;
+    const uint64_t items = search_after.items - search_before.items;
+    out.mean_batch =
+        batches > 0
+            ? static_cast<double>(items) / static_cast<double>(batches)
+            : 0.0;
+  }
+
+  for (uint64_t session : sessions) {
+    (void)server->CloseSession(session);
+  }
+  return out;
+}
+
+void AddScenarioMetrics(bench::JsonReporter* report, const std::string& name,
+                        const ScenarioResult& r) {
+  report->AddMetric(name + "/requests", static_cast<double>(r.requests));
+  report->AddMetric(name + "/completed", static_cast<double>(r.completed));
+  report->AddMetric(name + "/shed", static_cast<double>(r.shed));
+  report->AddMetric(name + "/failed", static_cast<double>(r.failed));
+  report->AddMetric(name + "/p50_ms", r.p50_ms);
+  report->AddMetric(name + "/p95_ms", r.p95_ms);
+  report->AddMetric(name + "/p99_ms", r.p99_ms);
+  report->AddMetric(name + "/mean_batch_occupancy", r.mean_batch);
+}
+
+int Run(const bench::BenchArgs& args) {
+  const size_t corpus = bench::Scaled(4000, args.scale, 600);
+  const size_t steady_requests = bench::Scaled(240, args.scale, 40);
+  // Floor above the queue capacity: the burst must overrun the queue and
+  // demonstrate shedding at any --scale.
+  const size_t burst_requests = bench::Scaled(400, args.scale, 100);
+
+  bench::Banner("Serving-E10: concurrent front end, open-loop arrivals (N = " +
+                std::to_string(corpus) + ")");
+
+  MqaConfig config;
+  config.world.num_concepts = 16;
+  config.world.seed = 71;
+  config.corpus_size = corpus;
+  config.search.k = 5;
+  config.search.beam_width = 64;
+  config.observability.trace_turns = false;  // measure serving, not tracing
+  config.serving.num_workers = 4;
+  config.serving.queue_capacity = 64;
+  config.serving.enable_batching = true;
+  config.serving.max_batch = 8;
+  // Burst sheds must all be queue-full backpressure, so the report
+  // separates admission control from breaker behaviour.
+  config.serving.breaker_failure_threshold = 1 << 30;
+
+  auto server_or = Server::Create(config);
+  if (!server_or.ok()) {
+    std::fprintf(stderr, "%s\n", server_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<Server> server = std::move(server_or).Value();
+
+  // Scenario 1 — steady: Poisson arrivals well inside capacity. Expected
+  // shape: zero shedding, single-digit-ms tails.
+  const ScenarioResult steady =
+      RunScenario(server.get(), steady_requests, /*rate_qps=*/150.0,
+                  /*num_sessions=*/8, /*seed=*/73);
+
+  // Scenario 2 — burst: all requests arrive at once (rate 0). The queue
+  // fills, admission control sheds the excess with kResourceExhausted, and
+  // the accepted turns keep a bounded tail — overload costs throughput,
+  // never the latency of admitted work.
+  const ScenarioResult burst =
+      RunScenario(server.get(), burst_requests, /*rate_qps=*/0.0,
+                  /*num_sessions=*/8, /*seed=*/79);
+
+  bench::Table table({"scenario", "requests", "completed", "shed", "p50 ms",
+                      "p95 ms", "p99 ms", "mean batch"});
+  auto add_row = [&table](const std::string& name, const ScenarioResult& r) {
+    table.AddRow({name, std::to_string(r.requests),
+                  std::to_string(r.completed), std::to_string(r.shed),
+                  FormatDouble(r.p50_ms, 2), FormatDouble(r.p95_ms, 2),
+                  FormatDouble(r.p99_ms, 2), FormatDouble(r.mean_batch, 2)});
+  };
+  add_row("steady 150qps", steady);
+  add_row("burst", burst);
+  std::printf("\n");
+  table.Print();
+
+  const ServerStatsSnapshot stats = server->stats();
+  std::printf(
+      "\nserver totals: accepted=%llu completed=%llu shed_queue_full=%llu "
+      "shed_deadline=%llu\n",
+      static_cast<unsigned long long>(stats.accepted),
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.shed_queue_full),
+      static_cast<unsigned long long>(stats.shed_deadline));
+
+  if (!args.json_path.empty()) {
+    bench::JsonReporter report("bench_serving");
+    report.AddConfig("corpus", static_cast<double>(corpus));
+    report.AddConfig("workers",
+                     static_cast<double>(config.serving.num_workers));
+    report.AddConfig("queue_capacity",
+                     static_cast<double>(config.serving.queue_capacity));
+    report.AddConfig("max_batch",
+                     static_cast<double>(config.serving.max_batch));
+    report.AddConfig("scale", args.scale);
+    AddScenarioMetrics(&report, "steady", steady);
+    AddScenarioMetrics(&report, "burst", burst);
+    if (!report.WriteToFile(args.json_path)) return 1;
+  }
+
+  server->Shutdown();
+  return 0;
+}
+
+}  // namespace
+}  // namespace mqa
+
+int main(int argc, char** argv) {
+  return mqa::Run(mqa::bench::ParseBenchArgs(&argc, argv));
+}

@@ -26,13 +26,24 @@ std::string AnswerGenerator::ExtractiveAnswer(
 Result<std::string> AnswerGenerator::Generate(
     const std::string& query_text,
     const std::vector<RetrievedItem>& context) {
-  last_used_fallback_ = false;
-  last_failure_ = Status::OK();
+  GenerationOutcome outcome;
+  Result<std::string> answer =
+      GenerateTurn(query_text, context, &builder_, &outcome);
+  last_prompt_ = std::move(outcome.prompt);
+  last_used_fallback_ = outcome.used_fallback;
+  last_failure_ = outcome.failure;
+  return answer;
+}
+
+Result<std::string> AnswerGenerator::GenerateTurn(
+    const std::string& query_text, const std::vector<RetrievedItem>& context,
+    PromptBuilder* builder, GenerationOutcome* outcome) const {
+  *outcome = GenerationOutcome();
   std::string answer;
   if (llm_ != nullptr) {
-    last_prompt_ = builder_.Build(query_text, context);
+    outcome->prompt = builder->Build(query_text, context);
     LlmRequest request;
-    request.prompt = last_prompt_;
+    request.prompt = outcome->prompt;
     request.temperature = temperature_;
     Result<LlmResponse> response = llm_->Complete(request);
     if (response.ok()) {
@@ -40,8 +51,8 @@ Result<std::string> AnswerGenerator::Generate(
     } else if (response.status().IsRetryable()) {
       // Transient outage (breaker open, deadline, overload): degrade to
       // the extractive answer rather than failing the round.
-      last_used_fallback_ = true;
-      last_failure_ = response.status();
+      outcome->used_fallback = true;
+      outcome->failure = response.status();
       answer = ExtractiveAnswer(context, /*llm_down=*/true);
     } else {
       return response.status();
@@ -50,7 +61,7 @@ Result<std::string> AnswerGenerator::Generate(
     // Plain formatted listing: direct engagement with query execution.
     answer = ExtractiveAnswer(context, /*llm_down=*/false);
   }
-  builder_.AddTurn(query_text, answer);
+  builder->AddTurn(query_text, answer);
   return answer;
 }
 

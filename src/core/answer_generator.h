@@ -11,6 +11,15 @@
 
 namespace mqa {
 
+/// Side-channel outputs of one generation round (the prompt that was sent
+/// and the fallback disposition), returned explicitly by GenerateTurn so
+/// concurrent serving threads never share mutable generator state.
+struct GenerationOutcome {
+  std::string prompt;  ///< full prompt sent to the LLM (empty without LLM)
+  bool used_fallback = false;
+  Status failure = Status::OK();  ///< the failure behind the fallback
+};
+
 /// The Answer Generation component: assembles a retrieval-augmented prompt
 /// (query + dialogue history + retrieved context) and asks the configured
 /// LLM for a conversational reply. Without an LLM it falls back to a plain
@@ -33,6 +42,17 @@ class AnswerGenerator {
   /// the dialogue history.
   Result<std::string> Generate(const std::string& query_text,
                                const std::vector<RetrievedItem>& context);
+
+  /// Stateless flavour for the concurrent serving path: the dialogue
+  /// history lives in the caller-owned `builder` (one per session) and
+  /// the per-round telemetry in `outcome`, so concurrent calls with
+  /// distinct builders are safe — this object is only read. The turn is
+  /// recorded into `builder` exactly as Generate records into the
+  /// internal one. `builder` and `outcome` must be non-null.
+  Result<std::string> GenerateTurn(const std::string& query_text,
+                                   const std::vector<RetrievedItem>& context,
+                                   PromptBuilder* builder,
+                                   GenerationOutcome* outcome) const;
 
   void ClearHistory() { builder_.ClearHistory(); }
   size_t history_size() const { return builder_.history_size(); }

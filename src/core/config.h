@@ -1,6 +1,7 @@
 #ifndef MQA_CORE_CONFIG_H_
 #define MQA_CORE_CONFIG_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -60,6 +61,33 @@ struct ObservabilityOptions {
   Clock* clock = nullptr;
 };
 
+/// Knobs of the concurrent serving front end (src/server/): worker pool,
+/// admission-controlled request queue, overload circuit breaker and
+/// cross-query batching. Defaults give a small but real server; tests set
+/// `clock` to a MockClock for fully deterministic scheduling.
+struct ServingOptions {
+  size_t num_workers = 4;      ///< turn-executing worker threads (min 1)
+  size_t queue_capacity = 64;  ///< bounded request queue (admission control)
+  /// Per-turn deadline applied at admission when the query has none;
+  /// 0 = no default deadline.
+  double default_deadline_ms = 0.0;
+
+  // Cross-query batching inside the executor (encode + graph search).
+  bool enable_batching = true;
+  size_t max_batch = 8;              ///< flush when this many requests wait
+  double batch_flush_slack_ms = 1.0; ///< flush when deadline slack runs low
+
+  // Overload breaker at the admission door, fed only by overload signals
+  // (queue-full sheds and deadline expiries).
+  int breaker_failure_threshold = 8;
+  double breaker_open_ms = 500.0;
+  int breaker_half_open_successes = 2;
+
+  /// Non-owning clock driving deadlines, queue-wait accounting and the
+  /// breaker cool-down. Null = the real SystemClock.
+  Clock* clock = nullptr;
+};
+
 /// Everything the frontend's configuration panel edits, in one struct:
 /// knowledge base, embedding, weight learning, index, retrieval and LLM
 /// settings.
@@ -100,6 +128,9 @@ struct MqaConfig {
 
   // --- Observability (metrics + tracing) ---
   ObservabilityOptions observability;
+
+  // --- Serving (multi-session server + cross-query batching) ---
+  ServingOptions serving;
 
   uint64_t seed = 42;
 };

@@ -125,6 +125,30 @@ Result<MqaConfig> ParseMqaConfig(const std::vector<std::string>& lines) {
     } else if (key == "resilience.io_error_budget") {
       MQA_ASSIGN_OR_RETURN(config.index.disk.io_error_budget,
                            ParseUint(key, value));
+    } else if (key == "serving.num_workers") {
+      MQA_ASSIGN_OR_RETURN(uint64_t v, ParseUint(key, value));
+      config.serving.num_workers = static_cast<size_t>(v);
+    } else if (key == "serving.queue_capacity") {
+      MQA_ASSIGN_OR_RETURN(uint64_t v, ParseUint(key, value));
+      config.serving.queue_capacity = static_cast<size_t>(v);
+    } else if (key == "serving.default_deadline_ms") {
+      MQA_ASSIGN_OR_RETURN(float v, ParseFloat(key, value));
+      config.serving.default_deadline_ms = v;
+    } else if (key == "serving.enable_batching") {
+      MQA_ASSIGN_OR_RETURN(config.serving.enable_batching,
+                           ParseBool(key, value));
+    } else if (key == "serving.max_batch") {
+      MQA_ASSIGN_OR_RETURN(uint64_t v, ParseUint(key, value));
+      config.serving.max_batch = static_cast<size_t>(v);
+    } else if (key == "serving.batch_flush_slack_ms") {
+      MQA_ASSIGN_OR_RETURN(float v, ParseFloat(key, value));
+      config.serving.batch_flush_slack_ms = v;
+    } else if (key == "serving.breaker_threshold") {
+      MQA_ASSIGN_OR_RETURN(uint64_t v, ParseUint(key, value));
+      config.serving.breaker_failure_threshold = static_cast<int>(v);
+    } else if (key == "serving.breaker_open_ms") {
+      MQA_ASSIGN_OR_RETURN(float v, ParseFloat(key, value));
+      config.serving.breaker_open_ms = v;
     } else if (key == "observability.trace_turns") {
       MQA_ASSIGN_OR_RETURN(config.observability.trace_turns,
                            ParseBool(key, value));

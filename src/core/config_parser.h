@@ -43,6 +43,16 @@ namespace mqa {
 ///   world.adjective_dropout float
 ///   world.image_noise       float
 ///   world.text_noise        float
+///   serving.num_workers     uint
+///   serving.queue_capacity  uint
+///   serving.default_deadline_ms float
+///   serving.enable_batching bool
+///   serving.max_batch       uint
+///   serving.batch_flush_slack_ms float
+///   serving.breaker_threshold uint
+///   serving.breaker_open_ms float
+/// plus the `resilience.*` and `observability.*` knob groups (see
+/// config_parser.cc for the full key-by-key mapping).
 Result<MqaConfig> ParseMqaConfig(const std::vector<std::string>& lines);
 
 /// Convenience: splits `text` on newlines and parses.

@@ -159,6 +159,11 @@ Result<std::unique_ptr<Coordinator>> Coordinator::Create(
 }
 
 Result<AnswerTurn> Coordinator::Ask(const UserQuery& query) {
+  return AskWithState(query, nullptr);
+}
+
+Result<AnswerTurn> Coordinator::AskWithState(const UserQuery& query,
+                                             DialogueState* state) {
   MetricsRegistry::Global().GetCounter("coordinator/turns")->Increment();
   std::shared_ptr<Trace> trace;
   if (config_.observability.trace_turns) {
@@ -170,7 +175,7 @@ Result<AnswerTurn> Coordinator::Ask(const UserQuery& query) {
     std::optional<ScopedTrace> scoped_trace;
     if (trace != nullptr) scoped_trace.emplace(trace.get());
     Span root("coordinator/turn");
-    return RunTurn(query);
+    return RunTurn(query, state);
   }();
   if (!result.ok()) return result;
   AnswerTurn turn = std::move(result).Value();
@@ -186,7 +191,12 @@ Result<AnswerTurn> Coordinator::Ask(const UserQuery& query) {
   return turn;
 }
 
-Result<AnswerTurn> Coordinator::RunTurn(const UserQuery& query) {
+Result<AnswerTurn> Coordinator::RunTurn(const UserQuery& query,
+                                        DialogueState* state) {
+  // Dialogue state: the caller's per-session copy on the serving path,
+  // the coordinator's own single-conversation members otherwise.
+  ContextualQueryRewriter& rewriter =
+      state != nullptr ? state->rewriter : rewriter_;
   AnswerTurn turn;
   if (config_.enable_knowledge_base) {
     Timer timer;
@@ -195,7 +205,7 @@ Result<AnswerTurn> Coordinator::RunTurn(const UserQuery& query) {
     UserQuery effective = query;
     if (config_.rewrite_vague_queries && !query.text.empty()) {
       Span rewrite_span("coordinator/rewrite");
-      Result<std::string> rewritten = rewriter_.RewriteChecked(query.text);
+      Result<std::string> rewritten = rewriter.RewriteChecked(query.text);
       if (rewritten.ok()) {
         effective.text = std::move(rewritten).Value();
         if (effective.text != query.text) {
@@ -214,7 +224,7 @@ Result<AnswerTurn> Coordinator::RunTurn(const UserQuery& query) {
         return rewritten.status();
       }
     }
-    if (!query.text.empty()) rewriter_.ObserveTurn(query.text);
+    if (!query.text.empty()) rewriter.ObserveTurn(query.text);
     MQA_ASSIGN_OR_RETURN(QueryOutcome outcome,
                          executor_->Execute(effective, config_.search));
     for (const std::string& note : outcome.degradation) {
@@ -229,14 +239,26 @@ Result<AnswerTurn> Coordinator::RunTurn(const UserQuery& query) {
                   timer.ElapsedMillis());
   }
   Timer timer;
+  GenerationOutcome generation;
   {
     Span span("coordinator/answer");
-    MQA_ASSIGN_OR_RETURN(turn.answer,
-                         answer_generator_->Generate(query.text, turn.items));
+    if (state != nullptr) {
+      // Serving path: generate against the session's own prompt history
+      // (GenerateTurn is const and thread-safe across sessions).
+      MQA_ASSIGN_OR_RETURN(
+          turn.answer,
+          answer_generator_->GenerateTurn(query.text, turn.items,
+                                          &state->prompt, &generation));
+    } else {
+      MQA_ASSIGN_OR_RETURN(
+          turn.answer, answer_generator_->Generate(query.text, turn.items));
+      generation.used_fallback = answer_generator_->last_used_fallback();
+      generation.failure = answer_generator_->last_failure();
+    }
   }
-  if (answer_generator_->last_used_fallback()) {
+  if (generation.used_fallback) {
     turn.degradation_notes.push_back(
-        "LLM unavailable (" + answer_generator_->last_failure().message() +
+        "LLM unavailable (" + generation.failure.message() +
         "); served the extractive answer");
     monitor_.EmitDegraded(ComponentStage::kAnswerGeneration,
                           turn.degradation_notes.back(),

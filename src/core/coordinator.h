@@ -55,8 +55,31 @@ class Coordinator {
       const MqaConfig& config, KnowledgeBase kb, VectorStore store,
       std::vector<float> weights, std::istream* index_blob);
 
+  /// Per-conversation dialogue state, externalized so a serving layer can
+  /// keep one per session: the query rewriter's topical history and the
+  /// prompt builder's turn history. The coordinator's own Ask() keeps
+  /// using its internal (single-conversation) state.
+  struct DialogueState {
+    ContextualQueryRewriter rewriter;
+    PromptBuilder prompt;
+
+    void Clear() {
+      rewriter.Clear();
+      prompt.ClearHistory();
+    }
+  };
+
   /// Runs one QA round end to end.
   Result<AnswerTurn> Ask(const UserQuery& query);
+
+  /// Ask() against caller-owned dialogue state. With distinct `state`
+  /// objects this is safe to call from concurrent threads (the serving
+  /// path): all per-turn mutable state lives in `state`, and concurrent
+  /// framework access must be serialized by execution hooks (see
+  /// QueryExecutor::SetExecutionHooks; the Server installs batchers).
+  /// `state` must be non-null and externally serialized per conversation.
+  Result<AnswerTurn> AskWithState(const UserQuery& query,
+                                  DialogueState* state);
 
   /// Ingests one new multi-modal object while the system is live: the
   /// object enters the knowledge base, is encoded, and is linked into the
@@ -87,6 +110,8 @@ class Coordinator {
   }
   const BuildReport& build_report() const { return build_report_; }
   AnswerGenerator* answer_generator() { return answer_generator_.get(); }
+  /// Null when the knowledge base is disabled (LLM-only mode).
+  QueryExecutor* executor() { return executor_.get(); }
 
   /// Span tree of the offline build pipeline (null when
   /// observability.trace_build is off).
@@ -98,8 +123,9 @@ class Coordinator {
  private:
   Coordinator() = default;
 
-  /// The body of Ask(): runs under the turn's ambient trace.
-  Result<AnswerTurn> RunTurn(const UserQuery& query);
+  /// The body of Ask(): runs under the turn's ambient trace. A null
+  /// `state` uses the coordinator's single-conversation members.
+  Result<AnswerTurn> RunTurn(const UserQuery& query, DialogueState* state);
 
   MqaConfig config_;
   StatusMonitor monitor_;

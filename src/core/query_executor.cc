@@ -8,6 +8,29 @@
 
 namespace mqa {
 
+namespace {
+
+/// RAII bracket around one execution stage: tells the serving hooks which
+/// stage this thread is in (see ExecutionHooks::phase_begin).
+class PhaseScope {
+ public:
+  PhaseScope(const ExecutionHooks* hooks, ExecPhase phase)
+      : hooks_(hooks), phase_(phase) {
+    if (hooks_ != nullptr && hooks_->phase_begin) hooks_->phase_begin(phase_);
+  }
+  ~PhaseScope() {
+    if (hooks_ != nullptr && hooks_->phase_end) hooks_->phase_end(phase_);
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  const ExecutionHooks* const hooks_;
+  const ExecPhase phase_;
+};
+
+}  // namespace
+
 QueryExecutor::QueryExecutor(const KnowledgeBase* kb,
                              const EncoderSet* encoders,
                              RetrievalFramework* framework)
@@ -27,17 +50,26 @@ void QueryExecutor::EnableResilience(const RetryPolicy& retry, Clock* clock) {
   clock_ = clock;
 }
 
-Result<Vector> QueryExecutor::EncodeSlot(size_t slot,
-                                         const Payload& payload) const {
-  if (!resilience_) return encoders_->EncodeModality(slot, payload);
+Result<Vector> QueryExecutor::EncodeSlot(size_t slot, const Payload& payload,
+                                         int64_t deadline_micros) const {
+  const ExecutionHooks* hooks = hooks_.get();
+  auto encode_once = [&]() -> Result<Vector> {
+    if (hooks != nullptr && hooks->encode) {
+      return hooks->encode(slot, payload, deadline_micros);
+    }
+    return encoders_->EncodeModality(slot, payload);
+  };
+  if (!resilience_) return encode_once();
+  // The retry wraps the hook: a failed attempt re-enters the batcher as a
+  // fresh request and may coalesce with a different batch.
   Retrier retrier(encoder_retry_, clock_);
-  return retrier.Run<Vector>(
-      [&] { return encoders_->EncodeModality(slot, payload); });
+  return retrier.Run<Vector>(encode_once);
 }
 
 Result<RetrievalQuery> QueryExecutor::EncodeUserQuery(
     const UserQuery& query, std::vector<std::string>* degradation) const {
   Span span("query/encode");
+  PhaseScope phase(hooks_.get(), ExecPhase::kEncode);
   RetrievalQuery out;
   out.modalities.parts.resize(encoders_->num_modalities());
   out.weights = query.weight_override;
@@ -51,7 +83,7 @@ Result<RetrievalQuery> QueryExecutor::EncodeUserQuery(
   uint64_t dropped = 0;
   auto encode_into_slot = [&](size_t slot, const Payload& payload,
                               const char* label) -> Status {
-    Result<Vector> encoded = EncodeSlot(slot, payload);
+    Result<Vector> encoded = EncodeSlot(slot, payload, query.deadline_micros);
     if (encoded.ok()) {
       out.modalities.parts[slot] = std::move(encoded).Value();
       any = true;
@@ -133,6 +165,13 @@ Result<QueryOutcome> QueryExecutor::Execute(const UserQuery& query,
   Span span("query/execute");
   MetricsRegistry& metrics = MetricsRegistry::Global();
   metrics.GetCounter("query/executions")->Increment();
+  if (query.deadline_micros > 0) {
+    Clock* clock = clock_ != nullptr ? clock_ : SystemClock();
+    if (clock->NowMicros() >= query.deadline_micros) {
+      return Status::DeadlineExceeded(
+          "query deadline expired before execution");
+    }
+  }
   QueryOutcome outcome;
   MQA_ASSIGN_OR_RETURN(RetrievalQuery rq,
                        EncodeUserQuery(query, &outcome.degradation));
@@ -146,8 +185,16 @@ Result<QueryOutcome> QueryExecutor::Execute(const UserQuery& query,
   }
   {
     Span retrieve_span("query/retrieve");
-    MQA_ASSIGN_OR_RETURN(outcome.retrieval,
-                         framework_->Retrieve(rq, effective));
+    const ExecutionHooks* hooks = hooks_.get();
+    PhaseScope search_phase(hooks, ExecPhase::kSearch);
+    if (hooks != nullptr && hooks->search) {
+      MQA_ASSIGN_OR_RETURN(
+          outcome.retrieval,
+          hooks->search(rq, effective, query.deadline_micros));
+    } else {
+      MQA_ASSIGN_OR_RETURN(outcome.retrieval,
+                           framework_->Retrieve(rq, effective));
+    }
   }
   metrics.GetCounter("query/hops")
       ->Increment(outcome.retrieval.stats.hops);

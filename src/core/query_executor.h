@@ -1,6 +1,9 @@
 #ifndef MQA_CORE_QUERY_EXECUTOR_H_
 #define MQA_CORE_QUERY_EXECUTOR_H_
 
+#include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -25,6 +28,10 @@ struct UserQuery {
   /// Optional attribute constraint: only objects passing the predicate may
   /// be returned (e.g. a category filter from the configuration panel).
   std::function<bool(const Object&)> object_filter;
+  /// Absolute deadline in the executor clock's epoch (0 = none). Set by
+  /// the serving layer; the executor sheds expired queries and passes the
+  /// deadline to the batching hooks so they can flush on low slack.
+  int64_t deadline_micros = 0;
 };
 
 /// Retrieval output enriched with displayable descriptions.
@@ -34,6 +41,29 @@ struct QueryOutcome {
   /// Human-readable degradation notes (dropped modalities, partial disk
   /// results). Empty on a fully healthy round.
   std::vector<std::string> degradation;
+};
+
+/// The two execution stages a serving layer may intercept.
+enum class ExecPhase { kEncode, kSearch };
+
+/// Interception points for the serving layer's cross-query batching: when
+/// installed, every encoder call and every framework search of this
+/// executor is routed through the corresponding hook (which the server
+/// wires to a Batcher), and `phase_begin`/`phase_end` bracket each stage
+/// so the batcher knows which workers can still contribute requests.
+/// Unset members fall back to the direct (unhooked) path. All hooks must
+/// be thread-safe; the executor itself holds no mutable state per query,
+/// so with hooks installed Execute may be called concurrently.
+struct ExecutionHooks {
+  std::function<void(ExecPhase)> phase_begin;
+  std::function<void(ExecPhase)> phase_end;
+  std::function<Result<Vector>(size_t slot, const Payload& payload,
+                               int64_t deadline_micros)>
+      encode;
+  std::function<Result<RetrievalResult>(const RetrievalQuery& query,
+                                        const SearchParams& params,
+                                        int64_t deadline_micros)>
+      search;
 };
 
 /// The Query Execution component: encodes a user query into per-modality
@@ -54,8 +84,21 @@ class QueryExecutor {
   /// Execute return kUnavailable.
   void EnableResilience(const RetryPolicy& retry, Clock* clock = nullptr);
 
+  /// Installs (or clears, with null) the serving layer's batching hooks.
+  /// Not thread-safe against in-flight Execute calls: install before
+  /// serving starts.
+  void SetExecutionHooks(std::shared_ptr<const ExecutionHooks> hooks) {
+    hooks_ = std::move(hooks);
+  }
+
+  /// Overrides the clock used for deadline checks (and, when resilience
+  /// is on, encoder retry backoff). The serving layer installs its own
+  /// clock so queue deadlines and executor deadlines share an epoch.
+  void SetClock(Clock* clock) { clock_ = clock; }
+
   /// Executes one round. Fails when the query carries no usable modality
-  /// or references an unknown object.
+  /// or references an unknown object, and sheds with kDeadlineExceeded
+  /// when the query's deadline has already passed.
   Result<QueryOutcome> Execute(const UserQuery& query,
                                const SearchParams& params);
 
@@ -71,13 +114,16 @@ class QueryExecutor {
   /// First schema slot of the given type, or nullopt.
   std::optional<size_t> SlotOfType(ModalityType type) const;
 
-  /// One encoder call, retried under the resilience policy when enabled.
-  Result<Vector> EncodeSlot(size_t slot, const Payload& payload) const;
+  /// One encoder call (through the encode hook when installed), retried
+  /// under the resilience policy when enabled.
+  Result<Vector> EncodeSlot(size_t slot, const Payload& payload,
+                            int64_t deadline_micros) const;
 
   const KnowledgeBase* kb_;
   const EncoderSet* encoders_;
   RetrievalFramework* framework_;
 
+  std::shared_ptr<const ExecutionHooks> hooks_;
   bool resilience_ = false;
   RetryPolicy encoder_retry_;
   Clock* clock_ = nullptr;

@@ -26,6 +26,12 @@ class ModalityEncoder {
   virtual std::string name() const = 0;
 };
 
+/// One single-modality encode request, as batched by the serving layer.
+struct ModalityEncodeRequest {
+  size_t slot = 0;
+  Payload payload;
+};
+
 /// One encoder per modality slot — the "Vector Representation" component's
 /// multi-vector path. All simulated encoders embed into a shared
 /// (CLIP-aligned) space, which also enables joint-embedding fusion.
@@ -44,6 +50,14 @@ class EncoderSet {
 
   /// Encodes a single modality payload.
   Result<Vector> EncodeModality(size_t slot, const Payload& payload) const;
+
+  /// Batched flavour for the serving layer's cross-query batching: one
+  /// result per request, in order. Items are encoded independently, so
+  /// the outputs are bit-identical to per-item EncodeModality calls (the
+  /// batch amortizes dispatch, it never changes results) and one bad
+  /// request fails only its own slot.
+  std::vector<Result<Vector>> EncodeModalityBatch(
+      const std::vector<ModalityEncodeRequest>& batch) const;
 
   const ModalityEncoder& encoder(size_t slot) const {
     return *encoders_[slot];

@@ -10,7 +10,8 @@ namespace mqa {
 ResilientLlm::ResilientLlm(std::unique_ptr<LanguageModel> inner,
                            LlmResilienceConfig config, Clock* clock)
     : inner_(std::move(inner)),
-      retrier_(config.retry, clock),
+      retry_policy_(config.retry),
+      clock_(clock),
       breaker_(config.breaker, clock) {}
 
 Result<LlmResponse> ResilientLlm::Complete(const LlmRequest& request) {
@@ -27,8 +28,15 @@ Result<LlmResponse> ResilientLlm::Complete(const LlmRequest& request) {
   // One admitted call = one retry loop; the breaker sees its overall
   // outcome, so a burst of transient errors absorbed by retries counts as
   // one success, while an exhausted retry budget counts as one failure.
+  // The Retrier is per-call (it is cheap and not thread-safe), so
+  // concurrent serving threads never share backoff state.
+  Retrier retrier(retry_policy_, clock_);
   Result<LlmResponse> response =
-      retrier_.Run<LlmResponse>([&] { return inner_->Complete(request); });
+      retrier.Run<LlmResponse>([&] { return inner_->Complete(request); });
+  {
+    MutexLock lock(&mu_);
+    last_stats_ = retrier.stats();
+  }
   breaker_.Record(response.ok() ? Status::OK() : response.status());
   if (!response.ok()) metrics.GetCounter("llm/failures")->Increment();
   return response;

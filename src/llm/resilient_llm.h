@@ -7,6 +7,7 @@
 #include "common/circuit_breaker.h"
 #include "common/clock.h"
 #include "common/retry.h"
+#include "common/sync.h"
 #include "llm/language_model.h"
 
 namespace mqa {
@@ -24,6 +25,10 @@ struct LlmResilienceConfig {
 /// under a RetryPolicy (transient kUnavailable / kResourceExhausted /
 /// kDeadlineExceeded failures are retried with deterministic backoff), and
 /// bounded by the policy's per-attempt and overall deadlines.
+///
+/// Complete() is safe to call from concurrent serving threads: the breaker
+/// is internally synchronized, each call runs its own Retrier, and the
+/// last-call stats snapshot is taken under a lock.
 ///
 /// The decorator is transparent on success: with a healthy inner model the
 /// first attempt's response is returned verbatim, so disarmed-fault runs
@@ -43,15 +48,22 @@ class ResilientLlm : public LanguageModel {
   const CircuitBreaker& breaker() const { return breaker_; }
   BreakerState breaker_state() const { return breaker_.state(); }
 
-  /// Retry counters of the most recent Complete() call.
-  const RetryStats& last_retry_stats() const { return retrier_.stats(); }
+  /// Retry counters of the most recent Complete() call (by value: with
+  /// concurrent callers the "most recent" call is whichever finished last).
+  RetryStats last_retry_stats() const {
+    MutexLock lock(&mu_);
+    return last_stats_;
+  }
 
   const LanguageModel* inner() const { return inner_.get(); }
 
  private:
   std::unique_ptr<LanguageModel> inner_;
-  Retrier retrier_;
+  RetryPolicy retry_policy_;
+  Clock* clock_;  ///< null = SystemClock; drives per-call Retriers
   CircuitBreaker breaker_;
+  mutable Mutex mu_;
+  RetryStats last_stats_ MQA_GUARDED_BY(mu_);
 };
 
 }  // namespace mqa

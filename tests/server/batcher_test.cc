@@ -1,0 +1,296 @@
+#include "server/batcher.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace mqa {
+namespace {
+
+/// A batch function that doubles each input and remembers every batch it
+/// saw, so tests can assert exact batch compositions.
+class RecordingFn {
+ public:
+  std::vector<Result<int>> operator()(const std::vector<int>& batch) {
+    {
+      MutexLock lock(&mu_);
+      batches_.push_back(batch);
+    }
+    std::vector<Result<int>> out;
+    out.reserve(batch.size());
+    for (int v : batch) out.push_back(v * 2);
+    return out;
+  }
+
+  std::vector<std::vector<int>> batches() const {
+    MutexLock lock(&mu_);
+    return batches_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  std::vector<std::vector<int>> batches_ MQA_GUARDED_BY(mu_);
+};
+
+BatcherOptions Options(size_t max_batch, Clock* clock = nullptr,
+                       const std::string& name = "test") {
+  BatcherOptions options;
+  options.max_batch = max_batch;
+  options.clock = clock;
+  options.name = name;
+  return options;
+}
+
+TEST(BatcherTest, UnregisteredCallerFlushesImmediately) {
+  // With no Enter()'d workers the drain trigger (waiting >= active) holds
+  // as soon as one request is pending: direct callers transparently get
+  // unbatched semantics.
+  auto fn = std::make_shared<RecordingFn>();
+  Batcher<int, int> batcher(Options(8, nullptr, "unregistered"),
+                            [fn](const std::vector<int>& b) { return (*fn)(b); });
+  Result<int> r = batcher.Submit(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.Value(), 42);
+  BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.items, 1u);
+  EXPECT_EQ(stats.drain_flushes, 1u);
+  EXPECT_EQ(stats.max_occupancy, 1u);
+}
+
+TEST(BatcherTest, FlushesOnSize) {
+  // Main registers as a fourth (non-submitting) worker, so the drain
+  // trigger cannot fire while the three submitters trickle in; the third
+  // submission reaches max_batch and flushes all three in one batch.
+  auto fn = std::make_shared<RecordingFn>();
+  Batcher<int, int> batcher(Options(3, nullptr, "size"),
+                            [fn](const std::vector<int>& b) { return (*fn)(b); });
+  batcher.Enter();
+  std::vector<std::thread> threads;
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 3; ++i) {
+    threads.emplace_back([&batcher, &sum, i] {
+      batcher.Enter();
+      Result<int> r = batcher.Submit(i);
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(r.Value(), i * 2);
+      sum.fetch_add(r.Value());
+      batcher.Exit();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  batcher.Exit();
+  EXPECT_EQ(sum.load(), 12);
+  BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.items, 3u);
+  EXPECT_EQ(stats.size_flushes, 1u);
+  EXPECT_EQ(stats.max_occupancy, 3u);
+  ASSERT_EQ(fn->batches().size(), 1u);
+  EXPECT_EQ(fn->batches()[0].size(), 3u);
+}
+
+TEST(BatcherTest, FlushesOnDrainWhenAllWorkersWait) {
+  // Two workers park well below max_batch; once the main thread (the last
+  // non-waiting registrant) exits the stage, no further request can join
+  // and the drain trigger releases the two-item batch.
+  auto fn = std::make_shared<RecordingFn>();
+  Batcher<int, int> batcher(Options(8, nullptr, "drain"),
+                            [fn](const std::vector<int>& b) { return (*fn)(b); });
+  batcher.Enter();
+  std::vector<std::thread> threads;
+  for (int i = 1; i <= 2; ++i) {
+    threads.emplace_back([&batcher, i] {
+      batcher.Enter();
+      Result<int> r = batcher.Submit(i);
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(r.Value(), i * 2);
+      batcher.Exit();
+    });
+  }
+  // Wait (without touching the batcher's clock) until both requests are
+  // pending, then leave the stage: active drops to the waiting count.
+  while (batcher.waiting_callers() < 2) std::this_thread::yield();
+  batcher.Exit();
+  for (std::thread& t : threads) t.join();
+  BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.items, 2u);
+  EXPECT_EQ(stats.drain_flushes, 1u);
+  EXPECT_EQ(stats.max_occupancy, 2u);
+}
+
+TEST(BatcherTest, FlushesOnDeadlineSlack) {
+  // A parked request whose deadline slack runs out is released by the
+  // next event (here: a second submission) instead of waiting for the
+  // batch to fill.
+  MockClock clock;
+  auto fn = std::make_shared<RecordingFn>();
+  Batcher<int, int> batcher(Options(8, &clock, "slack"),
+                            [fn](const std::vector<int>& b) { return (*fn)(b); });
+  batcher.Enter();  // main: keeps the drain trigger from firing
+  std::thread waiter([&batcher, &clock] {
+    batcher.Enter();
+    // Deadline 5 ms out; flush_slack_ms = 1, so the slack trigger arms
+    // once the clock passes 4 ms.
+    Result<int> r = batcher.Submit(7, clock.NowMicros() + 5000);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.Value(), 14);
+    batcher.Exit();
+  });
+  while (batcher.waiting_callers() < 1) std::this_thread::yield();
+  clock.AdvanceMillis(4.5);
+  // This submission is the event that re-evaluates the triggers; the
+  // parked request is now within its slack, so both flush together.
+  Result<int> r = batcher.Submit(8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.Value(), 16);
+  waiter.join();
+  batcher.Exit();
+  BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.items, 2u);
+  EXPECT_EQ(stats.slack_flushes, 1u);
+  EXPECT_EQ(stats.max_occupancy, 2u);
+}
+
+TEST(BatcherTest, MaxBatchOneDisablesCoalescing) {
+  // The single-item fallback: every request runs alone even with many
+  // concurrent submitters.
+  auto fn = std::make_shared<RecordingFn>();
+  Batcher<int, int> batcher(Options(1, nullptr, "single"),
+                            [fn](const std::vector<int>& b) { return (*fn)(b); });
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&batcher, i] {
+      batcher.Enter();
+      Result<int> r = batcher.Submit(i);
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(r.Value(), i * 2);
+      batcher.Exit();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.items, 8u);
+  EXPECT_EQ(stats.batches, 8u);
+  EXPECT_EQ(stats.max_occupancy, 1u);
+  for (const std::vector<int>& batch : fn->batches()) {
+    EXPECT_EQ(batch.size(), 1u);
+  }
+}
+
+TEST(BatcherTest, ResponsesMatchRequestsPositionally) {
+  // Each submitter gets the response derived from its own request, no
+  // matter how the requests coalesced into batches.
+  auto fn = std::make_shared<RecordingFn>();
+  Batcher<int, int> batcher(Options(4, nullptr, "positional"),
+                            [fn](const std::vector<int>& b) { return (*fn)(b); });
+  batcher.Enter();
+  std::vector<std::thread> threads;
+  std::vector<int> results(4, -1);
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&batcher, &results, i] {
+      batcher.Enter();
+      Result<int> r = batcher.Submit(i * 100);
+      ASSERT_TRUE(r.ok());
+      results[static_cast<size_t>(i)] = r.Value();
+      batcher.Exit();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  batcher.Exit();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(results[static_cast<size_t>(i)], i * 200);
+  }
+}
+
+TEST(BatcherTest, ShortResponseVectorFailsOnlyUnansweredSlots) {
+  // A batch function that violates the one-response-per-request contract
+  // produces kInternal for the unanswered slots instead of hanging them.
+  Batcher<int, int> batcher(Options(8, nullptr, "short"),
+                            [](const std::vector<int>& batch) {
+                              std::vector<Result<int>> out;
+                              if (!batch.empty()) out.push_back(batch[0] * 2);
+                              return out;  // one response, however many requests
+                            });
+  batcher.Enter();
+  std::thread first([&batcher] {
+    batcher.Enter();
+    Result<int> r = batcher.Submit(5);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.Value(), 10);
+    batcher.Exit();
+  });
+  while (batcher.waiting_callers() < 1) std::this_thread::yield();
+  // Main (the second registered worker) submits: now every worker waits,
+  // so the drain trigger flushes [5, 6] as one batch.
+  Result<int> second = batcher.Submit(6);
+  first.join();
+  batcher.Exit();
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kInternal);
+}
+
+TEST(BatcherTest, PerItemErrorsStayWithTheirSlot) {
+  Batcher<int, int> batcher(Options(8, nullptr, "erritem"),
+                            [](const std::vector<int>& batch) {
+                              std::vector<Result<int>> out;
+                              for (int v : batch) {
+                                if (v < 0) {
+                                  out.push_back(
+                                      Status::InvalidArgument("negative"));
+                                } else {
+                                  out.push_back(v * 2);
+                                }
+                              }
+                              return out;
+                            });
+  batcher.Enter();
+  std::thread bad([&batcher] {
+    batcher.Enter();
+    Result<int> r = batcher.Submit(-1);
+    EXPECT_FALSE(r.ok());
+    batcher.Exit();
+  });
+  while (batcher.waiting_callers() < 1) std::this_thread::yield();
+  Result<int> good = batcher.Submit(4);  // drains [-1, 4] as one batch
+  bad.join();
+  batcher.Exit();
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.Value(), 8);
+}
+
+TEST(BatcherTest, BatchedEqualsUnbatched) {
+  // Equivalence: the same workload through a coalescing batcher and
+  // through a single-item batcher produces identical responses — the
+  // batch only amortizes dispatch, it never changes per-item results.
+  auto run = [](size_t max_batch) {
+    auto fn = std::make_shared<RecordingFn>();
+    Batcher<int, int> batcher(
+        Options(max_batch, nullptr, "equiv" + std::to_string(max_batch)),
+        [fn](const std::vector<int>& b) { return (*fn)(b); });
+    std::vector<int> results(12, 0);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 12; ++i) {
+      threads.emplace_back([&batcher, &results, i] {
+        batcher.Enter();
+        Result<int> r = batcher.Submit(i);
+        ASSERT_TRUE(r.ok());
+        results[static_cast<size_t>(i)] = r.Value();
+        batcher.Exit();
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    return results;
+  };
+  EXPECT_EQ(run(4), run(1));
+}
+
+}  // namespace
+}  // namespace mqa

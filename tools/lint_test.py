@@ -194,6 +194,75 @@ class LockOrderAuditTest(unittest.TestCase):
         self.assertIn("Store::log_mu_", errors[0])
 
 
+class ServingLockHierarchyTest(unittest.TestCase):
+    """Models the serving front end's lock hierarchy (see DESIGN.md
+    "Serving & batching"): Server::mu_ (session map) is released before a
+    turn runs, the worker then holds ServerSession::mu for the whole turn
+    and acquires Batcher::mu_ strictly inside it. The auditor must accept
+    that order and still catch a batch function reaching back into the
+    session lock (the reversal that would deadlock a flush leader against
+    a parked submitter)."""
+
+    SERVER_H = """
+        #ifndef MQA_SERVER_SERVER_H_
+        #define MQA_SERVER_SERVER_H_
+        namespace mqa {
+        class Server {
+         private:
+          Mutex mu_;
+        };
+        class ServerSession {
+         private:
+          Mutex mu MQA_ACQUIRED_BEFORE(Batcher::mu_);
+        };
+        class Batcher {
+         private:
+          Mutex mu_;
+        };
+        }  // namespace mqa
+        #endif  // MQA_SERVER_SERVER_H_
+    """
+
+    def test_turn_nesting_is_clean(self):
+        errors, _, nedges = lint_src({
+            "src/server/server.h": self.SERVER_H,
+            "src/server/server.cc": """
+                namespace mqa {
+                void Server::RunTurn() {
+                  MutexLock turn(&ServerSession::mu);
+                  MutexLock flush(&Batcher::mu_);
+                }
+                void Server::FindSession() {
+                  MutexLock map(&Server::mu_);
+                }
+                }  // namespace mqa
+            """,
+        }, lock_order_only=True)
+        self.assertGreaterEqual(nedges, 1)
+        self.assertEqual(errors, [])
+
+    def test_batch_fn_reaching_into_session_is_a_cycle(self):
+        errors, _, _ = lint_src({
+            "src/server/server.h": self.SERVER_H,
+            "src/server/server.cc": """
+                namespace mqa {
+                void Server::RunTurn() {
+                  MutexLock turn(&ServerSession::mu);
+                  MutexLock flush(&Batcher::mu_);
+                }
+                void Server::BadBatchFn() {
+                  MutexLock flush(&Batcher::mu_);
+                  MutexLock turn(&ServerSession::mu);
+                }
+                }  // namespace mqa
+            """,
+        }, lock_order_only=True)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("[lock-order]", errors[0])
+        self.assertIn("Batcher::mu_", errors[0])
+        self.assertIn("ServerSession::mu", errors[0])
+
+
 class RawMutexRuleTest(unittest.TestCase):
     def test_flags_std_mutex_outside_sync_h(self):
         errors, _, _ = lint_src({
