@@ -8,6 +8,7 @@
 #include "graph/index.h"
 #include "graph/index_factory.h"
 #include "learning/weight_learner.h"
+#include "shard/shard_options.h"
 #include "storage/world.h"
 
 namespace mqa {
@@ -114,6 +115,10 @@ struct MqaConfig {
 
   // --- Retrieval ---
   std::string framework = "must";  ///< "must" | "mr" | "je"
+  /// Fault-isolated sharded retrieval over `framework` (src/shard/):
+  /// partitioned corpus, fan-out with per-shard breakers, hedging and a
+  /// partial-result quorum. Off by default (single index, as before).
+  ShardOptions shard;
   SearchParams search;             ///< default k and beam width
   /// Resolve vague follow-ups ("show me more") against dialogue history
   /// before retrieval (the intelligent multi-modal search procedure).

@@ -149,6 +149,34 @@ Result<MqaConfig> ParseMqaConfig(const std::vector<std::string>& lines) {
     } else if (key == "serving.breaker_open_ms") {
       MQA_ASSIGN_OR_RETURN(float v, ParseFloat(key, value));
       config.serving.breaker_open_ms = v;
+    } else if (key == "shard.enable") {
+      MQA_ASSIGN_OR_RETURN(config.shard.enable, ParseBool(key, value));
+    } else if (key == "shard.num_shards") {
+      MQA_ASSIGN_OR_RETURN(uint64_t v, ParseUint(key, value));
+      config.shard.num_shards = static_cast<size_t>(v);
+    } else if (key == "shard.quorum") {
+      MQA_ASSIGN_OR_RETURN(uint64_t v, ParseUint(key, value));
+      config.shard.quorum = static_cast<size_t>(v);
+    } else if (key == "shard.partition") {
+      config.shard.partition = value;
+    } else if (key == "shard.hedge_percentile") {
+      MQA_ASSIGN_OR_RETURN(float v, ParseFloat(key, value));
+      config.shard.hedge_percentile = v;
+    } else if (key == "shard.hedge_min_samples") {
+      MQA_ASSIGN_OR_RETURN(uint64_t v, ParseUint(key, value));
+      config.shard.hedge_min_samples = static_cast<size_t>(v);
+    } else if (key == "shard.deadline_fraction") {
+      MQA_ASSIGN_OR_RETURN(float v, ParseFloat(key, value));
+      config.shard.deadline_fraction = v;
+    } else if (key == "shard.fanout_threads") {
+      MQA_ASSIGN_OR_RETURN(uint64_t v, ParseUint(key, value));
+      config.shard.fanout_threads = static_cast<size_t>(v);
+    } else if (key == "shard.breaker_threshold") {
+      MQA_ASSIGN_OR_RETURN(uint64_t v, ParseUint(key, value));
+      config.shard.breaker_failure_threshold = static_cast<int>(v);
+    } else if (key == "shard.breaker_open_ms") {
+      MQA_ASSIGN_OR_RETURN(float v, ParseFloat(key, value));
+      config.shard.breaker_open_ms = v;
     } else if (key == "observability.trace_turns") {
       MQA_ASSIGN_OR_RETURN(config.observability.trace_turns,
                            ParseBool(key, value));

@@ -9,6 +9,7 @@
 #include "llm/resilient_llm.h"
 #include "llm/sim_llm.h"
 #include "retrieval/must.h"
+#include "shard/sharded_retrieval.h"
 
 namespace mqa {
 
@@ -42,6 +43,34 @@ std::unique_ptr<LanguageModel> MaybeWrapLlm(std::unique_ptr<LanguageModel> llm,
   if (!r.enable || llm == nullptr) return llm;
   return std::make_unique<ResilientLlm>(std::move(llm), MakeLlmResilience(r),
                                         r.clock);
+}
+
+/// Builds the configured retrieval framework: the single-index path, or —
+/// with config.shard.enable — the fault-isolated sharded fan-out layer
+/// over per-shard instances of the same framework. The shard layer
+/// inherits the resilience clock unless it carries its own, so MockClock
+/// tests drive breaker cool-downs and deadline slices from one source.
+Result<std::unique_ptr<RetrievalFramework>> BuildFramework(
+    const MqaConfig& config, std::shared_ptr<const VectorStore> store,
+    std::vector<float> weights, BuildReport* report) {
+  if (config.shard.enable) {
+    ShardOptions options = config.shard;
+    if (options.clock == nullptr) options.clock = config.resilience.clock;
+    MQA_ASSIGN_OR_RETURN(
+        std::unique_ptr<ShardedRetrieval> sharded,
+        ShardedRetrieval::Create(config.framework, std::move(store),
+                                 std::move(weights), config.index, options,
+                                 report));
+    return std::unique_ptr<RetrievalFramework>(std::move(sharded));
+  }
+  MQA_ASSIGN_OR_RETURN(
+      std::unique_ptr<RetrievalFramework> fw,
+      CreateRetrievalFramework(config.framework, std::move(store),
+                               std::move(weights), config.index, report));
+  if (config.resilience.clock != nullptr) {
+    fw->SetClock(config.resilience.clock);
+  }
+  return fw;
 }
 
 }  // namespace
@@ -137,12 +166,11 @@ Result<std::unique_ptr<Coordinator>> Coordinator::Create(
     Span span("build/index");
     MQA_ASSIGN_OR_RETURN(
         c->framework_,
-        CreateRetrievalFramework(config.framework, c->represented_.store,
-                                 c->represented_.weights, config.index,
-                                 &c->build_report_));
+        BuildFramework(config, c->represented_.store, c->represented_.weights,
+                       &c->build_report_));
   }
   c->monitor_.Emit(ComponentStage::kIndexConstruction,
-                   "framework " + config.framework + ", index " +
+                   "framework " + c->framework_->name() + ", index " +
                        config.index.algorithm,
                    timer.ElapsedMillis());
 
@@ -315,7 +343,10 @@ Result<std::unique_ptr<Coordinator>> Coordinator::CreateFromState(
                        " rows) and weights");
 
   timer.Reset();
-  if (index_blob != nullptr && config.framework == "must") {
+  // The saved single-index blob cannot seed a sharded deployment (shards
+  // hold disjoint sub-indexes), so sharding always rebuilds.
+  if (index_blob != nullptr && config.framework == "must" &&
+      !config.shard.enable) {
     MQA_ASSIGN_OR_RETURN(
         std::unique_ptr<MustFramework> must,
         MustFramework::CreateFromSavedIndex(c->represented_.store,
@@ -328,9 +359,8 @@ Result<std::unique_ptr<Coordinator>> Coordinator::CreateFromState(
   } else {
     MQA_ASSIGN_OR_RETURN(
         c->framework_,
-        CreateRetrievalFramework(config.framework, c->represented_.store,
-                                 c->represented_.weights, config.index,
-                                 &c->build_report_));
+        BuildFramework(config, c->represented_.store, c->represented_.weights,
+                       &c->build_report_));
     c->monitor_.Emit(ComponentStage::kIndexConstruction,
                      "rebuilt index " + config.index.algorithm,
                      timer.ElapsedMillis());
@@ -392,9 +422,10 @@ Status Coordinator::SetFramework(const std::string& name) {
   }
   Timer timer;
   BuildReport report;
-  auto fw = CreateRetrievalFramework(name, represented_.store,
-                                     represented_.weights, config_.index,
-                                     &report);
+  MqaConfig switched = config_;
+  switched.framework = name;
+  auto fw = BuildFramework(switched, represented_.store, represented_.weights,
+                           &report);
   if (!fw.ok()) return fw.status();
   framework_ = std::move(fw).Value();
   build_report_ = report;

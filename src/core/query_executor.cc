@@ -175,6 +175,9 @@ Result<QueryOutcome> QueryExecutor::Execute(const UserQuery& query,
   QueryOutcome outcome;
   MQA_ASSIGN_OR_RETURN(RetrievalQuery rq,
                        EncodeUserQuery(query, &outcome.degradation));
+  // Deadline-aware frameworks (the sharded fan-out) slice their per-shard
+  // time budgets from the turn deadline.
+  rq.deadline_micros = query.deadline_micros;
   SearchParams effective = params;
   if (query.object_filter) {
     const KnowledgeBase* kb = kb_;
@@ -187,13 +190,24 @@ Result<QueryOutcome> QueryExecutor::Execute(const UserQuery& query,
     Span retrieve_span("query/retrieve");
     const ExecutionHooks* hooks = hooks_.get();
     PhaseScope search_phase(hooks, ExecPhase::kSearch);
-    if (hooks != nullptr && hooks->search) {
-      MQA_ASSIGN_OR_RETURN(
-          outcome.retrieval,
-          hooks->search(rq, effective, query.deadline_micros));
+    Result<RetrievalResult> retrieved =
+        (hooks != nullptr && hooks->search)
+            ? hooks->search(rq, effective, query.deadline_micros)
+            : framework_->Retrieve(rq, effective);
+    if (retrieved.ok()) {
+      outcome.retrieval = std::move(retrieved).Value();
+    } else if (resilience_ && retrieved.status().IsRetryable() &&
+               retrieved.status().code() != StatusCode::kDeadlineExceeded) {
+      // Transient retrieval outage (e.g. the shard quorum was missed):
+      // degrade to an answer without retrieved context instead of failing
+      // the round. Deadline expiries still propagate — the serving layer
+      // sheds those, and a late answer helps nobody.
+      outcome.degradation.push_back(
+          "retrieval unavailable (" + retrieved.status().message() +
+          "); answering without retrieved context");
+      outcome.retrieval = RetrievalResult{};
     } else {
-      MQA_ASSIGN_OR_RETURN(outcome.retrieval,
-                           framework_->Retrieve(rq, effective));
+      return retrieved.status();
     }
   }
   metrics.GetCounter("query/hops")
@@ -204,6 +218,15 @@ Result<QueryOutcome> QueryExecutor::Execute(const UserQuery& query,
     outcome.degradation.push_back(
         "disk index served partial (cache-only) results after " +
         std::to_string(outcome.retrieval.stats.io_errors) + " I/O errors");
+  }
+  if (outcome.retrieval.stats.shards_total > 0 &&
+      outcome.retrieval.stats.shards_ok <
+          outcome.retrieval.stats.shards_total) {
+    outcome.degradation.push_back(
+        "shard coverage " +
+        std::to_string(outcome.retrieval.stats.shards_ok) + "/" +
+        std::to_string(outcome.retrieval.stats.shards_total) +
+        ": results may be missing entries from unreachable shards");
   }
   if (!outcome.degradation.empty()) {
     metrics.GetCounter("query/degraded")->Increment();

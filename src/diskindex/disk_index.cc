@@ -229,10 +229,14 @@ Result<std::vector<Neighbor>> DiskGraphIndex::Search(
   TopK beam(beam_width);
   TopK admitted(params.k);
 
+  // The traversal counts into a local block; the caller's accumulator gets
+  // one SearchStats::Merge at the end (same rule the sharded fan-out uses).
+  SearchStats local;
+
   auto score = [&](uint32_t node, const char* page_data) {
     const NodeRecord rec = ReadRecord(node, page_data);
     const float d = weighted_.Exact(query, rec.vector);
-    if (stats != nullptr) ++stats->dist_comps;
+    ++local.dist_comps;
     visited[node] = true;
     known_dist[node] = d;
     frontier.push({d, node});
@@ -249,7 +253,7 @@ Result<std::vector<Neighbor>> DiskGraphIndex::Search(
     for (size_t i = 0; i < pivot_ids_.size(); ++i) {
       const float d =
           weighted_.Exact(query, pivot_vectors_.data() + i * dim_);
-      if (stats != nullptr) ++stats->dist_comps;
+      ++local.dist_comps;
       best_pivots.Push(d, pivot_ids_[i]);
     }
     for (const Neighbor& p : best_pivots.TakeSorted()) {
@@ -280,7 +284,7 @@ Result<std::vector<Neighbor>> DiskGraphIndex::Search(
     const Neighbor current = frontier.top();
     frontier.pop();
     if (beam.Full() && current.distance > beam.WorstDistance()) break;
-    if (stats != nullptr) ++stats->hops;
+    ++local.hops;
 
     const size_t page = node_to_slot_[current.id] / nodes_per_page_;
     const char* page_data = FetchPage(page, &io);
@@ -313,11 +317,9 @@ Result<std::vector<Neighbor>> DiskGraphIndex::Search(
   std::vector<Neighbor> results =
       params.filter ? admitted.TakeSorted() : beam.TakeSorted();
   if (results.size() > params.k) results.resize(params.k);
-  if (stats != nullptr) {
-    stats->io_errors += io.errors;
-    stats->partial =
-        stats->partial || io.cache_only || (results.empty() && io.errors > 0);
-  }
+  local.io_errors = io.errors;
+  local.partial = io.cache_only || (results.empty() && io.errors > 0);
+  if (stats != nullptr) stats->Merge(local);
   return results;
 }
 

@@ -35,6 +35,26 @@ struct SearchStats {
   /// results; the neighbors returned are still sorted and valid, but the
   /// traversal could not expand everything it wanted to.
   bool partial = false;
+  /// Shard coverage of a fanned-out query (sharded retrieval only; both
+  /// stay 0 on single-index searches). shards_ok < shards_total means some
+  /// shards' corpora are missing from the results — a coverage gap, which
+  /// is distinct from `partial` (an individual index truncating its own
+  /// traversal).
+  uint32_t shards_total = 0;
+  uint32_t shards_ok = 0;
+
+  /// Folds another stats block into this one: counters add, `partial`
+  /// ORs, shard coverage adds per side. The one merge rule shared by the
+  /// in-memory graph, the disk index and the sharded fan-out.
+  void Merge(const SearchStats& other) {
+    hops += other.hops;
+    dist_comps += other.dist_comps;
+    io_errors += other.io_errors;
+    partial = partial || other.partial;
+    shards_total += other.shards_total;
+    shards_ok += other.shards_ok;
+  }
+
   void Reset() { *this = SearchStats{}; }
 };
 

@@ -105,15 +105,13 @@ Result<std::vector<Neighbor>> GraphIndex::Search(const float* query,
   Span span("graph/search");
   if (params.k == 0) return Status::InvalidArgument("k must be > 0");
   if (graph_.num_nodes() == 0) return Status::FailedPrecondition("empty index");
-  // Counters are accumulated from per-query SearchStats at the end (one
-  // resolved-pointer add per query), keeping the traversal loop untouched.
+  // The traversal fills a fresh local stats block; global counters and the
+  // caller's accumulator are fed from it afterwards via SearchStats::Merge
+  // (one resolved-pointer add per query, traversal loop untouched).
   SearchStats local;
-  SearchStats* effective = stats != nullptr ? stats : &local;
-  const uint64_t hops_before = effective->hops;
-  const uint64_t comps_before = effective->dist_comps;
   std::vector<Neighbor> out =
       BeamSearch(graph_, dist_.get(), query, entry_points_, params.k,
-                 params.beam_width, effective, nullptr, params.filter);
+                 params.beam_width, &local, nullptr, params.filter);
   static Counter* const searches =
       MetricsRegistry::Global().GetCounter("graph/searches");
   static Counter* const hops =
@@ -121,8 +119,9 @@ Result<std::vector<Neighbor>> GraphIndex::Search(const float* query,
   static Counter* const dist_comps =
       MetricsRegistry::Global().GetCounter("graph/dist_comps");
   searches->Increment();
-  hops->Increment(effective->hops - hops_before);
-  dist_comps->Increment(effective->dist_comps - comps_before);
+  hops->Increment(local.hops);
+  dist_comps->Increment(local.dist_comps);
+  if (stats != nullptr) stats->Merge(local);
   return out;
 }
 

@@ -1,10 +1,12 @@
 #ifndef MQA_RETRIEVAL_FRAMEWORK_H_
 #define MQA_RETRIEVAL_FRAMEWORK_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/result.h"
 #include "common/topk.h"
 #include "graph/index.h"
@@ -22,6 +24,10 @@ namespace mqa {
 struct RetrievalQuery {
   MultiVector modalities;
   std::vector<float> weights;
+  /// Absolute deadline in the framework clock's epoch (0 = none). Flows
+  /// from UserQuery through the executor and batching hooks; the sharded
+  /// layer derives per-shard deadline slices from it.
+  int64_t deadline_micros = 0;
 };
 
 /// What a retrieval round returns.
@@ -55,6 +61,19 @@ class RetrievalFramework {
   /// geometry stays as built, as in the real system's query-time weight
   /// adjustment).
   virtual Status SetWeights(std::vector<float> weights) = 0;
+
+  /// Installs the time source for `RetrievalResult::latency_ms` and
+  /// deadline math (null = the real SystemClock). Tests install a
+  /// MockClock so injected latency spikes are visible in retrieval
+  /// timings; the sharded layer propagates its clock to every shard.
+  virtual void SetClock(Clock* clock) { clock_ = clock; }
+
+ protected:
+  /// The effective time source (never null).
+  Clock* clock() const { return clock_ != nullptr ? clock_ : SystemClock(); }
+
+ private:
+  Clock* clock_ = nullptr;
 };
 
 /// Copies one modality block of every row into a standalone store.

@@ -1,6 +1,5 @@
 #include "retrieval/je.h"
 
-#include "common/timer.h"
 #include "encoder/encoder.h"
 
 namespace mqa {
@@ -39,10 +38,12 @@ Result<RetrievalResult> JeFramework::Retrieve(const RetrievalQuery& query,
         "query embedding dimension does not match the joint space");
   }
   RetrievalResult result;
-  Timer timer;
+  // Clock-based timing: see MustFramework::Retrieve.
+  const int64_t start_micros = clock()->NowMicros();
   MQA_ASSIGN_OR_RETURN(result.neighbors,
                        index_->Search(joint.data(), params, &result.stats));
-  result.latency_ms = timer.ElapsedMillis();
+  result.latency_ms =
+      static_cast<double>(clock()->NowMicros() - start_micros) / 1e3;
   return result;
 }
 

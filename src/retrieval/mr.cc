@@ -2,7 +2,6 @@
 
 #include <unordered_set>
 
-#include "common/timer.h"
 #include "vector/distance.h"
 
 namespace mqa {
@@ -55,7 +54,8 @@ Result<RetrievalResult> MrFramework::Retrieve(const RetrievalQuery& query,
   }
 
   RetrievalResult result;
-  Timer timer;
+  // Clock-based timing: see MustFramework::Retrieve.
+  const int64_t start_micros = clock()->NowMicros();
 
   // Stage 1: independent per-modality searches.
   std::unordered_set<uint32_t> candidates;
@@ -94,7 +94,8 @@ Result<RetrievalResult> MrFramework::Retrieve(const RetrievalQuery& query,
     topk.Push(fused, id);
   }
   result.neighbors = topk.TakeSorted();
-  result.latency_ms = timer.ElapsedMillis();
+  result.latency_ms =
+      static_cast<double>(clock()->NowMicros() - start_micros) / 1e3;
   return result;
 }
 

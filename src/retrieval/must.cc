@@ -2,7 +2,6 @@
 
 #include <cstring>
 
-#include "common/timer.h"
 #include "graph/hnsw.h"
 #include "graph/pipeline.h"
 
@@ -150,10 +149,13 @@ Result<RetrievalResult> MustFramework::Retrieve(const RetrievalQuery& query,
   MQA_RETURN_NOT_OK(ApplyWeights(NormalizeWeights(std::move(w))));
 
   RetrievalResult result;
-  Timer timer;
+  // Measured through the injected Clock (not wall time) so MockClock tests
+  // and injected latency spikes show up in retrieval timings.
+  const int64_t start_micros = clock()->NowMicros();
   MQA_ASSIGN_OR_RETURN(result.neighbors,
                        index_->Search(flat.data(), params, &result.stats));
-  result.latency_ms = timer.ElapsedMillis();
+  result.latency_ms =
+      static_cast<double>(clock()->NowMicros() - start_micros) / 1e3;
   // Restore the build-time weights for subsequent callers.
   MQA_RETURN_NOT_OK(ApplyWeights(weights_));
   return result;

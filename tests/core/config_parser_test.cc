@@ -99,6 +99,35 @@ TEST(ConfigParserTest, ParsesServingKeys) {
   EXPECT_DOUBLE_EQ(defaults->serving.default_deadline_ms, 0.0);
 }
 
+TEST(ConfigParserTest, ParsesShardKeys) {
+  auto config = ParseMqaConfigText(
+      "shard.enable = true\n"
+      "shard.num_shards = 8\n"
+      "shard.quorum = 5\n"
+      "shard.partition = hash\n"
+      "shard.hedge_percentile = 99\n"
+      "shard.hedge_min_samples = 32\n"
+      "shard.deadline_fraction = 0.75\n"
+      "shard.fanout_threads = 2\n"
+      "shard.breaker_threshold = 3\n"
+      "shard.breaker_open_ms = 250\n");
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_TRUE(config->shard.enable);
+  EXPECT_EQ(config->shard.num_shards, 8u);
+  EXPECT_EQ(config->shard.quorum, 5u);
+  EXPECT_EQ(config->shard.partition, "hash");
+  EXPECT_DOUBLE_EQ(config->shard.hedge_percentile, 99.0);
+  EXPECT_EQ(config->shard.hedge_min_samples, 32u);
+  EXPECT_NEAR(config->shard.deadline_fraction, 0.75, 1e-6);
+  EXPECT_EQ(config->shard.fanout_threads, 2u);
+  EXPECT_EQ(config->shard.breaker_failure_threshold, 3);
+  EXPECT_DOUBLE_EQ(config->shard.breaker_open_ms, 250.0);
+  // Default: sharding off — the single-index path, exactly as before.
+  auto defaults = ParseMqaConfig({});
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_FALSE(defaults->shard.enable);
+}
+
 TEST(ConfigParserTest, RejectsUnknownKey) {
   auto config = ParseMqaConfigText("not_a_key = 5");
   EXPECT_FALSE(config.ok());

@@ -64,6 +64,40 @@ TEST(BeamSearchTest, StatsCountHopsAndDistances) {
   EXPECT_GT(stats.dist_comps, 0u);
 }
 
+TEST(SearchStatsTest, MergeAddsCountersAndOrsFlags) {
+  SearchStats a;
+  a.hops = 3;
+  a.dist_comps = 10;
+  a.io_errors = 1;
+  a.partial = false;
+  a.shards_total = 2;
+  a.shards_ok = 2;
+  SearchStats b;
+  b.hops = 4;
+  b.dist_comps = 5;
+  b.io_errors = 2;
+  b.partial = true;
+  b.shards_total = 1;
+  b.shards_ok = 0;
+  a.Merge(b);
+  EXPECT_EQ(a.hops, 7u);
+  EXPECT_EQ(a.dist_comps, 15u);
+  EXPECT_EQ(a.io_errors, 3u);
+  EXPECT_TRUE(a.partial);
+  EXPECT_EQ(a.shards_total, 3u);
+  EXPECT_EQ(a.shards_ok, 2u);
+  // Merging the empty stats is the identity.
+  SearchStats before = a;
+  a.Merge(SearchStats{});
+  EXPECT_EQ(a.hops, before.hops);
+  EXPECT_EQ(a.dist_comps, before.dist_comps);
+  EXPECT_TRUE(a.partial);
+  a.Reset();
+  EXPECT_EQ(a.hops, 0u);
+  EXPECT_EQ(a.shards_total, 0u);
+  EXPECT_FALSE(a.partial);
+}
+
 TEST(BeamSearchTest, EvaluatedCollectsScoredNodes) {
   VectorStore store = MakeClusteredStore(30, 4, 2, 5);
   AdjacencyGraph g(store.size());

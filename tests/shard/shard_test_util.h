@@ -1,0 +1,52 @@
+#ifndef MQA_TESTS_SHARD_SHARD_TEST_UTIL_H_
+#define MQA_TESTS_SHARD_SHARD_TEST_UTIL_H_
+
+#include <memory>
+#include <utility>
+
+#include "core/experiment.h"
+#include "shard/sharded_retrieval.h"
+
+namespace mqa::testing {
+
+/// A small, fast corpus shared by the shard tests (16-dim embeddings).
+inline ExperimentCorpus PrepareShardCorpus(uint64_t corpus_size = 600,
+                                           uint32_t num_concepts = 12,
+                                           uint64_t seed = 11) {
+  WorldConfig wc;
+  wc.num_concepts = num_concepts;
+  wc.latent_dim = 16;
+  wc.raw_image_dim = 32;
+  wc.seed = seed;
+  auto corpus = MakeExperimentCorpus(wc, corpus_size, "sim-clip", 16,
+                                     /*learn_weights=*/true, 500);
+  if (!corpus.ok()) return ExperimentCorpus{};
+  return std::move(corpus).Value();
+}
+
+/// Exact search: brute-force single index — the oracle the sharded merge
+/// is compared against.
+inline IndexConfig BruteForceIndex() {
+  IndexConfig config;
+  config.algorithm = "bruteforce";
+  return config;
+}
+
+inline IndexConfig SmallGraphIndex() {
+  IndexConfig config;
+  config.algorithm = "mqa-hybrid";
+  config.graph.max_degree = 16;
+  return config;
+}
+
+inline Result<std::unique_ptr<ShardedRetrieval>> MakeSharded(
+    const ExperimentCorpus& corpus, const ShardOptions& options,
+    const IndexConfig& index_config, const std::string& framework = "must") {
+  return ShardedRetrieval::Create(framework, corpus.represented.store,
+                                  corpus.represented.weights, index_config,
+                                  options);
+}
+
+}  // namespace mqa::testing
+
+#endif  // MQA_TESTS_SHARD_SHARD_TEST_UTIL_H_

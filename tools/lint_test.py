@@ -263,6 +263,73 @@ class ServingLockHierarchyTest(unittest.TestCase):
         self.assertIn("ServerSession::mu", errors[0])
 
 
+class ShardLockHierarchyTest(unittest.TestCase):
+    """Models the sharded fan-out's lock discipline (see DESIGN.md
+    "Sharded retrieval, hedging & quorum"): the per-query FanoutState
+    mutex is a leaf — a shard task takes it only after all retrieval work
+    (including the shard's CircuitBreaker mutex) is done. The auditor must
+    accept breaker-then-completion nesting in separate scopes and catch a
+    shard task holding the completion mutex while recording into the
+    breaker (the reversal that would deadlock the fan-out wait against a
+    breaker transition callback)."""
+
+    SHARD_H = """
+        #ifndef MQA_SHARD_SHARDED_RETRIEVAL_H_
+        #define MQA_SHARD_SHARDED_RETRIEVAL_H_
+        namespace mqa {
+        class CircuitBreaker {
+         private:
+          Mutex mu_;
+        };
+        class FanoutState {
+         private:
+          Mutex mu;
+        };
+        }  // namespace mqa
+        #endif  // MQA_SHARD_SHARDED_RETRIEVAL_H_
+    """
+
+    def test_leaf_completion_mutex_is_clean(self):
+        errors, _, nedges = lint_src({
+            "src/shard/sharded_retrieval.h": self.SHARD_H,
+            "src/shard/sharded_retrieval.cc": """
+                namespace mqa {
+                void ShardedRetrieval::RunShardAttempt() {
+                  {
+                    MutexLock record(&CircuitBreaker::mu_);
+                  }
+                  MutexLock done(&FanoutState::mu);
+                }
+                void ShardedRetrieval::Retrieve() {
+                  MutexLock wait(&FanoutState::mu);
+                }
+                }  // namespace mqa
+            """,
+        }, lock_order_only=True)
+        self.assertEqual(errors, [])
+
+    def test_breaker_under_completion_mutex_is_a_cycle(self):
+        errors, _, _ = lint_src({
+            "src/shard/sharded_retrieval.h": self.SHARD_H,
+            "src/shard/sharded_retrieval.cc": """
+                namespace mqa {
+                void ShardedRetrieval::GoodOrder() {
+                  MutexLock record(&CircuitBreaker::mu_);
+                  MutexLock done(&FanoutState::mu);
+                }
+                void ShardedRetrieval::BadShardTask() {
+                  MutexLock done(&FanoutState::mu);
+                  MutexLock record(&CircuitBreaker::mu_);
+                }
+                }  // namespace mqa
+            """,
+        }, lock_order_only=True)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("[lock-order]", errors[0])
+        self.assertIn("FanoutState::mu", errors[0])
+        self.assertIn("CircuitBreaker::mu_", errors[0])
+
+
 class RawMutexRuleTest(unittest.TestCase):
     def test_flags_std_mutex_outside_sync_h(self):
         errors, _, _ = lint_src({
