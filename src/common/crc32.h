@@ -1,0 +1,17 @@
+#ifndef MQA_COMMON_CRC32_H_
+#define MQA_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mqa {
+
+/// CRC-32 (ISO-HDLC polynomial 0xEDB88320, the zlib/PNG variant) over a
+/// byte range. `seed` chains partial computations: Crc32(b, n2, Crc32(a,
+/// n1)) == Crc32(concat(a, b)). Used to frame WAL records so recovery can
+/// tell a torn tail from a valid one.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace mqa
+
+#endif  // MQA_COMMON_CRC32_H_

@@ -72,7 +72,8 @@ size_t FaultInjector::CountArmedLocked() const {
   return n;
 }
 
-Status FaultInjector::CheckSlow(std::string_view point) {
+Status FaultInjector::CheckSlow(std::string_view point,
+                                double* partial_fraction) {
   double latency_ms = 0.0;
   Status injected = Status::OK();
   Clock* clock = nullptr;
@@ -102,6 +103,10 @@ Status FaultInjector::CheckSlow(std::string_view point) {
                           std::memory_order_relaxed);
     }
     latency_ms = state.spec.latency_ms;
+    if (partial_fraction != nullptr && state.spec.partial_fraction >= 0.0 &&
+        state.spec.partial_fraction <= 1.0) {
+      *partial_fraction = state.spec.partial_fraction;
+    }
     if (state.spec.code != StatusCode::kOk) {
       injected = Status::FromCode(state.spec.code,
                                   "[fault:" + std::string(point) + "] " +

@@ -38,6 +38,12 @@ struct FaultSpec {
   bool once = false;
   uint64_t max_fires = 0;
   double latency_ms = 0.0;
+  /// Torn-write mode for byte-oriented points (WAL appends, snapshot
+  /// writes): when in [0, 1], CheckPartial reports this fraction so the
+  /// caller persists only that prefix of its payload before failing —
+  /// modeling a crash mid-write. Negative (default) = not a torn write;
+  /// plain Check() ignores this field entirely.
+  double partial_fraction = -1.0;
 };
 
 /// Per-point counters (for tests and the chaos demo).
@@ -95,7 +101,18 @@ class FaultInjector {
   /// otherwise applies the armed spec's effect (latency and/or error).
   Status Check(std::string_view point) {
     if (!enabled()) return Status::OK();
-    return CheckSlow(point);
+    return CheckSlow(point, nullptr);
+  }
+
+  /// Check() for byte-oriented operations that can tear: on a firing spec
+  /// with `partial_fraction` in [0, 1], *partial_fraction receives it (the
+  /// caller writes that prefix of its payload before surfacing the error);
+  /// otherwise *partial_fraction is set to -1. `partial_fraction` must be
+  /// non-null.
+  Status CheckPartial(std::string_view point, double* partial_fraction) {
+    *partial_fraction = -1.0;
+    if (!enabled()) return Status::OK();
+    return CheckSlow(point, partial_fraction);
   }
 
   /// Counters of a point (zeros when never armed).
@@ -112,7 +129,7 @@ class FaultInjector {
     bool armed = true;  ///< false once `once`/`max_fires` exhausted
   };
 
-  Status CheckSlow(std::string_view point);
+  Status CheckSlow(std::string_view point, double* partial_fraction);
 
   /// Number of points still armed.
   size_t CountArmedLocked() const MQA_REQUIRES(mu_);

@@ -89,6 +89,23 @@ struct ServingOptions {
   Clock* clock = nullptr;
 };
 
+/// Knobs of tombstone compaction (live deletion hygiene). Deletes mark
+/// objects as tombstoned — cheap, but dead graph nodes keep absorbing
+/// traversal work. Once the garbage ratio crosses the threshold, the
+/// coordinator compacts: the knowledge base, encoded store and index are
+/// rewritten without the dead entries. The compactor sits behind its own
+/// circuit breaker so a persistently failing compaction degrades to
+/// tombstone-only service instead of retry-storming.
+struct CompactionOptions {
+  bool auto_compact = true;     ///< compact opportunistically after deletes
+  double garbage_ratio = 0.25;  ///< trigger: deleted / total above this
+  /// Minimum spacing between auto-compactions (0 = none). Uses the
+  /// resilience clock, so MockClock tests control the cadence.
+  double min_interval_ms = 0.0;
+  int breaker_failure_threshold = 3;
+  double breaker_open_ms = 5000.0;
+};
+
 /// Everything the frontend's configuration panel edits, in one struct:
 /// knowledge base, embedding, weight learning, index, retrieval and LLM
 /// settings.
@@ -130,6 +147,9 @@ struct MqaConfig {
 
   // --- Resilience (fault handling in the online pipeline) ---
   ResilienceOptions resilience;
+
+  // --- Live deletion & tombstone compaction ---
+  CompactionOptions compaction;
 
   // --- Observability (metrics + tracing) ---
   ObservabilityOptions observability;

@@ -1,8 +1,11 @@
 #include "core/coordinator.h"
 
+#include "common/clock.h"
+#include "common/fault.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "common/tombstones.h"
 #include <istream>
 #include <optional>
 
@@ -79,6 +82,7 @@ Result<std::unique_ptr<Coordinator>> Coordinator::Create(
     const MqaConfig& config) {
   std::unique_ptr<Coordinator> c(new Coordinator());
   c->config_ = config;
+  c->InitCompaction();
 
   // Trace the offline pipeline: stage spans below nest under build/root,
   // and DAG stages dispatched to pool threads re-attach via the ambient
@@ -308,6 +312,7 @@ Result<std::unique_ptr<Coordinator>> Coordinator::CreateFromState(
   }
   std::unique_ptr<Coordinator> c(new Coordinator());
   c->config_ = config;
+  c->InitCompaction();
 
   if (config.observability.trace_build) {
     c->build_trace_ =
@@ -366,6 +371,15 @@ Result<std::unique_ptr<Coordinator>> Coordinator::CreateFromState(
                      timer.ElapsedMillis());
   }
 
+  // Re-apply persisted tombstones: deleted objects' rows are still in the
+  // store (ids stay dense until compaction), the framework just must not
+  // surface them.
+  for (uint64_t id = 0; id < c->kb_->size(); ++id) {
+    if (c->kb_->IsDeleted(id)) {
+      MQA_RETURN_NOT_OK(c->framework_->Remove(static_cast<uint32_t>(id)));
+    }
+  }
+
   std::unique_ptr<LanguageModel> llm;
   if (config.llm == "sim-llm") {
     llm = std::make_unique<SimLlm>(config.seed);
@@ -393,27 +407,183 @@ Result<uint64_t> Coordinator::IngestObject(Object object) {
     return Status::FailedPrecondition("knowledge base is disabled");
   }
   auto* must = dynamic_cast<MustFramework*>(framework_.get());
-  if (must == nullptr) {
+  auto* sharded = dynamic_cast<ShardedRetrieval*>(framework_.get());
+  if (must == nullptr && sharded == nullptr) {
     return Status::Unimplemented(
         "live ingestion requires the must framework; switch frameworks to "
         "rebuild instead");
   }
   // Check mutability before touching any state, so a refusal leaves the
   // knowledge base, store and index consistent.
-  if (!must->SupportsLiveIngestion()) {
+  if (must != nullptr && !must->SupportsLiveIngestion()) {
     return Status::Unimplemented(
         "the disk-resident index is immutable; rebuild to ingest");
+  }
+  if (sharded != nullptr && !sharded->SupportsLiveIngestion()) {
+    return Status::Unimplemented(
+        "sharded live ingestion requires must shards over mutable indexes");
   }
   Timer timer;
   MQA_ASSIGN_OR_RETURN(uint64_t id, kb_->Ingest(std::move(object)));
   MQA_ASSIGN_OR_RETURN(MultiVector mv, encoders_->EncodeObject(kb_->at(id)));
   MQA_RETURN_NOT_OK(represented_.store->AddMultiVector(mv).status());
   represented_.labels.push_back(kb_->at(id).concept_id);
-  MQA_RETURN_NOT_OK(must->IngestAppended(config_.index.graph));
+  if (sharded != nullptr) {
+    MQA_RETURN_NOT_OK(sharded->IngestAppended(config_.index.graph));
+  } else {
+    MQA_RETURN_NOT_OK(must->IngestAppended(config_.index.graph));
+  }
   monitor_.Emit(ComponentStage::kDataPreprocessing,
                 "ingested object #" + std::to_string(id) + " live",
                 timer.ElapsedMillis());
   return id;
+}
+
+Status Coordinator::RemoveObject(uint64_t id) {
+  if (!config_.enable_knowledge_base) {
+    return Status::FailedPrecondition("knowledge base is disabled");
+  }
+  if (framework_ == nullptr) {
+    return Status::FailedPrecondition("no retrieval framework configured");
+  }
+  if (id >= kb_->size()) {
+    return Status::NotFound("object id out of range: " + std::to_string(id));
+  }
+  Timer timer;
+  // The framework first (it validates bounds and double deletes against
+  // the same dense id space), then the knowledge base; both tombstone
+  // sets stay in lockstep because their preconditions are identical.
+  MQA_RETURN_NOT_OK(framework_->Remove(static_cast<uint32_t>(id)));
+  MQA_RETURN_NOT_OK(kb_->Remove(id));
+  monitor_.Emit(ComponentStage::kDataPreprocessing,
+                "removed object #" + std::to_string(id) + " (" +
+                    std::to_string(kb_->num_deleted()) + " tombstones, " +
+                    FormatDouble(100.0 * GarbageRatio(), 1) + "% garbage)",
+                timer.ElapsedMillis());
+  MaybeCompact();
+  return Status::OK();
+}
+
+double Coordinator::GarbageRatio() const {
+  return kb_ != nullptr ? kb_->GarbageRatio() : 0.0;
+}
+
+Status Coordinator::CompactNow() {
+  if (!config_.enable_knowledge_base) {
+    return Status::FailedPrecondition("knowledge base is disabled");
+  }
+  if (kb_->num_deleted() == 0) return Status::OK();
+  Span span("compaction/run");
+  Timer timer;
+  const uint64_t evicted = kb_->num_deleted();
+
+  // Plan: one remap (old id -> dense new id) drives the knowledge base,
+  // store and index rewrites identically, keeping the three id-aligned.
+  MQA_RETURN_NOT_OK(FaultInjector::Global().Check("compaction/step"));
+  std::vector<uint32_t> remap;
+  const uint32_t live = kb_->BuildRemap(&remap);
+  if (live == 0) {
+    return Status::FailedPrecondition(
+        "compaction would empty the corpus; refusing");
+  }
+
+  // Stage everything fallible off to the side; nothing commits until all
+  // of it succeeded, so a failure (injected or real) leaves the system
+  // serving exactly as before — with tombstones, but consistent.
+  MQA_RETURN_NOT_OK(FaultInjector::Global().Check("compaction/step"));
+  VectorStore staged(represented_.store->schema());
+  staged.Reserve(live);
+  for (uint32_t id = 0; id < represented_.store->size(); ++id) {
+    if (remap[id] == kTombstonedId) continue;
+    MQA_RETURN_NOT_OK(staged.Add(represented_.store->Row(id)).status());
+  }
+  KnowledgeBase compacted_kb = kb_->CompactLive(remap, live);
+
+  auto* must = dynamic_cast<MustFramework*>(framework_.get());
+  const bool in_place = must != nullptr && must->flat_graph_index() != nullptr;
+  MQA_RETURN_NOT_OK(FaultInjector::Global().Check("compaction/step"));
+  if (in_place) {
+    // Commit. The framework's distance computers read the store through a
+    // borrowed pointer, so rewriting *represented_.store in place keeps
+    // them valid; CompactTombstones then swaps in the spliced graph. Both
+    // steps were validated up front and do not fail in practice; an error
+    // here is surfaced so the durability layer can fail closed.
+    *represented_.store = std::move(staged);
+    MQA_RETURN_NOT_OK(
+        must->CompactTombstones(remap, live, config_.index.graph));
+  } else {
+    // Non-flat index kinds and non-MUST frameworks (including the sharded
+    // layer) rebuild over the compacted corpus; the new framework is
+    // complete before anything is committed.
+    auto new_store = std::make_shared<VectorStore>(std::move(staged));
+    BuildReport report;
+    MQA_ASSIGN_OR_RETURN(
+        std::unique_ptr<RetrievalFramework> rebuilt,
+        BuildFramework(config_, new_store, represented_.weights, &report));
+    represented_.store = std::move(new_store);
+    framework_ = std::move(rebuilt);
+    build_report_ = report;
+    executor_ = std::make_unique<QueryExecutor>(kb_.get(), encoders_.get(),
+                                                framework_.get());
+    if (config_.resilience.enable) {
+      executor_->EnableResilience(MakeEncoderRetry(config_.resilience),
+                                  config_.resilience.clock);
+    }
+  }
+  *kb_ = std::move(compacted_kb);
+  represented_.labels.clear();
+  represented_.labels.reserve(kb_->size());
+  for (const Object& obj : kb_->objects()) {
+    represented_.labels.push_back(obj.concept_id);
+  }
+  ++compactions_;
+  monitor_.Emit(ComponentStage::kIndexConstruction,
+                "compacted " + std::to_string(evicted) + " tombstones (" +
+                    std::to_string(live) + " live objects, " +
+                    (in_place ? "in-place splice" : "full rebuild") + ")",
+                timer.ElapsedMillis());
+  return Status::OK();
+}
+
+void Coordinator::InitCompaction() {
+  CircuitBreakerConfig bc;
+  bc.failure_threshold = config_.compaction.breaker_failure_threshold;
+  bc.open_duration_ms = config_.compaction.breaker_open_ms;
+  compaction_breaker_ =
+      std::make_unique<CircuitBreaker>(bc, config_.resilience.clock);
+}
+
+BreakerState Coordinator::compaction_breaker_state() const {
+  return compaction_breaker_ != nullptr ? compaction_breaker_->state()
+                                        : BreakerState::kClosed;
+}
+
+void Coordinator::MaybeCompact() {
+  const CompactionOptions& opt = config_.compaction;
+  if (!opt.auto_compact || kb_ == nullptr) return;
+  if (GarbageRatio() < opt.garbage_ratio) return;
+  Clock* clk = config_.resilience.clock != nullptr ? config_.resilience.clock
+                                                   : SystemClock();
+  const int64_t now = clk->NowMicros();
+  if (opt.min_interval_ms > 0.0 && last_compaction_micros_ > 0 &&
+      static_cast<double>(now - last_compaction_micros_) / 1e3 <
+          opt.min_interval_ms) {
+    return;
+  }
+  // The breaker turns a persistently failing compactor into a quiet
+  // degradation (tombstone-only service) instead of an attempt storm.
+  if (compaction_breaker_ != nullptr && !compaction_breaker_->Admit().ok()) {
+    return;
+  }
+  const Status st = CompactNow();
+  if (compaction_breaker_ != nullptr) compaction_breaker_->Record(st);
+  if (st.ok()) {
+    last_compaction_micros_ = now;
+  } else {
+    monitor_.EmitDegraded(ComponentStage::kIndexConstruction,
+                          "auto-compaction failed (" + st.message() +
+                              "); serving with tombstones");
+  }
 }
 
 Status Coordinator::SetFramework(const std::string& name) {

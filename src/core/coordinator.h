@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/circuit_breaker.h"
 #include "common/trace.h"
 #include "core/answer_generator.h"
 #include "core/config.h"
@@ -83,9 +84,33 @@ class Coordinator {
 
   /// Ingests one new multi-modal object while the system is live: the
   /// object enters the knowledge base, is encoded, and is linked into the
-  /// index incrementally. Returns its id. Only the MUST framework over a
-  /// mutable index supports this; others need SetFramework to rebuild.
+  /// index incrementally (routed to the least-loaded shard when sharding
+  /// is on). Returns its id. Only the MUST framework — plain or sharded —
+  /// over a mutable index supports this; others need SetFramework.
   Result<uint64_t> IngestObject(Object object);
+
+  /// Deletes one object while the system is live. The object is
+  /// tombstoned — gone from every subsequent retrieval immediately — and
+  /// physically evicted later by compaction. With
+  /// config.compaction.auto_compact, crossing the garbage-ratio threshold
+  /// triggers a best-effort compaction right here (guarded by the
+  /// compaction breaker; a failure degrades, never fails the delete).
+  Status RemoveObject(uint64_t id);
+
+  /// Fraction of the knowledge base that is tombstoned.
+  double GarbageRatio() const;
+
+  /// Physically evicts tombstones now: the knowledge base, encoded store
+  /// and index are rewritten without the deleted objects, and ids are
+  /// re-densified. MUST over a flat graph compacts in place (adjacency
+  /// splicing, no distance computations); every other framework rebuilds
+  /// its index over the compacted corpus. No-op when nothing is deleted.
+  Status CompactNow();
+
+  /// The compaction breaker's state, and how many compactions completed
+  /// (test/bench introspection).
+  BreakerState compaction_breaker_state() const;
+  uint64_t compactions() const { return compactions_; }
 
   /// Swaps the retrieval framework ("must"/"mr"/"je") over the already
   /// encoded corpus — the configuration panel's comparative switch.
@@ -127,6 +152,13 @@ class Coordinator {
   /// `state` uses the coordinator's single-conversation members.
   Result<AnswerTurn> RunTurn(const UserQuery& query, DialogueState* state);
 
+  /// Auto-compaction gate: threshold + interval throttle + breaker. Only
+  /// ever best-effort — failures surface as degraded status events.
+  void MaybeCompact();
+
+  /// Builds the compaction breaker from config (Create/CreateFromState).
+  void InitCompaction();
+
   MqaConfig config_;
   StatusMonitor monitor_;
   std::unique_ptr<World> world_;
@@ -139,6 +171,9 @@ class Coordinator {
   std::unique_ptr<QueryExecutor> executor_;
   std::unique_ptr<AnswerGenerator> answer_generator_;
   ContextualQueryRewriter rewriter_;
+  std::unique_ptr<CircuitBreaker> compaction_breaker_;
+  int64_t last_compaction_micros_ = 0;  ///< 0 = never compacted
+  uint64_t compactions_ = 0;
 };
 
 }  // namespace mqa

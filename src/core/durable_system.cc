@@ -1,0 +1,315 @@
+#include "core/durable_system.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/persistence.h"
+#include "storage/durable_file.h"
+#include "storage/knowledge_base.h"
+
+namespace mqa {
+
+namespace {
+
+constexpr char kCurrentFile[] = "CURRENT";
+constexpr char kWalFile[] = "wal.log";
+
+std::string PathJoin(const std::string& dir, const std::string& file) {
+  if (!dir.empty() && dir.back() == '/') return dir + file;
+  return dir + "/" + file;
+}
+
+std::string SnapshotName(uint64_t seq) {
+  return "snapshot-" + std::to_string(seq);
+}
+
+std::string EncodeRemovePayload(uint64_t id) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>((id >> (8 * i)) & 0xff);
+  }
+  return std::string(buf, sizeof(buf));
+}
+
+Result<uint64_t> DecodeRemovePayload(const std::string& payload) {
+  if (payload.size() != 8) {
+    return Status::IoError("malformed remove record payload");
+  }
+  uint64_t id = 0;
+  for (int i = 0; i < 8; ++i) {
+    id |= static_cast<uint64_t>(static_cast<unsigned char>(payload[i]))
+          << (8 * i);
+  }
+  return id;
+}
+
+/// Parses CURRENT: "<snapshot dir name>\n<last covered seq>\n".
+Status ParseCurrent(const std::string& text, std::string* snapshot,
+                    uint64_t* last_seq) {
+  const size_t nl = text.find('\n');
+  if (nl == std::string::npos) {
+    return Status::IoError("malformed CURRENT file");
+  }
+  *snapshot = text.substr(0, nl);
+  const std::string rest = Trim(text.substr(nl + 1));
+  if (snapshot->empty() || rest.empty()) {
+    return Status::IoError("malformed CURRENT file");
+  }
+  char* end = nullptr;
+  *last_seq = std::strtoull(rest.c_str(), &end, 10);
+  if (end == rest.c_str()) {
+    return Status::IoError("malformed CURRENT file: bad seq");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DurableSystem>> DurableSystem::Open(
+    const MqaConfig& config, const std::string& dir,
+    const DurabilityOptions& options) {
+  if (dir.empty()) {
+    return Status::InvalidArgument("durable directory path is empty");
+  }
+  if (options.wal_sync_every == 0) {
+    return Status::InvalidArgument("wal_sync_every must be >= 1");
+  }
+  Timer timer;
+  auto system = std::unique_ptr<DurableSystem>(new DurableSystem());
+  system->config_ = config;
+  // This layer owns the compaction schedule: every compaction must be
+  // bracketed by a checkpoint (it re-densifies ids, invalidating the ids
+  // inside older WAL records), so the coordinator must never compact on
+  // its own behind our back.
+  system->config_.compaction.auto_compact = false;
+  system->dir_ = dir;
+  system->options_ = options;
+
+  const std::string current_path = PathJoin(dir, kCurrentFile);
+  Result<std::string> current = ReadFileToString(current_path);
+  if (current.ok()) {
+    // --- Recover: last good snapshot + WAL tail. ---
+    std::string snapshot_name;
+    uint64_t snapshot_seq = 0;
+    MQA_RETURN_NOT_OK(
+        ParseCurrent(current.Value(), &snapshot_name, &snapshot_seq));
+    MQA_ASSIGN_OR_RETURN(
+        system->coordinator_,
+        LoadSystemStateWithConfig(system->config_,
+                                  PathJoin(dir, snapshot_name)));
+    system->report_.recovered = true;
+    system->report_.snapshot_seq = snapshot_seq;
+    system->checkpoint_seq_ = snapshot_seq;
+    system->applied_seq_ = snapshot_seq;
+
+    const std::string wal_path = PathJoin(dir, kWalFile);
+    Result<WalReadResult> wal = ReadWal(wal_path);
+    if (wal.ok()) {
+      system->report_.torn_wal_bytes = wal.Value().torn_bytes;
+      for (const WalRecord& record : wal.Value().records) {
+        // A crash between writing CURRENT and truncating the WAL leaves
+        // records the snapshot already covers; seq makes replay
+        // idempotent.
+        if (record.seq <= snapshot_seq) continue;
+        MQA_RETURN_NOT_OK(system->ReplayRecord(record));
+        system->applied_seq_ = record.seq;
+      }
+    } else if (wal.status().code() != StatusCode::kNotFound) {
+      return wal.status();
+    }
+    WalWriterOptions wal_options;
+    wal_options.sync_every = options.wal_sync_every;
+    wal_options.first_seq = system->applied_seq_ + 1;
+    MQA_ASSIGN_OR_RETURN(system->wal_,
+                         WalWriter::Open(wal_path, wal_options));
+  } else {
+    // --- Bootstrap: build fresh, then write the initial checkpoint. ---
+    MQA_ASSIGN_OR_RETURN(system->coordinator_,
+                         Coordinator::Create(system->config_));
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      return Status::IoError("cannot create durable directory " + dir +
+                             ": " + ec.message());
+    }
+    WalWriterOptions wal_options;
+    wal_options.sync_every = options.wal_sync_every;
+    MQA_ASSIGN_OR_RETURN(system->wal_,
+                         WalWriter::Open(PathJoin(dir, kWalFile),
+                                         wal_options));
+    MQA_RETURN_NOT_OK(system->Checkpoint());
+  }
+  system->report_.recovery_ms = timer.ElapsedMillis();
+  return system;
+}
+
+Status DurableSystem::ReplayRecord(const WalRecord& record) {
+  switch (record.type) {
+    case WalRecordType::kInsert: {
+      MQA_ASSIGN_OR_RETURN(Object object,
+                           DeserializeObject(record.payload));
+      MQA_RETURN_NOT_OK(coordinator_->IngestObject(std::move(object)).status());
+      ++report_.replayed_inserts;
+      return Status::OK();
+    }
+    case WalRecordType::kRemove: {
+      MQA_ASSIGN_OR_RETURN(const uint64_t id,
+                           DecodeRemovePayload(record.payload));
+      MQA_RETURN_NOT_OK(coordinator_->RemoveObject(id));
+      ++report_.replayed_removes;
+      return Status::OK();
+    }
+  }
+  return Status::IoError("unknown WAL record type in replay");
+}
+
+Status DurableSystem::CheckUsable() const {
+  if (broken_) {
+    return Status::FailedPrecondition(
+        "durable system is fail-stopped; reopen the directory to recover");
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> DurableSystem::Ingest(Object object) {
+  MQA_RETURN_NOT_OK(CheckUsable());
+  // Validate before logging: a record that deterministically fails to
+  // apply would also fail replay, bricking recovery.
+  MQA_RETURN_NOT_OK(coordinator_->kb().ValidateObject(object));
+  std::string payload;
+  SerializeObject(object, &payload);
+  Result<uint64_t> seq = wal_->Append(WalRecordType::kInsert, payload);
+  if (!seq.ok()) {
+    // Nothing was applied; but a torn write leaves the log tail unknown,
+    // in which case the writer fail-stops and so do we.
+    if (wal_->broken()) broken_ = true;
+    return seq.status();
+  }
+  Result<uint64_t> id = coordinator_->IngestObject(std::move(object));
+  if (!id.ok()) {
+    // The log says the insert happened; memory disagrees. Fail-stop —
+    // recovery will retry the apply from the log.
+    broken_ = true;
+    return id.status();
+  }
+  applied_seq_ = seq.Value();
+  return id;
+}
+
+Status DurableSystem::Remove(uint64_t id) {
+  MQA_RETURN_NOT_OK(CheckUsable());
+  if (id >= coordinator_->kb().size()) {
+    return Status::NotFound("object id out of range: " + std::to_string(id));
+  }
+  if (coordinator_->kb().IsDeleted(id)) {
+    return Status::NotFound("object " + std::to_string(id) +
+                            " is already deleted");
+  }
+  Result<uint64_t> seq =
+      wal_->Append(WalRecordType::kRemove, EncodeRemovePayload(id));
+  if (!seq.ok()) {
+    if (wal_->broken()) broken_ = true;
+    return seq.status();
+  }
+  const Status applied = coordinator_->RemoveObject(id);
+  if (!applied.ok()) {
+    broken_ = true;
+    return applied;
+  }
+  applied_seq_ = seq.Value();
+  return MaybeCompactAndCheckpoint();
+}
+
+Status DurableSystem::Flush() {
+  MQA_RETURN_NOT_OK(CheckUsable());
+  const Status st = wal_->Sync();
+  if (!st.ok() && wal_->broken()) broken_ = true;
+  return st;
+}
+
+Status DurableSystem::MaybeCompactAndCheckpoint() {
+  if (coordinator_->GarbageRatio() < options_.checkpoint_garbage_ratio) {
+    return Status::OK();
+  }
+  const Status compacted = coordinator_->CompactNow();
+  if (!compacted.ok()) {
+    // Nothing committed (CompactNow is error-atomic): keep serving with
+    // tombstones and try again after the next delete.
+    coordinator_->monitor().EmitDegraded(
+        ComponentStage::kIndexConstruction,
+        "durable compaction failed (" + compacted.message() +
+            "); serving with tombstones");
+    return Status::OK();
+  }
+  const Status checkpointed = Checkpoint();
+  if (!checkpointed.ok()) {
+    // Ids were just re-densified in memory but the snapshot + WAL on disk
+    // still describe the old id space. Any further logged mutation would
+    // carry post-compaction ids that replay cannot interpret — fail-stop.
+    // The mutation that triggered this is applied and logged, so its ack
+    // stands (OK); recovery from the old snapshot + full WAL is correct.
+    broken_ = true;
+    coordinator_->monitor().EmitDegraded(
+        ComponentStage::kIndexConstruction,
+        "checkpoint failed after compaction (" + checkpointed.message() +
+            "); mutations fail-stopped until reopen");
+  }
+  return Status::OK();
+}
+
+Status DurableSystem::Checkpoint() {
+  MQA_RETURN_NOT_OK(CheckUsable());
+  const std::string name = SnapshotName(applied_seq_);
+  MQA_RETURN_NOT_OK(
+      SaveSystemState(*coordinator_, PathJoin(dir_, name)));
+  // Publishing CURRENT is the commit point; it is atomic (temp + rename),
+  // so a crash leaves either the old snapshot or the new one live.
+  MQA_RETURN_NOT_OK(WriteFileAtomic(
+      PathJoin(dir_, kCurrentFile),
+      name + "\n" + std::to_string(applied_seq_) + "\n"));
+  checkpoint_seq_ = applied_seq_;
+  MQA_RETURN_NOT_OK(wal_->Truncate());
+
+  // Garbage-collect old snapshot directories, best effort: keep the live
+  // one plus up to keep_snapshots predecessors.
+  std::vector<uint64_t> old_seqs;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string fname = entry.path().filename().string();
+    if (fname.rfind("snapshot-", 0) != 0 || fname == name) continue;
+    char* end = nullptr;
+    const std::string digits = fname.substr(9);
+    const uint64_t seq = std::strtoull(digits.c_str(), &end, 10);
+    if (end != digits.c_str()) old_seqs.push_back(seq);
+  }
+  std::sort(old_seqs.begin(), old_seqs.end());
+  const size_t keep =
+      options_.keep_snapshots > 0
+          ? static_cast<size_t>(options_.keep_snapshots)
+          : 0;
+  while (old_seqs.size() > keep) {
+    std::filesystem::remove_all(PathJoin(dir_, SnapshotName(old_seqs.front())),
+                                ec);
+    old_seqs.erase(old_seqs.begin());
+  }
+  return Status::OK();
+}
+
+Status DurableSystem::CrashForTest() {
+  const Status st = wal_->CrashDiscardUnsynced();
+  broken_ = true;
+  return st;
+}
+
+uint64_t DurableSystem::last_durable_seq() const {
+  const uint64_t wal_synced =
+      wal_ != nullptr ? wal_->last_synced_seq() : 0;
+  return std::max(checkpoint_seq_, wal_synced);
+}
+
+}  // namespace mqa

@@ -1,0 +1,127 @@
+#ifndef MQA_CORE_DURABLE_SYSTEM_H_
+#define MQA_CORE_DURABLE_SYSTEM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/coordinator.h"
+#include "storage/wal.h"
+
+namespace mqa {
+
+/// Knobs of the crash-safe mutation layer.
+struct DurabilityOptions {
+  /// Group-commit width for the write-ahead log (see WalWriterOptions).
+  /// 1 = every mutation is fsynced before it is acknowledged.
+  size_t wal_sync_every = 1;
+  /// Compaction + checkpoint trigger: when the tombstone ratio crosses
+  /// this after a delete, the system compacts and immediately snapshots
+  /// (a compaction re-densifies ids, so it must never outlive the WAL it
+  /// invalidates — checkpointing right after keeps recovery correct).
+  double checkpoint_garbage_ratio = 0.25;
+  /// Old snapshot directories kept around after a checkpoint (the newest
+  /// is always kept; older ones are garbage-collected best-effort).
+  int keep_snapshots = 2;
+};
+
+/// What recovery did when Open() found an existing directory.
+struct RecoveryReport {
+  bool recovered = false;       ///< false = fresh bootstrap
+  uint64_t snapshot_seq = 0;    ///< last seq covered by the loaded snapshot
+  uint64_t replayed_inserts = 0;
+  uint64_t replayed_removes = 0;
+  uint64_t torn_wal_bytes = 0;  ///< trailing bytes discarded as torn
+  double recovery_ms = 0.0;
+};
+
+/// Crash-safe wrapper around a live Coordinator: every mutation (insert /
+/// delete) is appended to a write-ahead log before it is applied, and the
+/// whole system periodically checkpoints into an atomic snapshot
+/// directory. Reopening after a crash loads the last good snapshot and
+/// replays the WAL tail, so every acknowledged mutation survives.
+///
+/// On-disk layout under `dir`:
+///
+///   CURRENT           "snapshot-<seq>\n<seq>\n" — the live snapshot name
+///                     and the last mutation seq it covers
+///   snapshot-<seq>/   a SaveSystemState directory (atomic per file)
+///   wal.log           CRC-framed mutation records since that snapshot
+///
+/// Failure model: a WAL append or fsync failure rejects the mutation;
+/// once the writer reports itself broken (torn write, failed fsync) the
+/// system fail-stops mutations (`broken()`) — reads keep working, and
+/// Open()-ing the directory again recovers to a consistent state. The
+/// same fail-stop applies when a logged mutation fails to apply, or a
+/// checkpoint fails right after a compaction (the delete that triggered
+/// it is applied and logged, so its ack stands; only *further* mutations
+/// are refused): in both cases memory and disk have diverged, and
+/// recovery from disk is the only safe path.
+///
+/// Not thread-safe for mutations; queries go through coordinator() and
+/// follow its rules.
+class DurableSystem {
+ public:
+  /// Opens (or bootstraps) a durable system in `dir`. When `dir` holds a
+  /// previous incarnation (a CURRENT file), the system is recovered from
+  /// its last snapshot plus the WAL tail; otherwise the coordinator is
+  /// built fresh from `config` and an initial checkpoint is written.
+  /// Auto-compaction inside the coordinator is disabled — this layer owns
+  /// the compaction schedule so every compaction is bracketed by a
+  /// checkpoint.
+  static Result<std::unique_ptr<DurableSystem>> Open(
+      const MqaConfig& config, const std::string& dir,
+      const DurabilityOptions& options = {});
+
+  /// Logs and applies one insert; returns the new object id. The record
+  /// is durable once `last_durable_seq() >= seq` (immediately with
+  /// wal_sync_every == 1).
+  Result<uint64_t> Ingest(Object object);
+
+  /// Logs and applies one delete. May trigger a compaction + checkpoint
+  /// (see DurabilityOptions::checkpoint_garbage_ratio).
+  Status Remove(uint64_t id);
+
+  /// Durability barrier: fsyncs any unsynced WAL records (group commit).
+  Status Flush();
+
+  /// Snapshots the current state and truncates the WAL.
+  Status Checkpoint();
+
+  /// Test hook simulating a crash: unsynced WAL bytes are discarded and
+  /// the system refuses further mutations. Destroy and Open() again to
+  /// recover.
+  Status CrashForTest();
+
+  Coordinator* coordinator() { return coordinator_.get(); }
+  const RecoveryReport& recovery_report() const { return report_; }
+  /// Seq of the last mutation applied to the in-memory system.
+  uint64_t applied_seq() const { return applied_seq_; }
+  /// Seq up to which mutations are crash-durable (snapshot or fsynced WAL).
+  uint64_t last_durable_seq() const;
+  bool broken() const { return broken_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  DurableSystem() = default;
+
+  Status CheckUsable() const;
+  /// Compacts + checkpoints when the garbage ratio crosses the trigger.
+  Status MaybeCompactAndCheckpoint();
+  /// Replays one recovered WAL record onto the coordinator.
+  Status ReplayRecord(const WalRecord& record);
+
+  MqaConfig config_;
+  std::string dir_;
+  DurabilityOptions options_;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::unique_ptr<WalWriter> wal_;
+  uint64_t applied_seq_ = 0;     ///< last mutation seq applied in memory
+  uint64_t checkpoint_seq_ = 0;  ///< last seq covered by the live snapshot
+  RecoveryReport report_;
+  bool broken_ = false;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_CORE_DURABLE_SYSTEM_H_

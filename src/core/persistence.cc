@@ -1,11 +1,13 @@
 #include "core/persistence.h"
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 
 #include "common/string_util.h"
 #include "core/config_parser.h"
 #include "retrieval/must.h"
+#include "storage/durable_file.h"
 
 namespace mqa {
 
@@ -74,38 +76,40 @@ Status SaveSystemState(const Coordinator& coordinator,
     return Status::FailedPrecondition(
         "nothing to persist: the knowledge base is disabled");
   }
-  {
-    std::ofstream out(PathJoin(dir, "config.txt"));
-    if (!out) return Status::IoError("cannot write " + dir + "/config.txt");
-    out << MqaConfigToText(coordinator.config());
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create snapshot directory " + dir + ": " +
+                           ec.message());
   }
-  {
-    std::ofstream out(PathJoin(dir, "kb.bin"), std::ios::binary);
-    if (!out) return Status::IoError("cannot write " + dir + "/kb.bin");
-    MQA_RETURN_NOT_OK(coordinator.kb().Save(out));
-  }
-  {
-    std::ofstream out(PathJoin(dir, "store.bin"), std::ios::binary);
-    if (!out) return Status::IoError("cannot write " + dir + "/store.bin");
-    MQA_RETURN_NOT_OK(coordinator.store().Save(out));
-  }
-  {
-    std::ofstream out(PathJoin(dir, "weights.txt"));
-    if (!out) return Status::IoError("cannot write " + dir + "/weights.txt");
-    for (float w : coordinator.weights()) {
-      // %.9g round-trips any float exactly through text.
-      char buf[32];
-      std::snprintf(buf, sizeof(buf), "%.9g", w);
-      out << buf << "\n";
-    }
-  }
+  MQA_RETURN_NOT_OK(WriteFileAtomic(PathJoin(dir, "config.txt"),
+                                    MqaConfigToText(coordinator.config())));
+  MQA_RETURN_NOT_OK(
+      WriteFileAtomic(PathJoin(dir, "kb.bin"), [&](std::ostream& out) {
+        return coordinator.kb().Save(out);
+      }));
+  MQA_RETURN_NOT_OK(
+      WriteFileAtomic(PathJoin(dir, "store.bin"), [&](std::ostream& out) {
+        return coordinator.store().Save(out);
+      }));
+  MQA_RETURN_NOT_OK(
+      WriteFileAtomic(PathJoin(dir, "weights.txt"), [&](std::ostream& out) {
+        for (float w : coordinator.weights()) {
+          // %.9g round-trips any float exactly through text.
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%.9g", w);
+          out << buf << "\n";
+        }
+        return Status::OK();
+      }));
   // The index round-trips only for MUST over a flat graph.
   const Coordinator& c = coordinator;
   if (auto* must = dynamic_cast<const MustFramework*>(c.framework_const())) {
     if (const auto* graph = must->flat_graph_index()) {
-      std::ofstream out(PathJoin(dir, "index.bin"), std::ios::binary);
-      if (!out) return Status::IoError("cannot write " + dir + "/index.bin");
-      MQA_RETURN_NOT_OK(graph->Save(out));
+      MQA_RETURN_NOT_OK(
+          WriteFileAtomic(PathJoin(dir, "index.bin"), [&](std::ostream& out) {
+            return graph->Save(out);
+          }));
     }
   }
   return Status::OK();
@@ -121,6 +125,11 @@ Result<std::unique_ptr<Coordinator>> LoadSystemState(
                      std::istreambuf_iterator<char>());
     MQA_ASSIGN_OR_RETURN(config, ParseMqaConfigText(text));
   }
+  return LoadSystemStateWithConfig(config, dir);
+}
+
+Result<std::unique_ptr<Coordinator>> LoadSystemStateWithConfig(
+    const MqaConfig& config, const std::string& dir) {
   std::ifstream kb_in(PathJoin(dir, "kb.bin"), std::ios::binary);
   if (!kb_in) return Status::IoError("cannot read " + dir + "/kb.bin");
   MQA_ASSIGN_OR_RETURN(KnowledgeBase kb, KnowledgeBase::Load(kb_in));

@@ -20,7 +20,9 @@ namespace mqa {
 /// Only the MUST framework over a flat graph index ("kgraph", "nsg",
 /// "vamana", "mqa-hybrid") round-trips today; other index kinds rebuild on
 /// load (their build is either cheap, like bruteforce, or fast, like
-/// hnsw). The directory must exist.
+/// hnsw). The directory is created if missing, and every file is written
+/// atomically (temp file + fsync + rename): a crash mid-save leaves the
+/// previous snapshot intact, never a half-written one.
 Status SaveSystemState(const Coordinator& coordinator,
                        const std::string& dir);
 
@@ -29,6 +31,13 @@ Status SaveSystemState(const Coordinator& coordinator,
 /// encoded store, weights — and the index when available — are loaded
 /// from disk.
 Result<std::unique_ptr<Coordinator>> LoadSystemState(const std::string& dir);
+
+/// LoadSystemState with a caller-supplied config instead of the saved
+/// config.txt. The durable system uses this to reopen snapshots under the
+/// live configuration — preserving non-serializable settings (clocks,
+/// resilience options) that the text round-trip would drop.
+Result<std::unique_ptr<Coordinator>> LoadSystemStateWithConfig(
+    const MqaConfig& config, const std::string& dir);
 
 /// Serializes a config back into config-parser syntax (the subset of keys
 /// the parser understands; see config_parser.h).

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/timer.h"
+#include "common/tombstones.h"
 #include "graph/nn_descent.h"
 
 namespace mqa {
@@ -367,6 +368,47 @@ Status InsertIntoGraphIndex(GraphIndex* index, const VectorStore* store,
                    new_id);
   }
   return Status::OK();
+}
+
+Result<AdjacencyGraph> CompactAdjacency(const AdjacencyGraph& graph,
+                                        const std::vector<uint32_t>& remap,
+                                        uint32_t live_count,
+                                        uint32_t max_degree) {
+  if (remap.size() != graph.num_nodes()) {
+    return Status::InvalidArgument("remap size does not match graph");
+  }
+  if (live_count == 0) {
+    return Status::FailedPrecondition("cannot compact to an empty graph");
+  }
+  AdjacencyGraph compacted(live_count);
+  std::vector<bool> visited(graph.num_nodes(), false);
+  std::vector<uint32_t> queue;
+  for (uint32_t node = 0; node < graph.num_nodes(); ++node) {
+    const uint32_t new_id = remap[node];
+    if (new_id == kTombstonedId) continue;
+    // Splice: BFS through chains of dead neighbors; the first live node
+    // on every such path becomes a direct edge.
+    std::vector<uint32_t> selected;
+    queue.clear();
+    visited[node] = true;
+    for (uint32_t n : graph.neighbors(node)) queue.push_back(n);
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const uint32_t n = queue[head];
+      if (visited[n]) continue;
+      visited[n] = true;
+      if (remap[n] != kTombstonedId) {
+        selected.push_back(remap[n]);
+        if (selected.size() >= max_degree) break;
+      } else {
+        for (uint32_t next : graph.neighbors(n)) queue.push_back(next);
+      }
+    }
+    // Reset only the nodes this BFS touched (cheaper than a full clear).
+    visited[node] = false;
+    for (uint32_t n : queue) visited[n] = false;
+    compacted.SetNeighbors(new_id, std::move(selected));
+  }
+  return compacted;
 }
 
 }  // namespace mqa

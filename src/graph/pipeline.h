@@ -73,6 +73,20 @@ std::vector<std::string> GraphAlgorithms();
 Status InsertIntoGraphIndex(GraphIndex* index, const VectorStore* store,
                             uint32_t new_id, const GraphBuildConfig& config);
 
+/// Physically evicts tombstoned nodes from a navigation graph. `remap` maps
+/// old ids to new dense ids (kTombstonedId = deleted, as produced by
+/// TombstoneSet::BuildRemap). For every live node, edges into a deleted
+/// node are spliced through it transitively — the dead node's own (live)
+/// neighbors become direct edges, chains of dead nodes are followed — so
+/// paths that routed through evicted vertices survive. Per-node degree is
+/// capped at `max_degree` (splicing can only widen candidate sets; order
+/// keeps original neighbors first). Pure adjacency surgery: no distances
+/// are computed, which keeps compaction cheap relative to a rebuild.
+Result<AdjacencyGraph> CompactAdjacency(const AdjacencyGraph& graph,
+                                        const std::vector<uint32_t>& remap,
+                                        uint32_t live_count,
+                                        uint32_t max_degree);
+
 }  // namespace mqa
 
 #endif  // MQA_GRAPH_PIPELINE_H_

@@ -8,6 +8,7 @@
 
 #include "common/clock.h"
 #include "common/result.h"
+#include "common/tombstones.h"
 #include "common/topk.h"
 #include "graph/index.h"
 #include "graph/index_factory.h"
@@ -62,6 +63,47 @@ class RetrievalFramework {
   /// adjustment).
   virtual Status SetWeights(std::vector<float> weights) = 0;
 
+  /// Tombstones one corpus id: it stops appearing in results immediately,
+  /// while its graph node keeps navigating traffic until compaction
+  /// rewrites the index (deleting nodes eagerly would tear the navigation
+  /// graph's connectivity). Default: deletion unsupported.
+  virtual Status Remove(uint32_t id) {
+    (void)id;
+    return Status::Unimplemented("framework '" + name() +
+                                 "' does not support deletion");
+  }
+
+  size_t num_tombstones() const { return tombstones_.count(); }
+
+ protected:
+  /// Bounds- and double-delete-checked tombstoning against the corpus
+  /// size; concrete frameworks call this from their Remove override.
+  Status MarkRemoved(uint32_t id, uint64_t corpus_size) {
+    return tombstones_.Mark(id, corpus_size);
+  }
+
+  /// Composes the caller's filter with the tombstone check. Passes
+  /// `params` through untouched when nothing is deleted, so the common
+  /// path allocates no std::function.
+  SearchParams WithoutTombstones(const SearchParams& params) const {
+    if (!tombstones_.any()) return params;
+    SearchParams filtered = params;
+    const TombstoneSet* dead = &tombstones_;
+    if (params.filter) {
+      SearchFilter user = params.filter;
+      filtered.filter = [dead, user](uint32_t id) {
+        return !dead->IsDeleted(id) && user(id);
+      };
+    } else {
+      filtered.filter = [dead](uint32_t id) { return !dead->IsDeleted(id); };
+    }
+    return filtered;
+  }
+
+  void ClearTombstones() { tombstones_.Clear(); }
+  const TombstoneSet& tombstones() const { return tombstones_; }
+
+ public:
   /// Installs the time source for `RetrievalResult::latency_ms` and
   /// deadline math (null = the real SystemClock). Tests install a
   /// MockClock so injected latency spikes are visible in retrieval
@@ -74,6 +116,7 @@ class RetrievalFramework {
 
  private:
   Clock* clock_ = nullptr;
+  TombstoneSet tombstones_;
 };
 
 /// Copies one modality block of every row into a standalone store.

@@ -40,8 +40,10 @@ Result<RetrievalResult> JeFramework::Retrieve(const RetrievalQuery& query,
   RetrievalResult result;
   // Clock-based timing: see MustFramework::Retrieve.
   const int64_t start_micros = clock()->NowMicros();
-  MQA_ASSIGN_OR_RETURN(result.neighbors,
-                       index_->Search(joint.data(), params, &result.stats));
+  const SearchParams effective = WithoutTombstones(params);
+  MQA_ASSIGN_OR_RETURN(
+      result.neighbors,
+      index_->Search(joint.data(), effective, &result.stats));
   result.latency_ms =
       static_cast<double>(clock()->NowMicros() - start_micros) / 1e3;
   return result;
@@ -51,6 +53,10 @@ Status JeFramework::SetWeights(std::vector<float> weights) {
   (void)weights;
   return Status::Unimplemented(
       "joint embedding fuses modalities with fixed weights");
+}
+
+Status JeFramework::Remove(uint32_t id) {
+  return MarkRemoved(id, joint_store_->size());
 }
 
 }  // namespace mqa

@@ -29,6 +29,9 @@ class JeFramework : public RetrievalFramework {
   /// JE has no tunable modality weights; always fails.
   Status SetWeights(std::vector<float> weights) override;
 
+  /// Tombstones `id` in the joint index.
+  Status Remove(uint32_t id) override;
+
  private:
   JeFramework() = default;
 

@@ -57,9 +57,11 @@ Result<RetrievalResult> MrFramework::Retrieve(const RetrievalQuery& query,
   // Clock-based timing: see MustFramework::Retrieve.
   const int64_t start_micros = clock()->NowMicros();
 
-  // Stage 1: independent per-modality searches.
+  // Stage 1: independent per-modality searches. The tombstone filter is
+  // applied here (per stream) so a deleted object never even reaches the
+  // merge stage.
   std::unordered_set<uint32_t> candidates;
-  SearchParams per_modality = params;
+  SearchParams per_modality = WithoutTombstones(params);
   per_modality.k = params.k * candidate_factor_;
   per_modality.beam_width =
       std::max(params.beam_width, per_modality.k);
@@ -105,6 +107,10 @@ Status MrFramework::SetWeights(std::vector<float> weights) {
   }
   weights_ = NormalizeWeights(std::move(weights));
   return Status::OK();
+}
+
+Status MrFramework::Remove(uint32_t id) {
+  return MarkRemoved(id, corpus_->size());
 }
 
 }  // namespace mqa

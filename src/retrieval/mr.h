@@ -30,6 +30,9 @@ class MrFramework : public RetrievalFramework {
   const std::vector<float>& weights() const override { return weights_; }
   Status SetWeights(std::vector<float> weights) override;
 
+  /// Tombstones `id` across every per-modality stream.
+  Status Remove(uint32_t id) override;
+
  private:
   MrFramework() = default;
 

@@ -1,5 +1,6 @@
 #include "retrieval/must.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "graph/hnsw.h"
@@ -59,6 +60,7 @@ Result<std::unique_ptr<MustFramework>> MustFramework::Create(
   std::unique_ptr<MustFramework> fw(new MustFramework());
   fw->corpus_ = std::move(corpus);
   fw->weights_ = std::move(weights);
+  fw->pruning_ = enable_pruning;
   MQA_ASSIGN_OR_RETURN(fw->index_,
                        CreateIndex(index_config, fw->corpus_.get(),
                                    std::move(dist), report));
@@ -90,6 +92,7 @@ Result<std::unique_ptr<MustFramework>> MustFramework::CreateFromSavedIndex(
   std::unique_ptr<MustFramework> fw(new MustFramework());
   fw->corpus_ = std::move(corpus);
   fw->weights_ = std::move(weights);
+  fw->pruning_ = enable_pruning;
   fw->index_ = std::move(index);
   fw->dist_ = dist_raw;
   return fw;
@@ -152,8 +155,10 @@ Result<RetrievalResult> MustFramework::Retrieve(const RetrievalQuery& query,
   // Measured through the injected Clock (not wall time) so MockClock tests
   // and injected latency spikes show up in retrieval timings.
   const int64_t start_micros = clock()->NowMicros();
-  MQA_ASSIGN_OR_RETURN(result.neighbors,
-                       index_->Search(flat.data(), params, &result.stats));
+  const SearchParams effective = WithoutTombstones(params);
+  MQA_ASSIGN_OR_RETURN(
+      result.neighbors,
+      index_->Search(flat.data(), effective, &result.stats));
   result.latency_ms =
       static_cast<double>(clock()->NowMicros() - start_micros) / 1e3;
   // Restore the build-time weights for subsequent callers.
@@ -167,6 +172,52 @@ Status MustFramework::SetWeights(std::vector<float> weights) {
   }
   weights_ = NormalizeWeights(std::move(weights));
   return ApplyWeights(weights_);
+}
+
+Status MustFramework::Remove(uint32_t id) {
+  return MarkRemoved(id, index_->size());
+}
+
+Status MustFramework::CompactTombstones(const std::vector<uint32_t>& remap,
+                                        uint32_t live_count,
+                                        const GraphBuildConfig& config) {
+  auto* flat = dynamic_cast<GraphIndex*>(index_.get());
+  if (flat == nullptr) {
+    return Status::Unimplemented(
+        "in-place compaction needs a flat graph index; rebuild instead");
+  }
+  MQA_ASSIGN_OR_RETURN(
+      AdjacencyGraph compacted,
+      CompactAdjacency(flat->graph(), remap, live_count, config.max_degree));
+
+  // Surviving entry points keep their role under new ids; if all entry
+  // points died, fall back to node 0 (always live: live_count > 0).
+  std::vector<uint32_t> entries;
+  for (uint32_t e : flat->entry_points()) {
+    if (e < remap.size() && remap[e] != kTombstonedId) {
+      entries.push_back(remap[e]);
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+  entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
+  if (entries.empty()) entries.push_back(0);
+
+  // The caller already rewrote the corpus store in place, so a fresh
+  // distance computer over it sees the compacted rows. Build the whole
+  // replacement index before touching members: any failure above leaves
+  // the framework serving from the old index unharmed.
+  MQA_ASSIGN_OR_RETURN(
+      WeightedMultiDistance wdist,
+      WeightedMultiDistance::Create(corpus_->schema(), weights_));
+  auto dist = std::make_unique<MultiVectorDistanceComputer>(
+      corpus_.get(), std::move(wdist), pruning_);
+  MultiVectorDistanceComputer* dist_raw = dist.get();
+  index_ = std::make_unique<GraphIndex>(flat->name(), std::move(compacted),
+                                        std::move(dist), std::move(entries));
+  dist_ = dist_raw;
+  disk_ = nullptr;
+  ClearTombstones();
+  return Status::OK();
 }
 
 }  // namespace mqa

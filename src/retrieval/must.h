@@ -39,6 +39,21 @@ class MustFramework : public RetrievalFramework {
   const std::vector<float>& weights() const override { return weights_; }
   Status SetWeights(std::vector<float> weights) override;
 
+  /// Tombstones `id`: excluded from every subsequent Retrieve, physically
+  /// evicted by CompactTombstones. Works for all index kinds (the filter
+  /// is applied inside the search).
+  Status Remove(uint32_t id) override;
+
+  /// Rebuilds the flat navigation graph without the tombstoned nodes,
+  /// after the caller has already compacted the shared corpus store in
+  /// place per `remap` (old id -> new dense id / kTombstonedId; see
+  /// TombstoneSet::BuildRemap). Adjacency is spliced, not re-derived, so
+  /// this is much cheaper than a fresh build. Unimplemented for non-flat
+  /// index kinds — callers fall back to a full rebuild.
+  Status CompactTombstones(const std::vector<uint32_t>& remap,
+                           uint32_t live_count,
+                           const GraphBuildConfig& config);
+
   /// Whether IngestAppended can succeed for the underlying index type.
   bool SupportsLiveIngestion() const;
 
@@ -69,6 +84,7 @@ class MustFramework : public RetrievalFramework {
 
   std::shared_ptr<const VectorStore> corpus_;
   std::vector<float> weights_;
+  bool pruning_ = true;
   std::unique_ptr<VectorIndex> index_;
   // Exactly one of these is set, depending on the index kind; both are
   // owned by index_ (or are index_ itself).

@@ -7,6 +7,7 @@
 #include "common/fault.h"
 #include "common/timer.h"
 #include "common/trace.h"
+#include "retrieval/must.h"
 
 namespace mqa {
 
@@ -144,6 +145,13 @@ Result<std::unique_ptr<ShardedRetrieval>> ShardedRetrieval::Create(
     shards[s]->fault_point = "shard/" + std::to_string(s) + "/search";
   }
   fw->shards_ = std::move(shards);
+  fw->owner_.assign(corpus->size(), {0, 0});
+  for (size_t s = 0; s < fw->shards_.size(); ++s) {
+    const std::vector<uint32_t>& gids = fw->shards_[s]->global_ids;
+    for (uint32_t local = 0; local < gids.size(); ++local) {
+      fw->owner_[gids[local]] = {static_cast<uint32_t>(s), local};
+    }
+  }
   if (options.clock != nullptr) {
     fw->RetrievalFramework::SetClock(options.clock);
   }
@@ -197,6 +205,65 @@ void ShardedRetrieval::SetClock(Clock* clock) {
   for (const std::unique_ptr<Shard>& shard : shards_) {
     shard->framework->SetClock(clock);
   }
+}
+
+Status ShardedRetrieval::Remove(uint32_t id) {
+  if (id >= owner_.size()) {
+    return Status::NotFound("global id out of range: " + std::to_string(id));
+  }
+  // Mark globally first (double-delete detection lives here), then route
+  // to the owning shard so its searches stop surfacing the local row.
+  MQA_RETURN_NOT_OK(MarkRemoved(id, owner_.size()));
+  const auto [shard_index, local_id] = owner_[id];
+  return shards_[shard_index]->framework->Remove(local_id);
+}
+
+bool ShardedRetrieval::SupportsLiveIngestion() const {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    auto* must = dynamic_cast<MustFramework*>(shard->framework.get());
+    if (must == nullptr || !must->SupportsLiveIngestion()) return false;
+  }
+  return true;
+}
+
+Status ShardedRetrieval::IngestAppended(const GraphBuildConfig& config) {
+  if (corpus_->size() == 0 || corpus_->size() <= owner_.size()) {
+    return Status::FailedPrecondition(
+        "append the encoded vector to the shared corpus first");
+  }
+  const uint32_t global_id = corpus_->size() - 1;
+  if (corpus_->size() != owner_.size() + 1) {
+    return Status::FailedPrecondition(
+        "live ingestion must append one row at a time");
+  }
+
+  // Route to the shard with the fewest live objects: deletes create slack
+  // and inserts fill it, keeping the fan-out balanced over a full day of
+  // churn instead of drifting with the original partition.
+  size_t target = 0;
+  size_t target_live = shard_live_size(0);
+  for (size_t s = 1; s < shards_.size(); ++s) {
+    const size_t live = shard_live_size(s);
+    if (live < target_live) {
+      target = s;
+      target_live = live;
+    }
+  }
+  Shard& shard = *shards_[target];
+  auto* must = dynamic_cast<MustFramework*>(shard.framework.get());
+  if (must == nullptr || !must->SupportsLiveIngestion()) {
+    return Status::Unimplemented("shard " + std::to_string(target) +
+                                 " cannot ingest live (framework '" +
+                                 shard.framework->name() + "')");
+  }
+  const uint32_t local_id = shard.store->size();
+  MQA_RETURN_NOT_OK(shard.store->Add(corpus_->Row(global_id)).status());
+  MQA_RETURN_NOT_OK(must->IngestAppended(config));
+  // Publish the mapping only after the index accepted the row, so a
+  // failed ingest never leaves a merge-able id pointing at a ghost.
+  shard.global_ids.push_back(global_id);
+  owner_.emplace_back(static_cast<uint32_t>(target), local_id);
+  return Status::OK();
 }
 
 void ShardedRetrieval::RunShardAttempt(size_t shard_index,
@@ -325,6 +392,11 @@ Result<RetrievalResult> ShardedRetrieval::Retrieve(
                                 options_.deadline_fraction));
   }
 
+  // Tombstoned global ids are excluded twice: the composed filter keeps
+  // them out of every shard search, and the merge below drops any that
+  // slip through (e.g. a shard whose own tombstones lag behind).
+  const SearchParams effective = WithoutTombstones(params);
+
   // Fan out one task per shard. Completion is a counter + CondVar (the
   // DAG scheduler idiom); `state.mu` is a leaf mutex — tasks take it only
   // after all shard work is done, and never while holding another lock.
@@ -341,8 +413,8 @@ Result<RetrievalResult> ShardedRetrieval::Retrieve(
   }
   for (size_t s = 0; s < num_shards; ++s) {
     fanout_pool_->Post(
-        [this, s, &query, &params, budget_micros, &state, &attempts] {
-          RunShardAttempt(s, query, params, budget_micros, &attempts[s]);
+        [this, s, &query, &effective, budget_micros, &state, &attempts] {
+          RunShardAttempt(s, query, effective, budget_micros, &attempts[s]);
           MutexLock lock(&state.mu);
           --state.pending;
           state.cv.NotifyAll();
@@ -368,7 +440,12 @@ Result<RetrievalResult> ShardedRetrieval::Retrieve(
     merged.stats.Merge(attempt.result.stats);
     const std::vector<uint32_t>& gids = shards_[s]->global_ids;
     for (const Neighbor& n : attempt.result.neighbors) {
-      topk.Push(n.distance, gids[n.id]);
+      // Bounds guard: a shard mid-ingestion could briefly know rows the
+      // global map does not; deleted ids never reach the caller.
+      if (n.id >= gids.size()) continue;
+      const uint32_t gid = gids[n.id];
+      if (tombstones().IsDeleted(gid)) continue;
+      topk.Push(n.distance, gid);
     }
   }
   report.ok_count = ok_count;

@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "common/sync.h"
 #include "common/thread_pool.h"
+#include "graph/pipeline.h"
 #include "retrieval/factory.h"
 #include "retrieval/framework.h"
 #include "shard/shard_options.h"
@@ -104,6 +105,27 @@ class ShardedRetrieval : public RetrievalFramework {
   size_t num_shards() const { return shards_.size(); }
   size_t quorum() const { return options_.quorum; }
 
+  /// Tombstones one *global* corpus id: marked here (the merge skips it
+  /// even if a shard raced ahead) and routed to the owning shard's
+  /// framework, which excludes the local row from its searches.
+  Status Remove(uint32_t id) override;
+
+  /// True when every shard's framework can ingest live (MUST over a
+  /// mutable index kind).
+  bool SupportsLiveIngestion() const;
+
+  /// Live ingestion under sharding: after the caller appended one encoded
+  /// row to the shared corpus store, routes it to the shard with the
+  /// fewest *live* objects (so deletes re-balance future inserts), appends
+  /// the row to that shard's store and links it into the shard's index.
+  Status IngestAppended(const GraphBuildConfig& config);
+
+  /// Number of live (non-tombstoned) objects on one shard.
+  size_t shard_live_size(size_t shard) const {
+    return shards_[shard]->global_ids.size() -
+           shards_[shard]->framework->num_tombstones();
+  }
+
   /// Local->global id map of one shard (test/bench introspection).
   const std::vector<uint32_t>& shard_global_ids(size_t shard) const {
     return shards_[shard]->global_ids;
@@ -122,7 +144,7 @@ class ShardedRetrieval : public RetrievalFramework {
   /// One fault domain: an independent slice of the corpus with its own
   /// framework, breaker, latency histogram and metrics.
   struct Shard {
-    std::shared_ptr<const VectorStore> store;
+    std::shared_ptr<VectorStore> store;  ///< mutable: live ingestion appends
     std::vector<uint32_t> global_ids;  ///< local row id -> corpus id
     std::unique_ptr<RetrievalFramework> framework;
     std::unique_ptr<CircuitBreaker> breaker;
@@ -154,6 +176,8 @@ class ShardedRetrieval : public RetrievalFramework {
   std::shared_ptr<const VectorStore> corpus_;
   std::vector<float> weights_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Global id -> (shard index, local row id); grows with live ingestion.
+  std::vector<std::pair<uint32_t, uint32_t>> owner_;
   std::unique_ptr<ThreadPool> fanout_pool_;
   FanoutReport last_report_;
 

@@ -1,0 +1,121 @@
+#include "storage/durable_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include "common/fault.h"
+
+namespace mqa {
+
+namespace {
+
+Status IoErrorFromErrno(const std::string& op, const std::string& path) {
+  return Status::IoError(op + " failed for " + path + ": " +
+                         std::strerror(errno));
+}
+
+/// write(2) until done or error (short writes happen on signals).
+Status WriteAll(int fd, const char* data, size_t len,
+                const std::string& path) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoErrorFromErrno("write", path);
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status FsyncPath(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return IoErrorFromErrno("open for fsync", path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return IoErrorFromErrno("fsync", path);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  // Injected crash mid-save: optionally leave a torn .tmp behind (it is
+  // never renamed, so the previous good file survives), then fail.
+  double partial = -1.0;
+  const Status injected =
+      FaultInjector::Global().CheckPartial("snapshot/write", &partial);
+  const std::string tmp = path + ".tmp";
+  if (!injected.ok()) {
+    if (partial >= 0.0) {
+      const size_t torn =
+          static_cast<size_t>(partial * static_cast<double>(contents.size()));
+      const int fd =
+          ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (fd >= 0) {
+        // Best effort: the crash being modeled would not report errors.
+        (void)WriteAll(fd, contents.data(), torn, tmp);
+        ::close(fd);
+      }
+    }
+    return injected;
+  }
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return IoErrorFromErrno("open", tmp);
+  Status st = WriteAll(fd, contents.data(), contents.size(), tmp);
+  if (st.ok() && ::fsync(fd) != 0) st = IoErrorFromErrno("fsync", tmp);
+  ::close(fd);
+  if (!st.ok()) {
+    (void)::unlink(tmp.c_str());
+    return st;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status rename_st = IoErrorFromErrno("rename", path);
+    (void)::unlink(tmp.c_str());
+    return rename_st;
+  }
+  // Make the rename itself durable: fsync the containing directory.
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  return FsyncPath(parent.empty() ? "." : parent.string());
+}
+
+Status WriteFileAtomic(const std::string& path,
+                       const std::function<Status(std::ostream&)>& producer) {
+  std::ostringstream buffer(std::ios::binary);
+  MQA_RETURN_NOT_OK(producer(buffer));
+  const std::string contents = std::move(buffer).str();
+  return WriteFileAtomic(path, contents);
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound(path + " does not exist");
+    return IoErrorFromErrno("open", path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return IoErrorFromErrno("read", path);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+}  // namespace mqa

@@ -1,0 +1,37 @@
+#ifndef MQA_STORAGE_DURABLE_FILE_H_
+#define MQA_STORAGE_DURABLE_FILE_H_
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace mqa {
+
+/// Atomic, durable file replacement: writes `contents` to `<path>.tmp`,
+/// fsyncs it, renames it over `path`, and fsyncs the parent directory. A
+/// crash at any point leaves either the previous file intact or the new
+/// one complete — never a truncated or interleaved mix. This is the only
+/// sanctioned way to write snapshot artifacts (see the `durable-write`
+/// lint rule); the WAL appends through WalWriter instead.
+///
+/// Fault point `snapshot/write` is consulted per call; a torn-write spec
+/// (FaultSpec::partial_fraction) leaves a partial `.tmp` behind without
+/// renaming — exactly the crash-mid-save state recovery must survive.
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
+/// WriteFileAtomic over a producer callback: the producer serializes into
+/// a memory stream, and the buffered bytes are written atomically. Lets
+/// Save(std::ostream&)-style serializers persist durably without knowing
+/// about temp files.
+Status WriteFileAtomic(const std::string& path,
+                       const std::function<Status(std::ostream&)>& producer);
+
+/// Reads a whole file. NotFound when it does not exist.
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace mqa
+
+#endif  // MQA_STORAGE_DURABLE_FILE_H_

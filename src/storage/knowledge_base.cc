@@ -2,12 +2,14 @@
 
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 namespace mqa {
 
 namespace {
 
-constexpr uint32_t kKbMagic = 0x4d51414b;  // "MQAK"
+constexpr uint32_t kKbMagic = 0x4d51414b;    // "MQAK" — v1, no tombstones
+constexpr uint32_t kKbMagicV2 = 0x4d51424b;  // "MQBK" — v2, tombstone list
 
 template <typename T>
 void WritePod(std::ostream& out, const T& v) {
@@ -63,6 +65,13 @@ const char* ModalityTypeToString(ModalityType type) {
 }
 
 Result<uint64_t> KnowledgeBase::Ingest(Object object) {
+  MQA_RETURN_NOT_OK(ValidateObject(object));
+  object.id = objects_.size();
+  objects_.push_back(std::move(object));
+  return objects_.back().id;
+}
+
+Status KnowledgeBase::ValidateObject(const Object& object) const {
   if (object.modalities.size() != schema_.num_modalities()) {
     return Status::InvalidArgument(
         "object modality count does not match schema");
@@ -73,20 +82,41 @@ Result<uint64_t> KnowledgeBase::Ingest(Object object) {
                                      std::to_string(m));
     }
   }
-  object.id = objects_.size();
-  objects_.push_back(std::move(object));
-  return objects_.back().id;
+  return Status::OK();
+}
+
+Status KnowledgeBase::Remove(uint64_t id) {
+  if (id >= objects_.size()) {
+    return Status::NotFound("object id out of range: " + std::to_string(id));
+  }
+  return deleted_.Mark(static_cast<uint32_t>(id), objects_.size());
+}
+
+KnowledgeBase KnowledgeBase::CompactLive(const std::vector<uint32_t>& remap,
+                                         uint32_t live_count) const {
+  KnowledgeBase compacted(schema_, name_);
+  compacted.objects_.reserve(live_count);
+  for (uint64_t id = 0; id < objects_.size(); ++id) {
+    if (id >= remap.size() || remap[id] == kTombstonedId) continue;
+    Object obj = objects_[id];
+    obj.id = remap[id];
+    compacted.objects_.push_back(std::move(obj));
+  }
+  return compacted;
 }
 
 Result<const Object*> KnowledgeBase::Get(uint64_t id) const {
   if (id >= objects_.size()) {
     return Status::NotFound("object id out of range: " + std::to_string(id));
   }
+  if (IsDeleted(id)) {
+    return Status::NotFound("object " + std::to_string(id) + " was deleted");
+  }
   return &objects_[id];
 }
 
 Status KnowledgeBase::Save(std::ostream& out) const {
-  WritePod(out, kKbMagic);
+  WritePod(out, kKbMagicV2);
   WriteString(out, name_);
   WritePod(out, static_cast<uint32_t>(schema_.num_modalities()));
   for (ModalityType t : schema_.types) WritePod(out, static_cast<uint8_t>(t));
@@ -101,13 +131,20 @@ Status KnowledgeBase::Save(std::ostream& out) const {
       WriteFloats(out, p.features);
     }
   }
+  std::vector<uint64_t> dead_ids;
+  dead_ids.reserve(deleted_.count());
+  for (uint64_t id = 0; id < objects_.size(); ++id) {
+    if (IsDeleted(id)) dead_ids.push_back(id);
+  }
+  WritePod(out, static_cast<uint64_t>(dead_ids.size()));
+  for (uint64_t id : dead_ids) WritePod(out, id);
   if (!out) return Status::IoError("failed to write knowledge base");
   return Status::OK();
 }
 
 Result<KnowledgeBase> KnowledgeBase::Load(std::istream& in) {
   uint32_t magic = 0;
-  if (!ReadPod(in, &magic) || magic != kKbMagic) {
+  if (!ReadPod(in, &magic) || (magic != kKbMagic && magic != kKbMagicV2)) {
     return Status::IoError("bad knowledge base header");
   }
   std::string name;
@@ -150,7 +187,59 @@ Result<KnowledgeBase> KnowledgeBase::Load(std::istream& in) {
     }
     kb.objects_.push_back(std::move(obj));
   }
+  if (magic == kKbMagicV2) {
+    uint64_t num_dead = 0;
+    if (!ReadPod(in, &num_dead) || num_dead > n) {
+      return Status::IoError("truncated tombstone count");
+    }
+    for (uint64_t i = 0; i < num_dead; ++i) {
+      uint64_t dead_id = 0;
+      if (!ReadPod(in, &dead_id)) return Status::IoError("truncated tombstone");
+      MQA_RETURN_NOT_OK(kb.Remove(dead_id));
+    }
+  }
   return kb;
+}
+
+void SerializeObject(const Object& object, std::string* out) {
+  std::ostringstream buffer(std::ios::binary);
+  WritePod(buffer, object.concept_id);
+  WriteFloats(buffer, object.latent);
+  WritePod(buffer, static_cast<uint32_t>(object.modalities.size()));
+  for (const Payload& p : object.modalities) {
+    WritePod(buffer, static_cast<uint8_t>(p.type));
+    WriteString(buffer, p.text);
+    WriteFloats(buffer, p.features);
+  }
+  *out = std::move(buffer).str();
+}
+
+Result<Object> DeserializeObject(std::string_view bytes) {
+  std::istringstream in(std::string(bytes), std::ios::binary);
+  Object obj;
+  if (!ReadPod(in, &obj.concept_id)) {
+    return Status::IoError("truncated object concept id");
+  }
+  if (!ReadFloats(in, &obj.latent)) {
+    return Status::IoError("truncated object latent");
+  }
+  uint32_t num_m = 0;
+  if (!ReadPod(in, &num_m) || num_m > 64) {
+    return Status::IoError("bad object modality count");
+  }
+  obj.modalities.resize(num_m);
+  for (auto& p : obj.modalities) {
+    uint8_t raw = 0;
+    if (!ReadPod(in, &raw)) return Status::IoError("truncated payload type");
+    p.type = static_cast<ModalityType>(raw);
+    if (!ReadString(in, &p.text)) {
+      return Status::IoError("truncated payload text");
+    }
+    if (!ReadFloats(in, &p.features)) {
+      return Status::IoError("truncated payload features");
+    }
+  }
+  return obj;
 }
 
 }  // namespace mqa

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/tombstones.h"
 #include "storage/object.h"
 
 namespace mqa {
@@ -24,7 +25,39 @@ class KnowledgeBase {
   /// The object's modality slots must match the schema.
   Result<uint64_t> Ingest(Object object);
 
-  /// Object lookup. Precondition enforced: id < size().
+  /// Schema check alone, without ingesting — lets a durability layer
+  /// reject a bad object *before* logging it, so the WAL never records
+  /// an operation that replay would then fail to apply.
+  Status ValidateObject(const Object& object) const;
+
+  /// Tombstones `id`. The slot stays allocated (ids are dense and shared
+  /// with the vector store and graph index) until compaction rewrites
+  /// everything; Get refuses deleted ids from here on. NotFound for an
+  /// out-of-range id, FailedPrecondition for a double delete.
+  Status Remove(uint64_t id);
+
+  bool IsDeleted(uint64_t id) const {
+    return deleted_.IsDeleted(static_cast<uint32_t>(id));
+  }
+  uint64_t num_deleted() const { return deleted_.count(); }
+  uint64_t live_size() const { return objects_.size() - deleted_.count(); }
+  double GarbageRatio() const {
+    return deleted_.GarbageRatio(objects_.size());
+  }
+
+  /// Fills `remap` (old id -> new dense id, kTombstonedId for deleted)
+  /// and returns the live count. The same remap drives vector-store and
+  /// graph compaction so all three stay id-aligned.
+  uint32_t BuildRemap(std::vector<uint32_t>* remap) const {
+    return deleted_.BuildRemap(objects_.size(), remap);
+  }
+
+  /// A new KnowledgeBase holding only live objects, re-assigned dense ids
+  /// per `remap` (as produced by BuildRemap).
+  KnowledgeBase CompactLive(const std::vector<uint32_t>& remap,
+                            uint32_t live_count) const;
+
+  /// Object lookup. Precondition enforced: id < size() and not deleted.
   Result<const Object*> Get(uint64_t id) const;
 
   const Object& at(uint64_t id) const { return objects_[id]; }
@@ -35,7 +68,8 @@ class KnowledgeBase {
   const std::string& name() const { return name_; }
   const std::vector<Object>& objects() const { return objects_; }
 
-  /// Binary (de)serialization of schema + objects.
+  /// Binary (de)serialization of schema + objects. Save emits the v2
+  /// format (with the tombstone list); Load accepts v1 files too.
   Status Save(std::ostream& out) const;
   static Result<KnowledgeBase> Load(std::istream& in);
 
@@ -43,7 +77,14 @@ class KnowledgeBase {
   ModalitySchema schema_;
   std::string name_;
   std::vector<Object> objects_;
+  TombstoneSet deleted_;
 };
+
+/// Schema-independent object payload codec for WAL records: concept id,
+/// latent and modality payloads, but *not* the id — replay re-assigns
+/// dense ids, which is what makes insert records position-independent.
+void SerializeObject(const Object& object, std::string* out);
+Result<Object> DeserializeObject(std::string_view bytes);
 
 }  // namespace mqa
 

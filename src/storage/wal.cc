@@ -1,0 +1,237 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/crc32.h"
+#include "common/fault.h"
+#include "storage/durable_file.h"
+
+namespace mqa {
+
+namespace {
+
+// Frame: magic u32 | type u8 | seq u64 | payload_len u32 | crc u32 | payload.
+// The CRC covers type, seq, payload_len and the payload — everything the
+// magic does not already gate — so a bit flip anywhere in a record is
+// detected, not just a short tail.
+constexpr uint32_t kWalMagic = 0x4d51574c;  // "MQWL"
+constexpr size_t kHeaderBytes = 4 + 1 + 8 + 4 + 4;
+
+Status IoErrorFromErrno(const std::string& op, const std::string& path) {
+  return Status::IoError(op + " failed for " + path + ": " +
+                         std::strerror(errno));
+}
+
+template <typename T>
+void AppendPod(std::string* out, T value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T ReadPod(const char* p) {
+  T value;
+  std::memcpy(&value, p, sizeof(T));
+  return value;
+}
+
+uint32_t FrameCrc(uint8_t type, uint64_t seq, uint32_t payload_len,
+                  std::string_view payload) {
+  uint32_t crc = Crc32(&type, sizeof(type));
+  crc = Crc32(&seq, sizeof(seq), crc);
+  crc = Crc32(&payload_len, sizeof(payload_len), crc);
+  return Crc32(payload.data(), payload.size(), crc);
+}
+
+std::string EncodeFrame(WalRecordType type, uint64_t seq,
+                        std::string_view payload) {
+  std::string frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  AppendPod(&frame, kWalMagic);
+  AppendPod(&frame, static_cast<uint8_t>(type));
+  AppendPod(&frame, seq);
+  AppendPod(&frame, static_cast<uint32_t>(payload.size()));
+  AppendPod(&frame, FrameCrc(static_cast<uint8_t>(type), seq,
+                             static_cast<uint32_t>(payload.size()), payload));
+  frame.append(payload.data(), payload.size());
+  return frame;
+}
+
+Status WriteAll(int fd, const char* data, size_t len,
+                const std::string& path) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoErrorFromErrno("write", path);
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<WalReadResult> ReadWal(const std::string& path) {
+  MQA_ASSIGN_OR_RETURN(const std::string bytes, ReadFileToString(path));
+  WalReadResult out;
+  size_t off = 0;
+  while (bytes.size() - off >= kHeaderBytes) {
+    const char* p = bytes.data() + off;
+    if (ReadPod<uint32_t>(p) != kWalMagic) break;
+    const uint8_t type = ReadPod<uint8_t>(p + 4);
+    const uint64_t seq = ReadPod<uint64_t>(p + 5);
+    const uint32_t payload_len = ReadPod<uint32_t>(p + 13);
+    const uint32_t crc = ReadPod<uint32_t>(p + 17);
+    if (bytes.size() - off - kHeaderBytes < payload_len) break;
+    const std::string_view payload(p + kHeaderBytes, payload_len);
+    if (FrameCrc(type, seq, payload_len, payload) != crc) break;
+    if (type != static_cast<uint8_t>(WalRecordType::kInsert) &&
+        type != static_cast<uint8_t>(WalRecordType::kRemove)) {
+      break;
+    }
+    WalRecord record;
+    record.seq = seq;
+    record.type = static_cast<WalRecordType>(type);
+    record.payload.assign(payload.data(), payload.size());
+    out.records.push_back(std::move(record));
+    out.last_seq = seq;
+    off += kHeaderBytes + payload_len;
+  }
+  out.valid_bytes = off;
+  out.torn_bytes = bytes.size() - off;
+  out.torn_tail = out.torn_bytes > 0;
+  return out;
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(
+    const std::string& path, const WalWriterOptions& options) {
+  if (options.sync_every == 0) {
+    return Status::InvalidArgument("WalWriterOptions::sync_every must be > 0");
+  }
+  uint64_t start_seq = options.first_seq > 0 ? options.first_seq : 1;
+  uint64_t valid_bytes = 0;
+  Result<WalReadResult> scanned = ReadWal(path);
+  if (scanned.ok()) {
+    start_seq = std::max(start_seq, scanned->last_seq + 1);
+    valid_bytes = scanned->valid_bytes;
+  } else if (scanned.status().code() != StatusCode::kNotFound) {
+    return scanned.status();
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd < 0) return IoErrorFromErrno("open", path);
+  // Recovery contract: a torn tail from a crashed append is cut off so
+  // the next frame never lands after garbage bytes.
+  if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0 ||
+      ::lseek(fd, static_cast<off_t>(valid_bytes), SEEK_SET) < 0) {
+    const Status st = IoErrorFromErrno("truncate", path);
+    ::close(fd);
+    return st;
+  }
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(path, fd, start_seq, valid_bytes, options));
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<uint64_t> WalWriter::Append(WalRecordType type,
+                                   std::string_view payload) {
+  if (broken_) {
+    return Status::FailedPrecondition(
+        "WAL writer is broken after a failed write; reopen the log");
+  }
+  // Fail-before-write: nothing reached the file, the writer stays usable.
+  MQA_RETURN_NOT_OK(FaultInjector::Global().Check("wal/append"));
+
+  const uint64_t seq = next_seq_;
+  const std::string frame = EncodeFrame(type, seq, payload);
+
+  // Torn write: persist only a prefix of the frame, then fail. The tail
+  // is garbage on disk until recovery truncates it, so the writer is
+  // broken from here on.
+  double partial = -1.0;
+  const Status torn =
+      FaultInjector::Global().CheckPartial("wal/torn_write", &partial);
+  if (!torn.ok()) {
+    broken_ = true;
+    if (partial >= 0.0) {
+      const size_t torn_len =
+          static_cast<size_t>(partial * static_cast<double>(frame.size()));
+      // Best effort — the crash being modeled would not report errors.
+      (void)WriteAll(fd_, frame.data(), torn_len, path_);
+      appended_bytes_ += torn_len;
+    }
+    return torn;
+  }
+
+  const Status written = WriteAll(fd_, frame.data(), frame.size(), path_);
+  if (!written.ok()) {
+    broken_ = true;
+    return written;
+  }
+  appended_bytes_ += frame.size();
+  next_seq_ = seq + 1;
+  ++unsynced_records_;
+  if (unsynced_records_ >= options_.sync_every) MQA_RETURN_NOT_OK(Sync());
+  return seq;
+}
+
+Status WalWriter::Sync() {
+  if (broken_) {
+    return Status::FailedPrecondition(
+        "WAL writer is broken after a failed write; reopen the log");
+  }
+  if (unsynced_records_ == 0) return Status::OK();
+  const Status injected = FaultInjector::Global().Check("wal/fsync");
+  if (!injected.ok()) {
+    // The bytes may or may not be on disk — unknowable, so fail closed.
+    broken_ = true;
+    return injected;
+  }
+  if (::fsync(fd_) != 0) {
+    broken_ = true;
+    return IoErrorFromErrno("fsync", path_);
+  }
+  synced_bytes_ = appended_bytes_;
+  last_synced_seq_ = next_seq_ - 1;
+  unsynced_records_ = 0;
+  return Status::OK();
+}
+
+Status WalWriter::Truncate() {
+  if (broken_) {
+    return Status::FailedPrecondition(
+        "WAL writer is broken after a failed write; reopen the log");
+  }
+  if (::ftruncate(fd_, 0) != 0 || ::lseek(fd_, 0, SEEK_SET) < 0) {
+    broken_ = true;
+    return IoErrorFromErrno("truncate", path_);
+  }
+  if (::fsync(fd_) != 0) {
+    broken_ = true;
+    return IoErrorFromErrno("fsync", path_);
+  }
+  appended_bytes_ = 0;
+  synced_bytes_ = 0;
+  unsynced_records_ = 0;
+  return Status::OK();
+}
+
+Status WalWriter::CrashDiscardUnsynced() {
+  MQA_CHECK_GE(appended_bytes_, synced_bytes_);
+  if (::ftruncate(fd_, static_cast<off_t>(synced_bytes_)) != 0) {
+    return IoErrorFromErrno("truncate", path_);
+  }
+  broken_ = true;
+  return Status::OK();
+}
+
+}  // namespace mqa

@@ -1,0 +1,127 @@
+#ifndef MQA_STORAGE_WAL_H_
+#define MQA_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mqa {
+
+/// What one WAL record describes. Payloads are opaque here (the durable
+/// system serializes objects / ids into them); the WAL only guarantees
+/// that acknowledged records survive a crash byte-exact and in order.
+enum class WalRecordType : uint8_t {
+  kInsert = 1,  ///< payload: a serialized Object (see knowledge_base.h)
+  kRemove = 2,  ///< payload: the deleted object id (8 bytes little-endian)
+};
+
+struct WalRecord {
+  uint64_t seq = 0;
+  WalRecordType type = WalRecordType::kInsert;
+  std::string payload;
+};
+
+/// What ReadWal recovered from a log file. A torn tail (a frame cut short
+/// by a crash mid-append, or one failing its CRC) is not an error: the
+/// records before it are valid, and `valid_bytes` is where a writer must
+/// truncate before appending again.
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  uint64_t valid_bytes = 0;  ///< prefix covered by intact frames
+  uint64_t torn_bytes = 0;   ///< trailing bytes discarded as torn
+  bool torn_tail = false;
+  uint64_t last_seq = 0;  ///< seq of the last intact record (0 = none)
+};
+
+/// Parses a WAL file. NotFound when the file does not exist (an empty
+/// result, not a failure, for bootstrap paths that check first).
+Result<WalReadResult> ReadWal(const std::string& path);
+
+struct WalWriterOptions {
+  /// Group-commit width: Append fsyncs after this many unsynced records.
+  /// 1 (default) = every record is durable when Append returns; larger
+  /// values batch records between fsyncs (callers ack only after Sync).
+  size_t sync_every = 1;
+  /// Lower bound on the next sequence number: Open continues from
+  /// max(first_seq, last scanned seq + 1). Checkpointing truncates the
+  /// log file, so after a restart the scan alone would restart at 1; the
+  /// durable system passes its checkpoint seq + 1 to keep sequence
+  /// numbers monotone across the system's whole lifetime.
+  uint64_t first_seq = 1;
+};
+
+/// Append-only writer over one log file. CRC-framed records carry
+/// monotonically increasing sequence numbers so replay after a checkpoint
+/// is idempotent. Opening an existing file scans it, truncates any torn
+/// tail, and continues the sequence.
+///
+/// Failure model: after a failed append, torn write or failed fsync the
+/// writer is *broken* — the file tail state is unknown, so further appends
+/// are refused (kFailedPrecondition) until the log is reopened (recovery
+/// truncates to the last intact frame). Fault points: `wal/append` fails
+/// before any byte is written; `wal/torn_write` (arm with
+/// FaultSpec::partial_fraction) persists a prefix of the frame then fails;
+/// `wal/fsync` fails the durability barrier after the bytes are staged.
+///
+/// Not thread-safe (the durable system serializes mutations).
+class WalWriter {
+ public:
+  static Result<std::unique_ptr<WalWriter>> Open(
+      const std::string& path, const WalWriterOptions& options = {});
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record and returns its sequence number. The record is
+  /// durable once `last_synced_seq() >= seq` (immediately with
+  /// sync_every == 1, after the group fsync otherwise).
+  Result<uint64_t> Append(WalRecordType type, std::string_view payload);
+
+  /// Durability barrier: fsyncs all appended records.
+  Status Sync();
+
+  /// Truncates the log to empty (after a checkpoint made its records
+  /// redundant). Sequence numbers keep increasing across truncation.
+  Status Truncate();
+
+  uint64_t next_seq() const { return next_seq_; }
+  uint64_t last_appended_seq() const { return next_seq_ - 1; }
+  uint64_t last_synced_seq() const { return last_synced_seq_; }
+  bool broken() const { return broken_; }
+
+  /// Test hook simulating a crash: bytes appended but never fsynced are
+  /// discarded (a real crash may or may not keep them; tests take the
+  /// conservative branch so recovery is deterministic). The writer is
+  /// broken afterwards — reopen to continue.
+  Status CrashDiscardUnsynced();
+
+ private:
+  WalWriter(std::string path, int fd, uint64_t start_seq,
+            uint64_t valid_bytes, WalWriterOptions options)
+      : path_(std::move(path)),
+        fd_(fd),
+        options_(options),
+        next_seq_(start_seq),
+        last_synced_seq_(start_seq - 1),
+        synced_bytes_(valid_bytes),
+        appended_bytes_(valid_bytes) {}
+
+  std::string path_;
+  int fd_ = -1;
+  WalWriterOptions options_;
+  uint64_t next_seq_ = 1;
+  uint64_t last_synced_seq_ = 0;
+  uint64_t synced_bytes_ = 0;    ///< file prefix known durable
+  uint64_t appended_bytes_ = 0;  ///< file size including unsynced tail
+  size_t unsynced_records_ = 0;
+  bool broken_ = false;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_STORAGE_WAL_H_

@@ -173,5 +173,44 @@ TEST(FaultInjectorTest, GlobalInstanceIsProcessWide) {
   EXPECT_FALSE(FaultInjector::Global().enabled());
 }
 
+TEST(FaultInjectorTest, CheckPartialReportsTornWriteFraction) {
+  FaultInjector injector;
+  FaultSpec spec;
+  spec.code = StatusCode::kIoError;
+  spec.partial_fraction = 0.5;
+  injector.Arm("torn/p", spec);
+  double fraction = -2.0;
+  const Status st = injector.CheckPartial("torn/p", &fraction);
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_DOUBLE_EQ(fraction, 0.5);
+}
+
+TEST(FaultInjectorTest, CheckPartialWithoutTearReportsMinusOne) {
+  FaultInjector injector;
+  // Disarmed: OK and no tear.
+  double fraction = 0.7;
+  EXPECT_TRUE(injector.CheckPartial("torn/p", &fraction).ok());
+  EXPECT_DOUBLE_EQ(fraction, -1.0);
+
+  // Armed with a plain error (no partial_fraction): the failure is whole,
+  // not torn.
+  FaultSpec spec;
+  spec.code = StatusCode::kUnavailable;
+  injector.Arm("torn/p", spec);
+  fraction = 0.7;
+  EXPECT_FALSE(injector.CheckPartial("torn/p", &fraction).ok());
+  EXPECT_DOUBLE_EQ(fraction, -1.0);
+}
+
+TEST(FaultInjectorTest, PlainCheckIgnoresPartialFraction) {
+  FaultInjector injector;
+  FaultSpec spec;
+  spec.code = StatusCode::kIoError;
+  spec.partial_fraction = 0.25;
+  injector.Arm("torn/p", spec);
+  // Check() call sites cannot tear; they just see the error.
+  EXPECT_EQ(injector.Check("torn/p").code(), StatusCode::kIoError);
+}
+
 }  // namespace
 }  // namespace mqa

@@ -1,0 +1,230 @@
+// Live deletion through the coordinator: tombstoned objects vanish from
+// retrieval immediately, compaction physically evicts them, and the
+// compaction breaker contains a persistently failing compactor.
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "core/coordinator.h"
+#include "core/persistence.h"
+#include "core_test_util.h"
+
+#include <filesystem>
+#include <set>
+#include <unistd.h>
+
+namespace mqa {
+namespace {
+
+using ::mqa::testing::SmallConfig;
+
+std::set<uint64_t> RetrievedIds(const AnswerTurn& turn) {
+  std::set<uint64_t> ids;
+  for (const RetrievedItem& item : turn.items) ids.insert(item.id);
+  return ids;
+}
+
+TEST(DeletionTest, RemovedObjectVanishesFromRetrieval) {
+  MqaConfig config = SmallConfig();
+  config.corpus_size = 300;
+  config.compaction.auto_compact = false;
+  auto c = Coordinator::Create(config);
+  ASSERT_TRUE(c.ok());
+
+  UserQuery query;
+  query.text = "find " + (*c)->world().ConceptName(3);
+  auto before = (*c)->Ask(query);
+  ASSERT_TRUE(before.ok());
+  ASSERT_FALSE(before->items.empty());
+  const uint64_t victim = before->items[0].id;
+
+  ASSERT_TRUE((*c)->RemoveObject(victim).ok());
+  EXPECT_EQ((*c)->kb().num_deleted(), 1u);
+  EXPECT_FALSE((*c)->kb().Get(victim).ok());
+
+  (*c)->ResetDialogue();
+  auto after = (*c)->Ask(query);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->items.size(), before->items.size())
+      << "tombstones must not shrink the result set";
+  EXPECT_EQ(RetrievedIds(*after).count(victim), 0u);
+}
+
+TEST(DeletionTest, RemoveValidatesIdAndDoubleDelete) {
+  MqaConfig config = SmallConfig();
+  config.corpus_size = 200;
+  auto c = Coordinator::Create(config);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ((*c)->RemoveObject(200).code(), StatusCode::kNotFound);
+  ASSERT_TRUE((*c)->RemoveObject(7).ok());
+  EXPECT_EQ((*c)->RemoveObject(7).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DeletionTest, CompactNowEvictsTombstonesInPlace) {
+  MqaConfig config = SmallConfig();  // mqa-hybrid: the in-place splice path
+  config.corpus_size = 300;
+  config.compaction.auto_compact = false;
+  auto c = Coordinator::Create(config);
+  ASSERT_TRUE(c.ok());
+
+  for (uint64_t id = 0; id < 60; ++id) {
+    ASSERT_TRUE((*c)->RemoveObject(id * 5).ok());
+  }
+  EXPECT_NEAR((*c)->GarbageRatio(), 0.2, 1e-9);
+
+  ASSERT_TRUE((*c)->CompactNow().ok());
+  EXPECT_EQ((*c)->kb().size(), 240u);
+  EXPECT_EQ((*c)->kb().num_deleted(), 0u);
+  EXPECT_EQ((*c)->store().size(), 240u);
+  EXPECT_EQ((*c)->GarbageRatio(), 0.0);
+  EXPECT_EQ((*c)->compactions(), 1u);
+
+  // The compacted system still answers with full result sets.
+  for (uint32_t concept_id = 0; concept_id < 4; ++concept_id) {
+    UserQuery query;
+    query.text = "find " + (*c)->world().ConceptName(concept_id);
+    auto turn = (*c)->Ask(query);
+    ASSERT_TRUE(turn.ok()) << turn.status().ToString();
+    EXPECT_EQ(turn->items.size(), static_cast<size_t>(config.search.k));
+    (*c)->ResetDialogue();
+  }
+  // A second compaction with nothing deleted is a no-op.
+  ASSERT_TRUE((*c)->CompactNow().ok());
+  EXPECT_EQ((*c)->compactions(), 1u);
+}
+
+TEST(DeletionTest, CompactNowRebuildsNonFlatIndexes) {
+  MqaConfig config = SmallConfig();
+  config.corpus_size = 250;
+  config.index.algorithm = "hnsw";  // no flat graph: the rebuild path
+  config.compaction.auto_compact = false;
+  auto c = Coordinator::Create(config);
+  ASSERT_TRUE(c.ok());
+  for (uint64_t id = 0; id < 50; ++id) {
+    ASSERT_TRUE((*c)->RemoveObject(id).ok());
+  }
+  ASSERT_TRUE((*c)->CompactNow().ok());
+  EXPECT_EQ((*c)->kb().size(), 200u);
+  UserQuery query;
+  query.text = "find " + (*c)->world().ConceptName(1);
+  auto turn = (*c)->Ask(query);
+  ASSERT_TRUE(turn.ok());
+  EXPECT_EQ(turn->items.size(), static_cast<size_t>(config.search.k));
+}
+
+TEST(DeletionTest, AutoCompactTriggersAtGarbageThreshold) {
+  MqaConfig config = SmallConfig();
+  config.corpus_size = 200;
+  config.compaction.garbage_ratio = 0.1;
+  auto c = Coordinator::Create(config);
+  ASSERT_TRUE(c.ok());
+  for (uint64_t id = 0; id < 20; ++id) {
+    ASSERT_TRUE((*c)->RemoveObject(id).ok());
+  }
+  // Crossing 10% garbage kicked compaction in automatically.
+  EXPECT_GE((*c)->compactions(), 1u);
+  EXPECT_EQ((*c)->kb().num_deleted(), 0u);
+  EXPECT_EQ((*c)->kb().size(), 180u);
+}
+
+TEST(DeletionTest, CompactionBreakerContainsPersistentFailure) {
+  MqaConfig config = SmallConfig();
+  config.corpus_size = 200;
+  config.compaction.garbage_ratio = 0.01;
+  config.compaction.breaker_failure_threshold = 3;
+  auto c = Coordinator::Create(config);
+  ASSERT_TRUE(c.ok());
+
+  FaultSpec spec;
+  spec.code = StatusCode::kUnavailable;
+  FaultInjector::Global().Arm("compaction/step", spec);
+  for (uint64_t id = 0; id < 6; ++id) {
+    // Deletes keep succeeding: auto-compaction failure only degrades.
+    ASSERT_TRUE((*c)->RemoveObject(id).ok());
+  }
+  EXPECT_EQ((*c)->compactions(), 0u);
+  EXPECT_EQ((*c)->kb().num_deleted(), 6u);
+  EXPECT_EQ((*c)->compaction_breaker_state(), BreakerState::kOpen);
+  EXPECT_NE((*c)->monitor().Render().find("auto-compaction failed"),
+            std::string::npos);
+
+  // Retrieval kept working through the whole episode (tombstones only).
+  UserQuery query;
+  query.text = "find " + (*c)->world().ConceptName(2);
+  auto turn = (*c)->Ask(query);
+  ASSERT_TRUE(turn.ok());
+  EXPECT_EQ(turn->items.size(), static_cast<size_t>(config.search.k));
+
+  // Once the fault clears, a manual compaction (not breaker-gated)
+  // drains the backlog.
+  FaultInjector::Global().DisarmAll();
+  ASSERT_TRUE((*c)->CompactNow().ok());
+  EXPECT_EQ((*c)->kb().size(), 194u);
+}
+
+TEST(DeletionTest, FailedCompactionIsErrorAtomic) {
+  MqaConfig config = SmallConfig();
+  config.corpus_size = 200;
+  config.compaction.auto_compact = false;
+  auto c = Coordinator::Create(config);
+  ASSERT_TRUE(c.ok());
+  for (uint64_t id = 0; id < 40; ++id) {
+    ASSERT_TRUE((*c)->RemoveObject(id).ok());
+  }
+  FaultSpec spec;
+  spec.code = StatusCode::kUnavailable;
+  spec.skip_first = 1;  // survive the plan step, fail the staging step
+  spec.once = true;
+  FaultInjector::Global().Arm("compaction/step", spec);
+  EXPECT_FALSE((*c)->CompactNow().ok());
+  FaultInjector::Global().DisarmAll();
+
+  // Nothing committed: sizes and tombstones exactly as before the attempt.
+  EXPECT_EQ((*c)->kb().size(), 200u);
+  EXPECT_EQ((*c)->kb().num_deleted(), 40u);
+  EXPECT_EQ((*c)->store().size(), 200u);
+  UserQuery query;
+  query.text = "find " + (*c)->world().ConceptName(0);
+  auto turn = (*c)->Ask(query);
+  ASSERT_TRUE(turn.ok());
+  EXPECT_EQ(turn->items.size(), static_cast<size_t>(config.search.k));
+
+  // And the interrupted compaction is retryable.
+  ASSERT_TRUE((*c)->CompactNow().ok());
+  EXPECT_EQ((*c)->kb().size(), 160u);
+}
+
+TEST(DeletionTest, TombstonesSurvivePersistenceRoundTrip) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("mqa_tombstone_persist_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+
+  MqaConfig config = SmallConfig();
+  config.corpus_size = 250;
+  config.compaction.auto_compact = false;
+  auto c = Coordinator::Create(config);
+  ASSERT_TRUE(c.ok());
+
+  UserQuery query;
+  query.text = "find " + (*c)->world().ConceptName(5);
+  auto before = (*c)->Ask(query);
+  ASSERT_TRUE(before.ok());
+  ASSERT_FALSE(before->items.empty());
+  const uint64_t victim = before->items[0].id;
+  ASSERT_TRUE((*c)->RemoveObject(victim).ok());
+
+  ASSERT_TRUE(SaveSystemState(**c, dir.string()).ok());
+  auto restored = LoadSystemState(dir.string());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ((*restored)->kb().num_deleted(), 1u);
+  EXPECT_FALSE((*restored)->kb().Get(victim).ok());
+
+  auto after = (*restored)->Ask(query);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(RetrievedIds(*after).count(victim), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace mqa

@@ -1,0 +1,182 @@
+// Live mutation under sharding: deletes tombstone across the fan-out
+// merge, inserts route to the least-loaded shard, and the merged
+// SearchStats stay truthful.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/coordinator.h"
+#include "shard/sharded_retrieval.h"
+
+namespace mqa {
+namespace {
+
+MqaConfig ShardedConfig(size_t num_shards = 4) {
+  MqaConfig config;
+  config.world.num_concepts = 12;
+  config.world.latent_dim = 16;
+  config.world.raw_image_dim = 32;
+  config.world.seed = 5;
+  config.corpus_size = 320;
+  config.embedding_dim = 16;
+  config.num_training_triplets = 400;
+  config.index.algorithm = "mqa-hybrid";
+  config.index.graph.max_degree = 12;
+  config.search.k = 5;
+  config.search.beam_width = 48;
+  config.shard.enable = true;
+  config.shard.num_shards = num_shards;
+  config.compaction.auto_compact = false;
+  return config;
+}
+
+std::vector<size_t> ShardLiveSizes(const ShardedRetrieval& sharded) {
+  std::vector<size_t> sizes;
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    sizes.push_back(const_cast<ShardedRetrieval&>(sharded).shard_live_size(s));
+  }
+  return sizes;
+}
+
+TEST(SearchStatsMergeTest, CountersAddAndFlagsCombine) {
+  SearchStats a;
+  a.hops = 10;
+  a.dist_comps = 100;
+  a.io_errors = 1;
+  a.shards_total = 2;
+  a.shards_ok = 2;
+  SearchStats b;
+  b.hops = 5;
+  b.dist_comps = 40;
+  b.partial = true;
+  b.shards_total = 2;
+  b.shards_ok = 1;
+  a.Merge(b);
+  EXPECT_EQ(a.hops, 15u);
+  EXPECT_EQ(a.dist_comps, 140u);
+  EXPECT_EQ(a.io_errors, 1u);
+  EXPECT_TRUE(a.partial);
+  EXPECT_EQ(a.shards_total, 4u);
+  EXPECT_EQ(a.shards_ok, 3u);
+
+  // Merging an empty block changes nothing.
+  a.Merge(SearchStats{});
+  EXPECT_EQ(a.hops, 15u);
+  EXPECT_EQ(a.dist_comps, 140u);
+  EXPECT_TRUE(a.partial);
+}
+
+TEST(ShardMutationTest, RemovedIdsNeverSurfaceInMergedTopK) {
+  auto c = Coordinator::Create(ShardedConfig());
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  auto* sharded = dynamic_cast<ShardedRetrieval*>((*c)->framework());
+  ASSERT_NE(sharded, nullptr);
+
+  UserQuery query;
+  query.text = "find " + (*c)->world().ConceptName(3);
+  auto before = (*c)->Ask(query);
+  ASSERT_TRUE(before.ok());
+  ASSERT_FALSE(before->items.empty());
+
+  // Delete the entire first page of results — they span several shards.
+  std::set<uint64_t> victims;
+  for (const RetrievedItem& item : before->items) {
+    ASSERT_TRUE((*c)->RemoveObject(item.id).ok());
+    victims.insert(item.id);
+  }
+  EXPECT_EQ(sharded->num_tombstones(), victims.size());
+
+  (*c)->ResetDialogue();
+  auto after = (*c)->Ask(query);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->items.size(), before->items.size())
+      << "tombstones must not shrink the merged result set";
+  for (const RetrievedItem& item : after->items) {
+    EXPECT_EQ(victims.count(item.id), 0u)
+        << "deleted id " << item.id << " resurfaced through the merge";
+  }
+}
+
+TEST(ShardMutationTest, LiveInsertsRouteToSmallestShard) {
+  auto c = Coordinator::Create(ShardedConfig(4));
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  auto* sharded = dynamic_cast<ShardedRetrieval*>((*c)->framework());
+  ASSERT_NE(sharded, nullptr);
+  ASSERT_TRUE(sharded->SupportsLiveIngestion());
+
+  // Round-robin partition: 320 / 4 = 80 per shard. Deleting ids that all
+  // live on shard 0 (global id % 4 == 0) unbalances it.
+  for (uint64_t id = 0; id < 48; id += 4) {
+    ASSERT_TRUE((*c)->RemoveObject(id).ok());
+  }
+  std::vector<size_t> sizes = ShardLiveSizes(*sharded);
+  EXPECT_EQ(sizes[0], 68u);
+  EXPECT_EQ(sizes[1], 80u);
+
+  // New objects must flow into the emptiest shard until the fleet levels
+  // out, then spread evenly.
+  Rng rng(7);
+  for (int i = 0; i < 16; ++i) {
+    auto id = (*c)->IngestObject(
+        (*c)->world().MakeObject(static_cast<uint32_t>(i % 12), &rng));
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+  }
+  sizes = ShardLiveSizes(*sharded);
+  const auto [min_it, max_it] = std::minmax_element(sizes.begin(), sizes.end());
+  EXPECT_LE(*max_it - *min_it, 1u)
+      << "shard live sizes diverged: " << sizes[0] << "/" << sizes[1] << "/"
+      << sizes[2] << "/" << sizes[3];
+  // 12 of the 16 inserts back-filled shard 0 to parity (68 + 12 == 80).
+  EXPECT_GE(sizes[0], 80u);
+
+  // Inserted objects are retrievable through the fan-out.
+  UserQuery query;
+  query.selected_object = (*c)->kb().size() - 1;
+  auto turn = (*c)->Ask(query);
+  ASSERT_TRUE(turn.ok());
+  bool found = false;
+  for (const RetrievedItem& item : turn->items) {
+    found = found || item.id == (*c)->kb().size() - 1;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ShardMutationTest, CompactionRebuildsShardedFrameworkDense) {
+  MqaConfig config = ShardedConfig(3);
+  auto c = Coordinator::Create(config);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  for (uint64_t id = 0; id < 80; ++id) {
+    ASSERT_TRUE((*c)->RemoveObject(id).ok());
+  }
+  ASSERT_TRUE((*c)->CompactNow().ok());
+  EXPECT_EQ((*c)->kb().size(), 240u);
+  auto* sharded = dynamic_cast<ShardedRetrieval*>((*c)->framework());
+  ASSERT_NE(sharded, nullptr);
+  EXPECT_EQ(sharded->num_tombstones(), 0u);
+  std::vector<size_t> sizes = ShardLiveSizes(*sharded);
+  size_t total = 0;
+  for (size_t s : sizes) total += s;
+  EXPECT_EQ(total, 240u);
+
+  UserQuery query;
+  query.text = "find " + (*c)->world().ConceptName(6);
+  auto turn = (*c)->Ask(query);
+  ASSERT_TRUE(turn.ok());
+  EXPECT_EQ(turn->items.size(), 5u);
+}
+
+TEST(ShardMutationTest, RemoveValidatesAgainstGlobalIdSpace) {
+  auto c = Coordinator::Create(ShardedConfig(2));
+  ASSERT_TRUE(c.ok());
+  auto* sharded = dynamic_cast<ShardedRetrieval*>((*c)->framework());
+  ASSERT_NE(sharded, nullptr);
+  EXPECT_EQ(sharded->Remove(320).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(sharded->Remove(11).ok());
+  EXPECT_EQ(sharded->Remove(11).code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace mqa

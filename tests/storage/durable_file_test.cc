@@ -1,0 +1,108 @@
+// Atomic file writes: a crash (injected) mid-save never clobbers the
+// previous good file, and a completed write is fully visible.
+
+#include "storage/durable_file.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "common/fault.h"
+
+namespace mqa {
+namespace {
+
+class DurableFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mqa_durable_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    FaultInjector::Global().DisarmAll();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string Path(const char* name) const { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(DurableFileTest, RoundTripsContents) {
+  const std::string path = Path("a.bin");
+  const std::string contents(1 << 16, 'x');
+  ASSERT_TRUE(WriteFileAtomic(path, contents).ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, contents);
+  // No temp file left behind.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST_F(DurableFileTest, ProducerOverloadSerializesThroughStream) {
+  const std::string path = Path("b.bin");
+  ASSERT_TRUE(WriteFileAtomic(path, [](std::ostream& out) {
+                out << "line one\n" << 42 << "\n";
+                return Status::OK();
+              }).ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "line one\n42\n");
+}
+
+TEST_F(DurableFileTest, ProducerErrorWritesNothing) {
+  const std::string path = Path("c.bin");
+  EXPECT_FALSE(WriteFileAtomic(path, [](std::ostream&) {
+                 return Status::Internal("serializer exploded");
+               }).ok());
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST_F(DurableFileTest, ReadMissingFileIsNotFound) {
+  auto read = ReadFileToString(Path("missing.bin"));
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(DurableFileTest, InjectedCrashPreservesPreviousFile) {
+  const std::string path = Path("state.bin");
+  ASSERT_TRUE(WriteFileAtomic(path, "previous good state").ok());
+
+  FaultSpec crash;
+  crash.code = StatusCode::kIoError;
+  crash.once = true;
+  FaultInjector::Global().Arm("snapshot/write", crash);
+  EXPECT_FALSE(WriteFileAtomic(path, "half-written replacement").ok());
+
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "previous good state");
+
+  // The injector is exhausted (once): the next save goes through.
+  ASSERT_TRUE(WriteFileAtomic(path, "new state").ok());
+  EXPECT_EQ(*ReadFileToString(path), "new state");
+}
+
+TEST_F(DurableFileTest, TornTempFileNeverShadowsTheRealFile) {
+  const std::string path = Path("state.bin");
+  ASSERT_TRUE(WriteFileAtomic(path, "previous good state").ok());
+
+  FaultSpec torn;
+  torn.code = StatusCode::kIoError;
+  torn.partial_fraction = 0.5;
+  torn.once = true;
+  FaultInjector::Global().Arm("snapshot/write", torn);
+  EXPECT_FALSE(WriteFileAtomic(path, "0123456789").ok());
+
+  // The torn bytes landed in the temp file only; the real file is intact.
+  EXPECT_EQ(*ReadFileToString(path), "previous good state");
+  auto tmp = ReadFileToString(path + ".tmp");
+  ASSERT_TRUE(tmp.ok());
+  EXPECT_EQ(*tmp, "01234");
+}
+
+}  // namespace
+}  // namespace mqa

@@ -103,6 +103,85 @@ TEST(KnowledgeBaseTest, LoadRejectsGarbageAndTruncation) {
   EXPECT_FALSE(KnowledgeBase::Load(cut).ok());
 }
 
+TEST(KnowledgeBaseTest, RemoveTombstonesAndCompactLiveRedensifies) {
+  KnowledgeBase kb(ImageTextSchema(), "tomb");
+  for (uint32_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(kb.Ingest(MakeObject(i)).ok());
+  }
+  ASSERT_TRUE(kb.Remove(2).ok());
+  ASSERT_TRUE(kb.Remove(7).ok());
+  EXPECT_EQ(kb.Remove(2).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(kb.Remove(10).code(), StatusCode::kNotFound);
+  EXPECT_EQ(kb.num_deleted(), 2u);
+  EXPECT_EQ(kb.live_size(), 8u);
+  EXPECT_DOUBLE_EQ(kb.GarbageRatio(), 0.2);
+  EXPECT_FALSE(kb.Get(2).ok());
+  EXPECT_TRUE(kb.Get(3).ok());
+
+  std::vector<uint32_t> remap;
+  const uint32_t live = kb.BuildRemap(&remap);
+  EXPECT_EQ(live, 8u);
+  EXPECT_EQ(remap[2], kTombstonedId);
+  EXPECT_EQ(remap[3], 2u);
+
+  const KnowledgeBase compacted = kb.CompactLive(remap, live);
+  EXPECT_EQ(compacted.size(), 8u);
+  EXPECT_EQ(compacted.num_deleted(), 0u);
+  // Object previously at id 3 now sits at dense id 2, with its id field
+  // rewritten to match.
+  EXPECT_EQ(compacted.at(2).concept_id, 3u);
+  EXPECT_EQ(compacted.at(2).id, 2u);
+  EXPECT_EQ(compacted.at(7).concept_id, 9u);
+}
+
+TEST(KnowledgeBaseTest, SaveLoadRoundTripsTombstones) {
+  KnowledgeBase kb(ImageTextSchema(), "tomb");
+  for (uint32_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(kb.Ingest(MakeObject(i)).ok());
+  }
+  ASSERT_TRUE(kb.Remove(1).ok());
+  ASSERT_TRUE(kb.Remove(4).ok());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(kb.Save(buffer).ok());
+  auto loaded = KnowledgeBase::Load(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 5u);
+  EXPECT_EQ(loaded->num_deleted(), 2u);
+  EXPECT_TRUE(loaded->IsDeleted(1));
+  EXPECT_TRUE(loaded->IsDeleted(4));
+  EXPECT_FALSE(loaded->IsDeleted(0));
+  EXPECT_FALSE(loaded->Get(1).ok());
+}
+
+TEST(ObjectCodecTest, SerializeDeserializeRoundTripsWithoutId) {
+  Object obj = MakeObject(6);
+  obj.id = 123;  // must NOT round-trip: replay re-assigns dense ids
+  std::string bytes;
+  SerializeObject(obj, &bytes);
+  auto back = DeserializeObject(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->id, 0u);
+  EXPECT_EQ(back->concept_id, 6u);
+  EXPECT_EQ(back->latent, obj.latent);
+  ASSERT_EQ(back->modalities.size(), obj.modalities.size());
+  EXPECT_EQ(back->modalities[0].type, ModalityType::kImage);
+  EXPECT_EQ(back->modalities[0].features, obj.modalities[0].features);
+  EXPECT_EQ(back->modalities[0].text, obj.modalities[0].text);
+  EXPECT_EQ(back->modalities[1].text, obj.modalities[1].text);
+}
+
+TEST(ObjectCodecTest, DeserializeRejectsGarbageAndTruncation) {
+  EXPECT_FALSE(DeserializeObject("").ok());
+  EXPECT_FALSE(DeserializeObject("not an object").ok());
+  Object obj = MakeObject(1);
+  std::string bytes;
+  SerializeObject(obj, &bytes);
+  EXPECT_FALSE(DeserializeObject(
+                   std::string_view(bytes.data(), bytes.size() / 2))
+                   .ok());
+}
+
 TEST(ModalityTypeTest, ToStringNames) {
   EXPECT_STREQ(ModalityTypeToString(ModalityType::kText), "text");
   EXPECT_STREQ(ModalityTypeToString(ModalityType::kImage), "image");

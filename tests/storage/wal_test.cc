@@ -1,0 +1,250 @@
+// The write-ahead log: CRC-framed records, torn-tail recovery, group
+// fsync, and the broken-writer fail-stop contract.
+
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/fault.h"
+#include "storage/durable_file.h"
+
+namespace mqa {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mqa_wal_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    path_ = (dir_ / "wal.log").string();
+  }
+  void TearDown() override {
+    FaultInjector::Global().DisarmAll();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::filesystem::path dir_;
+  std::string path_;
+};
+
+TEST_F(WalTest, AppendReadRoundTrip) {
+  auto wal = WalWriter::Open(path_);
+  ASSERT_TRUE(wal.ok());
+  auto s1 = (*wal)->Append(WalRecordType::kInsert, "object-one");
+  auto s2 = (*wal)->Append(WalRecordType::kRemove, "\x07\0\0\0\0\0\0\0");
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_EQ(*s1, 1u);
+  EXPECT_EQ(*s2, 2u);
+  // sync_every == 1: durable on return.
+  EXPECT_EQ((*wal)->last_synced_seq(), 2u);
+
+  auto read = ReadWal(path_);
+  ASSERT_TRUE(read.ok());
+  EXPECT_FALSE(read->torn_tail);
+  ASSERT_EQ(read->records.size(), 2u);
+  EXPECT_EQ(read->records[0].seq, 1u);
+  EXPECT_EQ(read->records[0].type, WalRecordType::kInsert);
+  EXPECT_EQ(read->records[0].payload, "object-one");
+  EXPECT_EQ(read->records[1].seq, 2u);
+  EXPECT_EQ(read->records[1].type, WalRecordType::kRemove);
+  EXPECT_EQ(read->last_seq, 2u);
+}
+
+TEST_F(WalTest, MissingFileIsNotFound) {
+  EXPECT_EQ(ReadWal(path_).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(WalTest, TornTailIsDiscardedAndSequenceContinues) {
+  {
+    auto wal = WalWriter::Open(path_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(WalRecordType::kInsert, "alpha").ok());
+    ASSERT_TRUE((*wal)->Append(WalRecordType::kInsert, "beta").ok());
+  }
+  // Crash mid-append: chop bytes off the last frame.
+  const auto full = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, full - 3);
+
+  auto read = ReadWal(path_);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->torn_tail);
+  EXPECT_GT(read->torn_bytes, 0u);
+  ASSERT_EQ(read->records.size(), 1u);
+  EXPECT_EQ(read->records[0].payload, "alpha");
+
+  // Reopening truncates the tear and continues numbering after the last
+  // intact record — the lost record's seq is reused, never skipped.
+  auto wal = WalWriter::Open(path_);
+  ASSERT_TRUE(wal.ok());
+  auto seq = (*wal)->Append(WalRecordType::kInsert, "beta-again");
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(*seq, 2u);
+  auto reread = ReadWal(path_);
+  ASSERT_TRUE(reread.ok());
+  EXPECT_FALSE(reread->torn_tail);
+  ASSERT_EQ(reread->records.size(), 2u);
+  EXPECT_EQ(reread->records[1].payload, "beta-again");
+}
+
+TEST_F(WalTest, CorruptedByteInvalidatesFrameCrc) {
+  {
+    auto wal = WalWriter::Open(path_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(WalRecordType::kInsert, "alpha").ok());
+    ASSERT_TRUE((*wal)->Append(WalRecordType::kInsert, "beta").ok());
+  }
+  // Flip one payload byte in the second frame.
+  const auto size = std::filesystem::file_size(path_);
+  {
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(size - 2));
+    f.put('!');
+  }
+  auto read = ReadWal(path_);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->torn_tail);
+  ASSERT_EQ(read->records.size(), 1u);
+  EXPECT_EQ(read->records[0].payload, "alpha");
+}
+
+TEST_F(WalTest, GroupCommitSyncsEveryN) {
+  WalWriterOptions options;
+  options.sync_every = 3;
+  auto wal = WalWriter::Open(path_, options);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(WalRecordType::kInsert, "a").ok());
+  ASSERT_TRUE((*wal)->Append(WalRecordType::kInsert, "b").ok());
+  EXPECT_EQ((*wal)->last_synced_seq(), 0u);  // below the group width
+  ASSERT_TRUE((*wal)->Append(WalRecordType::kInsert, "c").ok());
+  EXPECT_EQ((*wal)->last_synced_seq(), 3u);  // auto group fsync
+  ASSERT_TRUE((*wal)->Append(WalRecordType::kInsert, "d").ok());
+  EXPECT_EQ((*wal)->last_synced_seq(), 3u);
+  ASSERT_TRUE((*wal)->Sync().ok());  // explicit barrier
+  EXPECT_EQ((*wal)->last_synced_seq(), 4u);
+}
+
+TEST_F(WalTest, CrashDiscardsUnsyncedRecords) {
+  WalWriterOptions options;
+  options.sync_every = 10;
+  auto wal = WalWriter::Open(path_, options);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(WalRecordType::kInsert, "durable").ok());
+  ASSERT_TRUE((*wal)->Sync().ok());
+  ASSERT_TRUE((*wal)->Append(WalRecordType::kInsert, "volatile-1").ok());
+  ASSERT_TRUE((*wal)->Append(WalRecordType::kInsert, "volatile-2").ok());
+  ASSERT_TRUE((*wal)->CrashDiscardUnsynced().ok());
+  EXPECT_TRUE((*wal)->broken());
+  EXPECT_EQ((*wal)
+                ->Append(WalRecordType::kInsert, "after crash")
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+
+  auto read = ReadWal(path_);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->records.size(), 1u);
+  EXPECT_EQ(read->records[0].payload, "durable");
+}
+
+TEST_F(WalTest, TruncateEmptiesLogButKeepsNumbering) {
+  auto wal = WalWriter::Open(path_);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(WalRecordType::kInsert, "a").ok());
+  ASSERT_TRUE((*wal)->Append(WalRecordType::kInsert, "b").ok());
+  ASSERT_TRUE((*wal)->Truncate().ok());
+  EXPECT_EQ(std::filesystem::file_size(path_), 0u);
+  auto seq = (*wal)->Append(WalRecordType::kInsert, "c");
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(*seq, 3u);
+}
+
+TEST_F(WalTest, FirstSeqKeepsNumberingMonotoneAcrossReopen) {
+  // A truncated (checkpointed) log scans as empty; the owner passes its
+  // checkpoint seq so new records never reuse covered numbers.
+  {
+    auto wal = WalWriter::Open(path_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(WalRecordType::kInsert, "a").ok());
+    ASSERT_TRUE((*wal)->Truncate().ok());
+  }
+  WalWriterOptions options;
+  options.first_seq = 2;
+  auto wal = WalWriter::Open(path_, options);
+  ASSERT_TRUE(wal.ok());
+  auto seq = (*wal)->Append(WalRecordType::kInsert, "b");
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(*seq, 2u);
+}
+
+TEST_F(WalTest, InjectedAppendFailureLeavesWriterUsable) {
+  auto wal = WalWriter::Open(path_);
+  ASSERT_TRUE(wal.ok());
+  FaultSpec spec;
+  spec.code = StatusCode::kIoError;
+  spec.once = true;
+  FaultInjector::Global().Arm("wal/append", spec);
+  // Fails before any byte is written: the log tail is still known-good.
+  EXPECT_FALSE((*wal)->Append(WalRecordType::kInsert, "dropped").ok());
+  EXPECT_FALSE((*wal)->broken());
+  auto seq = (*wal)->Append(WalRecordType::kInsert, "kept");
+  ASSERT_TRUE(seq.ok());
+  auto read = ReadWal(path_);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->records.size(), 1u);
+  EXPECT_EQ(read->records[0].payload, "kept");
+}
+
+TEST_F(WalTest, InjectedTornWriteBreaksWriterAndRecoversOnReopen) {
+  auto wal = WalWriter::Open(path_);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(WalRecordType::kInsert, "intact").ok());
+
+  FaultSpec torn;
+  torn.code = StatusCode::kIoError;
+  torn.partial_fraction = 0.4;
+  torn.once = true;
+  FaultInjector::Global().Arm("wal/torn_write", torn);
+  EXPECT_FALSE(
+      (*wal)->Append(WalRecordType::kInsert, "this frame tears").ok());
+  EXPECT_TRUE((*wal)->broken());
+  EXPECT_EQ((*wal)->Append(WalRecordType::kInsert, "refused").status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // The torn frame is on disk; recovery cuts it and keeps the prefix.
+  auto read = ReadWal(path_);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->torn_tail);
+  ASSERT_EQ(read->records.size(), 1u);
+  EXPECT_EQ(read->records[0].payload, "intact");
+
+  auto reopened = WalWriter::Open(path_);
+  ASSERT_TRUE(reopened.ok());
+  auto seq = (*reopened)->Append(WalRecordType::kInsert, "after recovery");
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(*seq, 2u);
+}
+
+TEST_F(WalTest, InjectedFsyncFailureBreaksWriter) {
+  WalWriterOptions options;
+  options.sync_every = 2;
+  auto wal = WalWriter::Open(path_, options);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(WalRecordType::kInsert, "a").ok());
+  FaultSpec spec;
+  spec.code = StatusCode::kIoError;
+  spec.once = true;
+  FaultInjector::Global().Arm("wal/fsync", spec);
+  // The second append triggers the group fsync, which fails: the bytes
+  // may or may not be durable, so the writer fail-stops.
+  EXPECT_FALSE((*wal)->Append(WalRecordType::kInsert, "b").ok());
+  EXPECT_TRUE((*wal)->broken());
+}
+
+}  // namespace
+}  // namespace mqa

@@ -23,6 +23,15 @@ Enforced rules (over src/):
               through mqa::Mutex/SharedMutex/CondVar + MutexLock/
               ReaderLock/WriterLock so Clang Thread Safety Analysis sees
               every acquisition. Escape hatch: NOLINT(mqa-raw-mutex).
+  durable-write
+              no write-capable std:: file stream (std::ofstream /
+              std::fstream) in src/ outside the durability layer
+              (storage/durable_file.cc, storage/wal.cc): snapshot and WAL
+              artifacts must be written through WriteFileAtomic (temp +
+              fsync + rename) or the WalWriter so a crash can never leave
+              a half-written file where recovery expects a good one.
+              Read-only std::ifstream is fine. Escape hatch:
+              NOLINT(mqa-durable-write) with a reason.
   wait-while-locked
               no blocking call (Clock::SleepForMicros/SleepForMillis,
               ThreadPool::ParallelFor, FaultInjector latency injection)
@@ -72,6 +81,14 @@ ASSERT_RE = re.compile(r"(^|[^_\w.])assert\s*\(")
 SLEEP_RE = re.compile(r"\bsleep_(for|until)\s*\(")
 GUARD_IF_RE = re.compile(r"^#ifndef\s+(\S+)")
 GUARD_DEF_RE = re.compile(r"^#define\s+(\S+)")
+
+# durable-write: write-capable file streams banned outside the durability
+# layer; snapshots and WAL frames must go through WriteFileAtomic/WalWriter.
+DURABLE_WRITE_RE = re.compile(r"\bstd::(ofstream|fstream)\b")
+DURABLE_LAYER = (
+    os.path.join("storage", "durable_file.cc"),
+    os.path.join("storage", "wal.cc"),
+)
 
 # raw-mutex: std synchronization vocabulary banned outside common/sync.h.
 RAW_MUTEX_RE = re.compile(
@@ -364,6 +381,15 @@ def lint_file(root, path, errors, graph):
                     "%s:%d: [sleep] direct sleep_for/sleep_until; go "
                     "through mqa::Clock (common/clock.h) so the wait is "
                     "mockable in tests" % (rel, i))
+
+        if DURABLE_WRITE_RE.search(code) and not has_nolint:
+            if not rel.endswith(DURABLE_LAYER):
+                errors.append(
+                    "%s:%d: [durable-write] write-capable std:: file "
+                    "stream; write through WriteFileAtomic "
+                    "(storage/durable_file.h) or the WalWriter so a crash "
+                    "cannot leave a torn artifact, or mark "
+                    "NOLINT(mqa-durable-write) with a reason" % (rel, i))
 
         if (RAW_MUTEX_RE.search(code) and not has_nolint
                 and not is_sync_header(rel)):

@@ -459,6 +459,72 @@ class WaitWhileLockedRuleTest(unittest.TestCase):
             [e for e in errors if "[wait-while-locked]" in e], [])
 
 
+class DurableWriteRuleTest(unittest.TestCase):
+    def test_flags_ofstream_outside_durability_layer(self):
+        errors, _, _ = lint_src({
+            "src/core/persistence.cc": """
+                namespace mqa {
+                void Save() {
+                  std::ofstream out("snapshot-3/kb.bin");
+                }
+                }  // namespace mqa
+            """,
+        })
+        hits = [e for e in errors if "[durable-write]" in e]
+        self.assertEqual(len(hits), 1)
+        self.assertIn("WriteFileAtomic", hits[0])
+
+    def test_flags_write_capable_fstream(self):
+        errors, _, _ = lint_src({
+            "src/core/persistence.cc": """
+                namespace mqa {
+                std::fstream io("wal.log", std::ios::in | std::ios::out);
+                }  // namespace mqa
+            """,
+        })
+        self.assertEqual(
+            len([e for e in errors if "[durable-write]" in e]), 1)
+
+    def test_read_only_ifstream_is_fine(self):
+        errors, _, _ = lint_src({
+            "src/core/persistence.cc": """
+                namespace mqa {
+                std::ifstream in("snapshot-3/kb.bin");
+                }  // namespace mqa
+            """,
+        })
+        self.assertEqual(
+            [e for e in errors if "[durable-write]" in e], [])
+
+    def test_durability_layer_is_exempt(self):
+        errors, _, _ = lint_src({
+            "src/storage/durable_file.cc": """
+                namespace mqa {
+                std::ofstream out(tmp_path);
+                }  // namespace mqa
+            """,
+            "src/storage/wal.cc": """
+                namespace mqa {
+                std::ofstream log(path, std::ios::app);
+                }  // namespace mqa
+            """,
+        })
+        self.assertEqual(
+            [e for e in errors if "[durable-write]" in e], [])
+
+    def test_nolint_escape(self):
+        errors, _, _ = lint_src({
+            "src/core/debug_dump.cc": """
+                namespace mqa {
+                // NOLINT(mqa-durable-write): debug dump, not recovery state
+                std::ofstream out("/tmp/dump.txt");
+                }  // namespace mqa
+            """,
+        })
+        self.assertEqual(
+            [e for e in errors if "[durable-write]" in e], [])
+
+
 class CompileCommandsDiscoveryTest(unittest.TestCase):
     def test_picks_newest_build_dir(self):
         with tempfile.TemporaryDirectory() as tmp:
