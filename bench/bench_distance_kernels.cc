@@ -5,9 +5,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <limits>
+
 #include "bench_util.h"
 #include "common/random.h"
 #include "vector/multi_distance.h"
+#include "vector/simd/simd.h"
+#include "vector/sketch.h"
 #include "vector/vector_store.h"
 
 namespace mqa {
@@ -83,6 +87,69 @@ void BM_WeightedMultiPruned(benchmark::State& state) {
 }
 BENCHMARK(BM_WeightedMultiPruned)->Arg(10)->Arg(50)->Arg(150);
 
+// The batched rerank path: one query against N contiguous padded rows
+// (disk-index pivot scans, brute-force chunks). Same per-row kernel as
+// BM_WeightedMultiExact plus cross-row prefetch.
+void BM_WeightedMultiExactBatch(benchmark::State& state) {
+  const uint32_t n = 1024;
+  VectorSchema schema;
+  schema.dims = {32, 32, 32, 32};
+  auto dist =
+      WeightedMultiDistance::Create(schema, {1.0f, 2.0f, 3.0f, 4.0f});
+  VectorStore store(schema);
+  Rng rng(6);
+  for (uint32_t i = 0; i < n; ++i) {
+    (void)store.Add(RandomVector(schema.TotalDim(), &rng));
+  }
+  const Vector q = RandomVector(schema.TotalDim(), &rng);
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    dist->ExactBatch(q.data(), store.data(0), store.row_stride(), n,
+                     out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_WeightedMultiExactBatch);
+
+// Bounded scan with the popcount prefilter in front of the incremental
+// scan, in the regime the prefilter targets: the query is a near-duplicate
+// of a stored object, so the running top-1 bound tightens immediately and
+// most candidates die on a 4-word XOR+popcount instead of a float kernel.
+// (With a loose bound the sketch floors never reject and the prefilter is
+// pure overhead — that regime is measured by the /0 leg's pruning path.)
+void BM_SketchPrefilterScan(benchmark::State& state) {
+  const bool prefilter = state.range(0) != 0;
+  const uint32_t n = 4096;
+  VectorSchema schema;
+  schema.dims = {32, 32, 32, 32};
+  auto wd = WeightedMultiDistance::Create(schema, {1.0f, 1.0f, 1.0f, 1.0f});
+  VectorStore store(schema);
+  Rng rng(7);
+  for (uint32_t i = 0; i < n; ++i) {
+    (void)store.Add(RandomVector(schema.TotalDim(), &rng));
+  }
+  MultiVectorDistanceComputer dist(&store, *wd, /*enable_pruning=*/true);
+  BitSketchIndex sketches(schema);
+  if (prefilter) {
+    sketches.Rebuild(store);
+    dist.SetSketches(&sketches);
+  }
+  Vector q = store.Row(0);
+  for (auto& x : q) x += static_cast<float>(rng.Gaussian()) * 1e-3f;
+  for (auto _ : state) {
+    dist.BeginQuery(q.data());
+    float best = std::numeric_limits<float>::max();
+    for (uint32_t i = 0; i < n; ++i) {
+      const float d = dist.DistanceWithBound(q.data(), i, best);
+      if (d < best) best = d;
+    }
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SketchPrefilterScan)->Arg(0)->Arg(1);
+
 void BM_FlatStoreScan(benchmark::State& state) {
   const uint32_t n = 10000;
   VectorSchema schema;
@@ -133,6 +200,10 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   mqa::bench::JsonReporter report("bench_distance_kernels");
+  // Recorded so ratio gates (tools/bench_check.py --compare) can tell a
+  // scalar-pinned run from a dispatched one and skip same-level pairs.
+  report.AddConfig("simd_level",
+                   std::string(mqa::SimdLevelName(mqa::ActiveSimdLevel())));
   mqa::CaptureReporter console(&report);
   benchmark::RunSpecifiedBenchmarks(&console);
   if (!args.json_path.empty() && !report.WriteToFile(args.json_path)) {

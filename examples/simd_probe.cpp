@@ -1,0 +1,49 @@
+// Tiny CPU-capability probe for the dispatched distance kernels.
+//
+//   simd_probe               human-readable report of detected/active level
+//   simd_probe --supported   machine-readable: one supported level per line
+//   simd_probe --check LVL   exit 0 if LVL is supported on this CPU, 3 if
+//                            not (used by CI to skip unsupported matrix
+//                            legs with an explicit log line)
+
+#include <cstdio>
+#include <cstring>
+
+#include "vector/simd/simd.h"
+
+int main(int argc, char** argv) {
+  using mqa::CpuSupports;
+  using mqa::SimdLevel;
+  using mqa::SimdLevelName;
+
+  const SimdLevel levels[] = {SimdLevel::kScalar, SimdLevel::kAvx2,
+                              SimdLevel::kAvx512};
+  if (argc >= 2 && std::strcmp(argv[1], "--supported") == 0) {
+    for (SimdLevel level : levels) {
+      if (CpuSupports(level)) std::printf("%s\n", SimdLevelName(level));
+    }
+    return 0;
+  }
+  if (argc >= 3 && std::strcmp(argv[1], "--check") == 0) {
+    auto parsed = mqa::SimdLevelFromString(argv[2]);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "simd_probe: unknown level '%s'\n", argv[2]);
+      return 2;
+    }
+    if (!CpuSupports(*parsed)) {
+      std::printf("simd_probe: level %s not supported on this CPU\n",
+                  argv[2]);
+      return 3;
+    }
+    std::printf("simd_probe: level %s supported\n", argv[2]);
+    return 0;
+  }
+
+  std::printf("detected: %s\n", SimdLevelName(mqa::DetectedSimdLevel()));
+  std::printf("active:   %s\n", SimdLevelName(mqa::ActiveSimdLevel()));
+  for (SimdLevel level : levels) {
+    std::printf("%-7s %s\n", SimdLevelName(level),
+                CpuSupports(level) ? "supported" : "unsupported");
+  }
+  return 0;
+}

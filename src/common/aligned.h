@@ -1,0 +1,58 @@
+#ifndef MQA_COMMON_ALIGNED_H_
+#define MQA_COMMON_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace mqa {
+
+/// Minimal over-aligned allocator so hot flat buffers (vector rows, pivot
+/// tables) start on a cache-line/SIMD-register boundary. Stateless, so
+/// containers using it stay copyable/movable/swappable like plain
+/// std::vector.
+template <typename T, size_t Alignment>
+struct AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "Alignment must not weaken the type's natural alignment");
+
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  explicit AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, size_t n) {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Alignment));
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+/// SIMD-friendly alignment for float buffers: one AVX-512 register / one
+/// cache line. All rows of a padded row-major buffer whose stride is a
+/// multiple of kSimdAlignment/sizeof(float) share this alignment.
+inline constexpr size_t kSimdAlignment = 64;
+
+using AlignedFloatVector =
+    std::vector<float, AlignedAllocator<float, kSimdAlignment>>;
+
+}  // namespace mqa
+
+#endif  // MQA_COMMON_ALIGNED_H_

@@ -157,6 +157,12 @@ struct MqaConfig {
   // --- Serving (multi-session server + cross-query batching) ---
   ServingOptions serving;
 
+  /// SIMD tier of the distance kernels: "auto" (detect via CPUID),
+  /// "scalar", "avx2" or "avx512". Requests above what the CPU supports
+  /// clamp down with a logged note; the MQA_SIMD_LEVEL environment
+  /// variable is consulted when this is left at "auto".
+  std::string simd_level = "auto";
+
   uint64_t seed = 42;
 };
 

@@ -2,6 +2,7 @@
 
 #include "common/clock.h"
 #include "common/fault.h"
+#include "common/logging.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/timer.h"
@@ -83,6 +84,19 @@ Result<std::unique_ptr<Coordinator>> Coordinator::Create(
   std::unique_ptr<Coordinator> c(new Coordinator());
   c->config_ = config;
   c->InitCompaction();
+
+  // Pin the distance-kernel dispatch before any index work. "auto" leaves
+  // resolution to the environment (MQA_SIMD_LEVEL) and CPUID; an explicit
+  // request above the CPU's ceiling clamps down with a note.
+  if (config.simd_level != "auto" && !config.simd_level.empty()) {
+    std::string note;
+    const SimdLevel level =
+        ResolveSimdLevel(config.simd_level, DetectedSimdLevel(), &note);
+    if (!note.empty()) MQA_LOG(Warning) << "simd: " << note;
+    MQA_RETURN_NOT_OK(SetSimdLevel(level));
+  }
+  MQA_LOG(Info) << "simd: distance kernels at level "
+                << SimdLevelName(ActiveSimdLevel());
 
   // Trace the offline pipeline: stage spans below nest under build/root,
   // and DAG stages dispatched to pool threads re-attach via the ambient

@@ -248,13 +248,16 @@ Result<std::vector<Neighbor>> DiskGraphIndex::Search(
 
   if (!pivot_ids_.empty()) {
     // In-memory navigation: scan the RAM pivots (no I/O) and start the
-    // on-disk traversal from the closest few.
+    // on-disk traversal from the closest few. The pivot table is one
+    // contiguous row-major block, so the whole rerank scan goes through the
+    // batched kernel, which prefetches each next pivot row.
     TopK best_pivots(4);
+    std::vector<float> pivot_dists(pivot_ids_.size());
+    weighted_.ExactBatch(query, pivot_vectors_.data(), dim_,
+                         pivot_ids_.size(), pivot_dists.data());
     for (size_t i = 0; i < pivot_ids_.size(); ++i) {
-      const float d =
-          weighted_.Exact(query, pivot_vectors_.data() + i * dim_);
       ++local.dist_comps;
-      best_pivots.Push(d, pivot_ids_[i]);
+      best_pivots.Push(pivot_dists[i], pivot_ids_[i]);
     }
     for (const Neighbor& p : best_pivots.TakeSorted()) {
       if (visited[p.id]) continue;

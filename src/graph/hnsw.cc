@@ -46,6 +46,7 @@ void HnswIndex::Insert(uint32_t id) {
   }
 
   const float* q = store_->data(id);
+  dist_->BeginQuery(q);
   uint32_t cur = entry_point_;
   float cur_dist = dist_->Distance(q, cur);
 
@@ -119,15 +120,24 @@ std::vector<Neighbor> HnswIndex::SearchLayer(const float* query,
   beam.Push(entry_dist, entry);
   if (filter && filter(entry)) admitted.Push(entry_dist, entry);
 
+  // Two-pass adjacency scan (collect + prefetch, then score), same as
+  // BeamSearch in graph/search.cc; scoring order is unchanged.
+  std::vector<uint32_t> to_score;
+
   while (!frontier.empty()) {
     const Neighbor current = frontier.top();
     frontier.pop();
     if (beam.Full() && current.distance > beam.WorstDistance()) break;
     if (stats != nullptr) ++stats->hops;
     if (static_cast<size_t>(layer) >= links_[current.id].size()) continue;
+    to_score.clear();
     for (uint32_t nbr : links_[current.id][layer]) {
       if (visited[nbr]) continue;
       visited[nbr] = true;
+      to_score.push_back(nbr);
+    }
+    for (uint32_t nbr : to_score) dist_->Prefetch(nbr);
+    for (uint32_t nbr : to_score) {
       const float bound = beam.Full() ? beam.WorstDistance()
                                       : std::numeric_limits<float>::max();
       const float d = dist_->DistanceWithBound(query, nbr, bound);
@@ -182,6 +192,7 @@ Result<std::vector<Neighbor>> HnswIndex::Search(const float* query,
   if (params.k == 0) return Status::InvalidArgument("k must be > 0");
   if (levels_.empty()) return Status::FailedPrecondition("empty index");
 
+  dist_->BeginQuery(query);
   uint32_t cur = entry_point_;
   float cur_dist = dist_->Distance(query, cur);
   if (stats != nullptr) ++stats->dist_comps;

@@ -21,6 +21,7 @@ std::vector<Neighbor> BeamSearch(const AdjacencyGraph& graph,
   const uint32_t n = graph.num_nodes();
   if (n == 0 || entries.empty()) return {};
   beam_width = std::max(beam_width, k);
+  dist->BeginQuery(query);
 
   std::vector<bool> visited(n, false);
 
@@ -51,6 +52,12 @@ std::vector<Neighbor> BeamSearch(const AdjacencyGraph& graph,
     offer(d, e);
   }
 
+  // Adjacency-scan scratch, reused across hops. Unvisited neighbors are
+  // collected first and their rows prefetched together, so by the time each
+  // one is scored its vector is already on the way to L1; scoring order and
+  // bound updates are exactly those of the one-pass loop.
+  std::vector<uint32_t> to_score;
+
   while (!frontier.empty()) {
     const Neighbor current = frontier.top();
     frontier.pop();
@@ -58,9 +65,14 @@ std::vector<Neighbor> BeamSearch(const AdjacencyGraph& graph,
     if (beam.Full() && current.distance > beam.WorstDistance()) break;
     if (stats != nullptr) ++stats->hops;
 
+    to_score.clear();
     for (uint32_t nbr : graph.neighbors(current.id)) {
       if (visited[nbr]) continue;
       visited[nbr] = true;
+      to_score.push_back(nbr);
+    }
+    for (uint32_t nbr : to_score) dist->Prefetch(nbr);
+    for (uint32_t nbr : to_score) {
       const float bound = beam.Full() ? beam.WorstDistance()
                                       : std::numeric_limits<float>::max();
       const float d = dist->DistanceWithBound(query, nbr, bound);
@@ -171,6 +183,23 @@ Result<std::vector<Neighbor>> BruteForceIndex::Search(
   const uint32_t n = dist_->size();
   if (n == 0) return Status::FailedPrecondition("empty index");
   TopK topk(params.k);
+  dist_->BeginQuery(query);
+  if (!params.filter && !dist_->PrunesWithBound()) {
+    // Exact linear scan: no per-candidate branch can skip work, so chunked
+    // batches let the computer overlap each row's fetch with the previous
+    // row's arithmetic. Bitwise identical to the per-candidate loop below.
+    constexpr uint32_t kChunk = 256;
+    std::vector<uint32_t> ids(kChunk);
+    std::vector<float> dists(kChunk);
+    for (uint32_t start = 0; start < n; start += kChunk) {
+      const uint32_t count = std::min(kChunk, n - start);
+      for (uint32_t i = 0; i < count; ++i) ids[i] = start + i;
+      dist_->DistanceBatch(query, ids.data(), count, dists.data());
+      if (stats != nullptr) stats->dist_comps += count;
+      for (uint32_t i = 0; i < count; ++i) topk.Push(dists[i], start + i);
+    }
+    return topk.TakeSorted();
+  }
   for (uint32_t i = 0; i < n; ++i) {
     if (params.filter && !params.filter(i)) continue;
     const float bound = topk.Full() ? topk.WorstDistance()

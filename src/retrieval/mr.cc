@@ -83,9 +83,18 @@ Result<RetrievalResult> MrFramework::Retrieve(const RetrievalQuery& query,
   }
 
   // Stage 2: merge — re-score the union with the weighted sum of
-  // per-modality distances over the *present* modalities.
+  // per-modality distances over the *present* modalities. The candidate
+  // set is materialized so the next candidate's per-modality rows can be
+  // prefetched while the current one is being reduced.
   TopK topk(params.k);
-  for (uint32_t id : candidates) {
+  std::vector<uint32_t> cand_list(candidates.begin(), candidates.end());
+  for (size_t c = 0; c < cand_list.size(); ++c) {
+    if (c + 1 < cand_list.size()) {
+      for (size_t m : present) {
+        PrefetchRead(stores_[m]->data(cand_list[c + 1]));
+      }
+    }
+    const uint32_t id = cand_list[c];
     float fused = 0.0f;
     for (size_t m : present) {
       const Vector& part = query.modalities.parts[m];

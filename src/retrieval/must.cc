@@ -68,6 +68,14 @@ Result<std::unique_ptr<MustFramework>> MustFramework::Create(
   // with the temporary in-memory graph; the disk index owns its own copy.
   fw->disk_ = dynamic_cast<DiskGraphIndex*>(fw->index_.get());
   if (fw->disk_ == nullptr) fw->dist_ = dist_raw;
+  // Sketches attach after the build so the graph construction itself is
+  // unchanged; searches get the prefilter from the first query on.
+  if (fw->dist_ != nullptr && index_config.sketch_prefilter) {
+    fw->sketch_scale_ = index_config.sketch_scale;
+    fw->sketches_ = std::make_unique<BitSketchIndex>(fw->corpus_->schema());
+    fw->sketches_->Rebuild(*fw->corpus_);
+    fw->dist_->SetSketches(fw->sketches_.get(), fw->sketch_scale_);
+  }
   return fw;
 }
 
@@ -95,6 +103,9 @@ Result<std::unique_ptr<MustFramework>> MustFramework::CreateFromSavedIndex(
   fw->pruning_ = enable_pruning;
   fw->index_ = std::move(index);
   fw->dist_ = dist_raw;
+  fw->sketches_ = std::make_unique<BitSketchIndex>(fw->corpus_->schema());
+  fw->sketches_->Rebuild(*fw->corpus_);
+  fw->dist_->SetSketches(fw->sketches_.get(), fw->sketch_scale_);
   return fw;
 }
 
@@ -107,17 +118,23 @@ Status MustFramework::IngestAppended(const GraphBuildConfig& config) {
     return Status::FailedPrecondition("append the encoded vector first");
   }
   const uint32_t new_id = corpus_->size() - 1;
-  if (auto* graph = dynamic_cast<GraphIndex*>(index_.get())) {
-    return InsertIntoGraphIndex(graph, corpus_.get(), new_id, config);
-  }
-  if (auto* hnsw = dynamic_cast<HnswIndex*>(index_.get())) {
-    return hnsw->InsertAppended();
-  }
-  if (dynamic_cast<BruteForceIndex*>(index_.get()) != nullptr) {
-    return Status::OK();  // scans the store; nothing to update
-  }
-  return Status::Unimplemented(
+  Status linked = Status::Unimplemented(
       "the disk-resident index is immutable; rebuild to ingest");
+  if (auto* graph = dynamic_cast<GraphIndex*>(index_.get())) {
+    linked = InsertIntoGraphIndex(graph, corpus_.get(), new_id, config);
+  } else if (auto* hnsw = dynamic_cast<HnswIndex*>(index_.get())) {
+    linked = hnsw->InsertAppended();
+  } else if (dynamic_cast<BruteForceIndex*>(index_.get()) != nullptr) {
+    linked = Status::OK();  // scans the store; nothing to update
+  }
+  if (linked.ok() && sketches_ != nullptr) {
+    // Catch the sketches up to the store (ids beyond sketches_->size()
+    // were simply unfiltered until now).
+    for (uint32_t id = sketches_->size(); id < corpus_->size(); ++id) {
+      sketches_->Append(corpus_->data(id));
+    }
+  }
+  return linked;
 }
 
 const DistanceStats& MustFramework::distance_stats() const {
@@ -216,6 +233,12 @@ Status MustFramework::CompactTombstones(const std::vector<uint32_t>& remap,
                                         std::move(dist), std::move(entries));
   dist_ = dist_raw;
   disk_ = nullptr;
+  if (sketches_ != nullptr) {
+    // The corpus rows moved under compaction; re-sketch them all and
+    // attach to the replacement computer.
+    sketches_->Rebuild(*corpus_);
+    dist_->SetSketches(sketches_.get(), sketch_scale_);
+  }
   ClearTombstones();
   return Status::OK();
 }

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/metrics.h"
+#include "vector/simd/simd.h"
 
 namespace mqa {
 
@@ -32,6 +34,14 @@ Server::Server(std::unique_ptr<Coordinator> coordinator,
       breaker_(MakeBreakerConfig(options), options.clock),
       queue_(std::max<size_t>(1, options.queue_capacity)) {
   if (options_.num_workers == 0) options_.num_workers = 1;
+  // Surface the resolved kernel tier where operators look first: the
+  // startup log and a gauge (0 = scalar, 1 = avx2, 2 = avx512).
+  const SimdLevel simd = ActiveSimdLevel();
+  MQA_LOG(Info) << "server: distance kernels at simd level "
+                << SimdLevelName(simd);
+  MetricsRegistry::Global()
+      .GetGauge("server/simd_level")
+      ->Set(static_cast<double>(static_cast<int>(simd)));
   InstallBatchers();
   workers_.reserve(options_.num_workers);
   for (size_t i = 0; i < options_.num_workers; ++i) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "vector/simd/simd.h"
 
 namespace mqa {
 
@@ -29,40 +30,13 @@ const char* MetricToString(Metric metric) {
 }
 
 float L2Sq(const float* a, const float* b, size_t dim) {
-  // Four accumulators so the compiler can vectorize without reassociation
-  // concerns; the tail is handled scalar.
-  float s0 = 0, s1 = 0, s2 = 0, s3 = 0;
-  size_t i = 0;
-  for (; i + 4 <= dim; i += 4) {
-    const float d0 = a[i] - b[i];
-    const float d1 = a[i + 1] - b[i + 1];
-    const float d2 = a[i + 2] - b[i + 2];
-    const float d3 = a[i + 3] - b[i + 3];
-    s0 += d0 * d0;
-    s1 += d1 * d1;
-    s2 += d2 * d2;
-    s3 += d3 * d3;
-  }
-  float sum = s0 + s1 + s2 + s3;
-  for (; i < dim; ++i) {
-    const float d = a[i] - b[i];
-    sum += d * d;
-  }
-  return sum;
+  // Dispatched to the active ISA tier (see vector/simd/); the scalar tier
+  // keeps the historical four-accumulator loop bit-identically.
+  return ActiveKernels().l2sq(a, b, dim);
 }
 
 float Dot(const float* a, const float* b, size_t dim) {
-  float s0 = 0, s1 = 0, s2 = 0, s3 = 0;
-  size_t i = 0;
-  for (; i + 4 <= dim; i += 4) {
-    s0 += a[i] * b[i];
-    s1 += a[i + 1] * b[i + 1];
-    s2 += a[i + 2] * b[i + 2];
-    s3 += a[i + 3] * b[i + 3];
-  }
-  float sum = s0 + s1 + s2 + s3;
-  for (; i < dim; ++i) sum += a[i] * b[i];
-  return sum;
+  return ActiveKernels().dot(a, b, dim);
 }
 
 float Norm(const float* a, size_t dim) { return std::sqrt(Dot(a, a, dim)); }
@@ -90,16 +64,14 @@ float ComputeDistance(Metric metric, const float* a, const float* b,
 float L2SqEarlyAbandon(const float* a, const float* b, size_t dim,
                        float bound, size_t* dims_scanned) {
   constexpr size_t kBlock = 16;
+  const DistanceKernels& kernels = ActiveKernels();
   float sum = 0.0f;
   size_t i = 0;
   while (i < dim) {
-    const size_t begin = i;
     const size_t end = std::min(dim, i + kBlock);
-    for (; i < end; ++i) {
-      const float d = a[i] - b[i];
-      sum += d * d;
-    }
-    if (dims_scanned != nullptr) *dims_scanned += end - begin;
+    sum += kernels.l2sq(a + i, b + i, end - i);
+    if (dims_scanned != nullptr) *dims_scanned += end - i;
+    i = end;
     if (sum > bound) return sum;
   }
   return sum;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "vector/simd/simd.h"
+
 namespace mqa {
 
 Result<WeightedMultiDistance> WeightedMultiDistance::Create(
@@ -35,12 +37,29 @@ WeightedMultiDistance::WeightedMultiDistance(VectorSchema schema,
 }
 
 float WeightedMultiDistance::Exact(const float* q, const float* o) const {
-  float sum = 0.0f;
-  for (size_t m = 0; m < schema_.num_modalities(); ++m) {
-    sum += weights_[m] *
-           L2Sq(q + offsets_[m], o + offsets_[m], schema_.dims[m]);
+  // One fused dispatch call: the SIMD tiers carry the weighted accumulator
+  // across modality segments in vector registers, with a single horizontal
+  // reduction; the scalar tier reproduces the historical per-modality loop
+  // bit for bit.
+  return ActiveKernels().wl2sq(q, o, offsets_.data(), schema_.dims.data(),
+                               weights_.data(), schema_.num_modalities());
+}
+
+void WeightedMultiDistance::ExactBatch(const float* q, const float* base,
+                                       size_t stride, size_t n,
+                                       float* out) const {
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = base + i * stride;
+    if (i + 1 < n) {
+      // Pull the next row toward L1 while this one is being reduced. One
+      // hint per cache line; rows are stride floats apart.
+      const float* next = row + stride;
+      for (size_t b = 0; b < stride * sizeof(float); b += 64) {
+        PrefetchRead(reinterpret_cast<const char*>(next) + b);
+      }
+    }
+    out[i] = Exact(q, row);
   }
-  return sum;
 }
 
 float WeightedMultiDistance::Pruned(const float* q, const float* o,

@@ -22,6 +22,9 @@ struct DistanceStats {
   std::atomic<uint64_t> full_computations{0};    ///< computed to completion
   std::atomic<uint64_t> pruned_computations{0};  ///< abandoned early
   std::atomic<uint64_t> dims_scanned{0};  ///< float components visited
+  /// Subset of pruned_computations rejected by the bit-sketch prefilter
+  /// before any float was touched (see vector/sketch.h).
+  std::atomic<uint64_t> sketch_rejects{0};
 
   DistanceStats() = default;
   DistanceStats(const DistanceStats& other) { CopyFrom(other); }
@@ -34,6 +37,7 @@ struct DistanceStats {
     full_computations = 0;
     pruned_computations = 0;
     dims_scanned = 0;
+    sketch_rejects = 0;
   }
 
   uint64_t TotalComputations() const {
@@ -45,6 +49,7 @@ struct DistanceStats {
     full_computations.store(other.full_computations.load());
     pruned_computations.store(other.pruned_computations.load());
     dims_scanned.store(other.dims_scanned.load());
+    sketch_rejects.store(other.sketch_rejects.load());
   }
 };
 
@@ -66,6 +71,15 @@ class WeightedMultiDistance {
   /// Exact distance between two flattened multi-vectors (length
   /// schema.TotalDim() each).
   float Exact(const float* q, const float* o) const;
+
+  /// Exact distances from `q` to `n` candidate rows laid out at `base`,
+  /// `base + stride`, ... (a contiguous VectorStore/pivot-table scan).
+  /// Row i's result lands in out[i]. Each row goes through the same Exact
+  /// kernel — results are bitwise identical to n individual calls — while
+  /// the next row is prefetched, so linear rerank scans hide memory
+  /// latency behind the arithmetic.
+  void ExactBatch(const float* q, const float* base, size_t stride, size_t n,
+                  float* out) const;
 
   /// Distance with early abandonment at `bound`. Returns a value > bound
   /// (not necessarily exact) when abandoned. `stats` may be null.

@@ -1,0 +1,117 @@
+// AVX2+FMA kernels: two 8-wide FMA accumulator chains plus a scalar tail.
+// This translation unit is the only place (besides kernels_avx512.cc)
+// allowed to include <immintrin.h> (lint rule `raw-intrinsics`), and it is
+// compiled with -mavx2 -mfma on x86_64 builds only; the functions are
+// reached solely through the dispatch table after a CPUID check.
+
+#include "vector/simd/kernels.h"
+
+#if defined(MQA_SIMD_X86)
+#include <immintrin.h>
+#endif
+
+namespace mqa {
+namespace simd_internal {
+
+#if defined(MQA_SIMD_X86)
+
+namespace {
+
+float HorizontalSum256(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+  return _mm_cvtss_f32(s);
+}
+
+float L2SqAvx2(const float* a, const float* b, size_t dim) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    const __m256 d0 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    const __m256 d1 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i + 8), _mm256_loadu_ps(b + i + 8));
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+  }
+  for (; i + 8 <= dim; i += 8) {
+    const __m256 d =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc0 = _mm256_fmadd_ps(d, d, acc0);
+  }
+  float sum = HorizontalSum256(_mm256_add_ps(acc0, acc1));
+  for (; i < dim; ++i) {
+    const float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+float DotAvx2(const float* a, const float* b, size_t dim) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+  }
+  for (; i + 8 <= dim; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+  }
+  float sum = HorizontalSum256(_mm256_add_ps(acc0, acc1));
+  for (; i < dim; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+/// Weighted multi-segment L2 in one pass: the weighted accumulator stays
+/// in a vector register across segments (one fmadd per segment with the
+/// broadcast weight) and is reduced horizontally exactly once. Scalar
+/// tails of each segment accumulate separately, weighted at the end.
+float WL2SqAvx2(const float* q, const float* o, const size_t* offsets,
+                const uint32_t* dims, const float* weights, size_t num_m) {
+  __m256 acc = _mm256_setzero_ps();
+  float tail_sum = 0.0f;
+  for (size_t m = 0; m < num_m; ++m) {
+    const float* a = q + offsets[m];
+    const float* b = o + offsets[m];
+    const size_t dim = dims[m];
+    __m256 seg = _mm256_setzero_ps();
+    size_t i = 0;
+    for (; i + 8 <= dim; i += 8) {
+      const __m256 d =
+          _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+      seg = _mm256_fmadd_ps(d, d, seg);
+    }
+    acc = _mm256_fmadd_ps(_mm256_set1_ps(weights[m]), seg, acc);
+    float seg_tail = 0.0f;
+    for (; i < dim; ++i) {
+      const float d = a[i] - b[i];
+      seg_tail += d * d;
+    }
+    tail_sum += weights[m] * seg_tail;
+  }
+  return HorizontalSum256(acc) + tail_sum;
+}
+
+}  // namespace
+
+const DistanceKernels* Avx2KernelsOrNull() {
+  static const DistanceKernels kTable = {&L2SqAvx2, &DotAvx2, &WL2SqAvx2};
+  return &kTable;
+}
+
+#else  // !MQA_SIMD_X86
+
+const DistanceKernels* Avx2KernelsOrNull() { return nullptr; }
+
+#endif  // MQA_SIMD_X86
+
+}  // namespace simd_internal
+}  // namespace mqa

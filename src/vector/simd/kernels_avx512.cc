@@ -1,0 +1,112 @@
+// AVX-512F kernels: 16-wide FMA with masked-load tails (no scalar tail
+// loop, so remainder dims 1..15 stay in vector registers). Compiled with
+// -mavx512f on x86_64 builds only and reached solely through the dispatch
+// table after a CPUID check; this is one of the two translation units
+// allowed to include <immintrin.h> (lint rule `raw-intrinsics`).
+
+#include "vector/simd/kernels.h"
+
+#if defined(MQA_SIMD_X86)
+#include <immintrin.h>
+#endif
+
+namespace mqa {
+namespace simd_internal {
+
+#if defined(MQA_SIMD_X86)
+
+namespace {
+
+float L2SqAvx512(const float* a, const float* b, size_t dim) {
+  __m512 acc0 = _mm512_setzero_ps();
+  __m512 acc1 = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    const __m512 d0 =
+        _mm512_sub_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i));
+    const __m512 d1 = _mm512_sub_ps(_mm512_loadu_ps(a + i + 16),
+                                    _mm512_loadu_ps(b + i + 16));
+    acc0 = _mm512_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm512_fmadd_ps(d1, d1, acc1);
+  }
+  for (; i + 16 <= dim; i += 16) {
+    const __m512 d =
+        _mm512_sub_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i));
+    acc0 = _mm512_fmadd_ps(d, d, acc0);
+  }
+  if (i < dim) {
+    const __mmask16 tail = static_cast<__mmask16>((1u << (dim - i)) - 1u);
+    const __m512 d = _mm512_sub_ps(_mm512_maskz_loadu_ps(tail, a + i),
+                                   _mm512_maskz_loadu_ps(tail, b + i));
+    acc1 = _mm512_fmadd_ps(d, d, acc1);
+  }
+  return _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
+}
+
+float DotAvx512(const float* a, const float* b, size_t dim) {
+  __m512 acc0 = _mm512_setzero_ps();
+  __m512 acc1 = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i + 16),
+                           _mm512_loadu_ps(b + i + 16), acc1);
+  }
+  for (; i + 16 <= dim; i += 16) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i),
+                           acc0);
+  }
+  if (i < dim) {
+    const __mmask16 tail = static_cast<__mmask16>((1u << (dim - i)) - 1u);
+    acc1 = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(tail, a + i),
+                           _mm512_maskz_loadu_ps(tail, b + i), acc1);
+  }
+  return _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
+}
+
+/// Weighted multi-segment L2 in one pass: per-segment vector sums are
+/// folded into a single weighted accumulator register (one fmadd with the
+/// broadcast weight per segment) and reduced horizontally exactly once.
+/// Masked tails keep remainder dims 1..15 in vector registers.
+float WL2SqAvx512(const float* q, const float* o, const size_t* offsets,
+                  const uint32_t* dims, const float* weights, size_t num_m) {
+  __m512 acc = _mm512_setzero_ps();
+  for (size_t m = 0; m < num_m; ++m) {
+    const float* a = q + offsets[m];
+    const float* b = o + offsets[m];
+    const size_t dim = dims[m];
+    __m512 seg = _mm512_setzero_ps();
+    size_t i = 0;
+    for (; i + 16 <= dim; i += 16) {
+      const __m512 d =
+          _mm512_sub_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i));
+      seg = _mm512_fmadd_ps(d, d, seg);
+    }
+    if (i < dim) {
+      const __mmask16 tail = static_cast<__mmask16>((1u << (dim - i)) - 1u);
+      const __m512 d = _mm512_sub_ps(_mm512_maskz_loadu_ps(tail, a + i),
+                                     _mm512_maskz_loadu_ps(tail, b + i));
+      seg = _mm512_fmadd_ps(d, d, seg);
+    }
+    acc = _mm512_fmadd_ps(_mm512_set1_ps(weights[m]), seg, acc);
+  }
+  return _mm512_reduce_add_ps(acc);
+}
+
+}  // namespace
+
+const DistanceKernels* Avx512KernelsOrNull() {
+  static const DistanceKernels kTable = {&L2SqAvx512, &DotAvx512,
+                                         &WL2SqAvx512};
+  return &kTable;
+}
+
+#else  // !MQA_SIMD_X86
+
+const DistanceKernels* Avx512KernelsOrNull() { return nullptr; }
+
+#endif  // MQA_SIMD_X86
+
+}  // namespace simd_internal
+}  // namespace mqa

@@ -1,0 +1,70 @@
+// Portable scalar kernels — the dispatch fallback and the reference the
+// parity fuzz suite compares every SIMD tier against. The loop structure
+// (four independent accumulators, scalar tail) is kept bit-identical to
+// the pre-dispatch implementation in vector/distance.cc so scalar-level
+// runs reproduce historical results exactly.
+
+#include "vector/simd/kernels.h"
+
+namespace mqa {
+namespace simd_internal {
+
+namespace {
+
+float L2SqScalar(const float* a, const float* b, size_t dim) {
+  float s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    const float d0 = a[i] - b[i];
+    const float d1 = a[i + 1] - b[i + 1];
+    const float d2 = a[i + 2] - b[i + 2];
+    const float d3 = a[i + 3] - b[i + 3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  float sum = s0 + s1 + s2 + s3;
+  for (; i < dim; ++i) {
+    const float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+/// Weighted multi-segment L2. Per-segment L2SqScalar keeps the summation
+/// order bit-identical to the historical per-modality loop in
+/// WeightedMultiDistance::Exact, so scalar-level runs are unchanged.
+float WL2SqScalar(const float* q, const float* o, const size_t* offsets,
+                  const uint32_t* dims, const float* weights, size_t num_m) {
+  float sum = 0.0f;
+  for (size_t m = 0; m < num_m; ++m) {
+    sum += weights[m] * L2SqScalar(q + offsets[m], o + offsets[m], dims[m]);
+  }
+  return sum;
+}
+
+float DotScalar(const float* a, const float* b, size_t dim) {
+  float s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  float sum = s0 + s1 + s2 + s3;
+  for (; i < dim; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+}  // namespace
+
+const DistanceKernels& ScalarKernels() {
+  static const DistanceKernels kTable = {&L2SqScalar, &DotScalar,
+                                         &WL2SqScalar};
+  return kTable;
+}
+
+}  // namespace simd_internal
+}  // namespace mqa

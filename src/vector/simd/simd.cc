@@ -1,0 +1,159 @@
+#include "vector/simd/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.h"
+#include "vector/simd/kernels.h"
+
+namespace mqa {
+
+namespace {
+
+std::string ToLower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+SimdLevel ProbeCpu() {
+#if defined(MQA_SIMD_X86)
+  // __builtin_cpu_supports also verifies OS XSAVE state, so a "yes" here
+  // means the instructions are actually executable, not merely decoded.
+  if (__builtin_cpu_supports("avx512f")) return SimdLevel::kAvx512;
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return SimdLevel::kAvx2;
+  }
+#endif
+  return SimdLevel::kScalar;
+}
+
+// The active dispatch table. Resolved once on first use (or explicitly via
+// SetSimdLevel); afterwards every distance call is one relaxed atomic load
+// plus one indirect call.
+std::atomic<const DistanceKernels*> g_active_kernels{nullptr};
+std::atomic<int> g_active_level{static_cast<int>(SimdLevel::kScalar)};
+
+const DistanceKernels* ResolveActive() {
+  const char* env = std::getenv("MQA_SIMD_LEVEL");
+  std::string note;
+  const SimdLevel level =
+      ResolveSimdLevel(env == nullptr ? "" : env, DetectedSimdLevel(), &note);
+  if (!note.empty()) {
+    MQA_LOG(Warning) << "simd: " << note;
+  }
+  const DistanceKernels* table = &KernelsFor(level);
+  // First resolver wins; a concurrent SetSimdLevel keeps its own choice.
+  const DistanceKernels* expected = nullptr;
+  if (g_active_kernels.compare_exchange_strong(expected, table,
+                                               std::memory_order_acq_rel)) {
+    g_active_level.store(static_cast<int>(level), std::memory_order_relaxed);
+    MQA_LOG(Info) << "simd: dispatch resolved to " << SimdLevelName(level)
+                   << " (cpu supports up to "
+                   << SimdLevelName(DetectedSimdLevel()) << ")";
+    return table;
+  }
+  return expected;
+}
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+Result<SimdLevel> SimdLevelFromString(const std::string& name) {
+  const std::string lower = ToLower(name);
+  if (lower == "scalar") return SimdLevel::kScalar;
+  if (lower == "avx2") return SimdLevel::kAvx2;
+  if (lower == "avx512") return SimdLevel::kAvx512;
+  return Status::InvalidArgument("unknown SIMD level: '" + name +
+                                 "' (expected scalar|avx2|avx512)");
+}
+
+SimdLevel DetectedSimdLevel() {
+  static const SimdLevel kDetected = ProbeCpu();
+  return kDetected;
+}
+
+bool CpuSupports(SimdLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(DetectedSimdLevel());
+}
+
+SimdLevel ResolveSimdLevel(const std::string& requested, SimdLevel detected,
+                           std::string* note) {
+  const std::string lower = ToLower(requested);
+  if (lower.empty() || lower == "auto") return detected;
+  Result<SimdLevel> parsed = SimdLevelFromString(lower);
+  if (!parsed.ok()) {
+    if (note != nullptr) {
+      *note = parsed.status().message() + "; using detected level " +
+              SimdLevelName(detected);
+    }
+    return detected;
+  }
+  if (static_cast<int>(*parsed) > static_cast<int>(detected)) {
+    if (note != nullptr) {
+      *note = std::string("requested SIMD level '") + SimdLevelName(*parsed) +
+              "' not supported by this CPU; clamped to '" +
+              SimdLevelName(detected) + "'";
+    }
+    return detected;
+  }
+  return *parsed;
+}
+
+SimdLevel ActiveSimdLevel() {
+  if (g_active_kernels.load(std::memory_order_acquire) == nullptr) {
+    ResolveActive();
+  }
+  return static_cast<SimdLevel>(
+      g_active_level.load(std::memory_order_relaxed));
+}
+
+Status SetSimdLevel(SimdLevel level) {
+  if (!CpuSupports(level)) {
+    return Status::InvalidArgument(
+        std::string("SIMD level '") + SimdLevelName(level) +
+        "' not supported by this CPU (max '" +
+        SimdLevelName(DetectedSimdLevel()) + "')");
+  }
+  g_active_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  g_active_kernels.store(&KernelsFor(level), std::memory_order_release);
+  return Status::OK();
+}
+
+const DistanceKernels& KernelsFor(SimdLevel level) {
+  // Tiers compiled out of this build fall back tier by tier, so the table
+  // returned is always executable on the current binary.
+  if (level == SimdLevel::kAvx512) {
+    const DistanceKernels* t = simd_internal::Avx512KernelsOrNull();
+    if (t != nullptr) return *t;
+    level = SimdLevel::kAvx2;
+  }
+  if (level == SimdLevel::kAvx2) {
+    const DistanceKernels* t = simd_internal::Avx2KernelsOrNull();
+    if (t != nullptr) return *t;
+  }
+  return simd_internal::ScalarKernels();
+}
+
+const DistanceKernels& ActiveKernels() {
+  const DistanceKernels* table =
+      g_active_kernels.load(std::memory_order_acquire);
+  if (table != nullptr) return *table;
+  return *ResolveActive();
+}
+
+}  // namespace mqa

@@ -1,0 +1,95 @@
+#include "vector/sketch.h"
+
+#include "common/check.h"
+#include "vector/vector_store.h"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define MQA_POPCOUNT64(x) static_cast<int>(__builtin_popcountll(x))
+#else
+namespace {
+int FallbackPopcount64(uint64_t x) {
+  int n = 0;
+  while (x != 0) {
+    x &= x - 1;
+    ++n;
+  }
+  return n;
+}
+}  // namespace
+#define MQA_POPCOUNT64(x) FallbackPopcount64(x)
+#endif
+
+namespace mqa {
+
+BitSketchIndex::BitSketchIndex(VectorSchema schema)
+    : schema_(std::move(schema)) {
+  offsets_.resize(schema_.num_modalities());
+  size_t off = 0;
+  for (size_t m = 0; m < schema_.num_modalities(); ++m) {
+    offsets_[m] = off;
+    off += schema_.dims[m];
+  }
+}
+
+uint64_t BitSketchIndex::SketchModality(const float* x, size_t dim) {
+  uint64_t w = 0;
+  const size_t bits = BitsFor(dim);
+  for (size_t j = 0; j < bits; ++j) {
+    if (x[SampledIndex(j, dim)] > 0.0f) w |= uint64_t{1} << j;
+  }
+  return w;
+}
+
+void BitSketchIndex::Append(const float* row) {
+  for (size_t m = 0; m < schema_.num_modalities(); ++m) {
+    words_.push_back(SketchModality(row + offsets_[m], schema_.dims[m]));
+  }
+}
+
+void BitSketchIndex::Rebuild(const VectorStore& store) {
+  MQA_CHECK(store.schema().dims == schema_.dims)
+      << ": sketch/store schema mismatch";
+  words_.clear();
+  words_.reserve(static_cast<size_t>(store.size()) * words_per_object());
+  for (uint32_t id = 0; id < store.size(); ++id) {
+    Append(store.data(id));
+  }
+}
+
+void QuerySketch::Prepare(const BitSketchIndex& index, const float* q,
+                          const std::vector<float>& weights) {
+  const VectorSchema& schema = index.schema();
+  const size_t num_m = schema.num_modalities();
+  words.resize(num_m);
+  floors.resize(num_m);
+  size_t off = 0;
+  for (size_t m = 0; m < num_m; ++m) {
+    const size_t dim = schema.dims[m];
+    words[m] = BitSketchIndex::SketchModality(q + off, dim);
+    // The guaranteed contribution of one mismatched bit: the smallest
+    // squared sampled query component. Any sampled component near zero
+    // makes this modality's floor vanish — the prefilter then degrades
+    // gracefully to "never rejects" rather than ever overestimating.
+    float min_sq = -1.0f;
+    const size_t bits = BitSketchIndex::BitsFor(dim);
+    for (size_t j = 0; j < bits; ++j) {
+      const float c = q[off + BitSketchIndex::SampledIndex(j, dim)];
+      const float sq = c * c;
+      if (min_sq < 0.0f || sq < min_sq) min_sq = sq;
+    }
+    const float w = m < weights.size() ? weights[m] : 1.0f;
+    floors[m] = min_sq > 0.0f ? w * min_sq : 0.0f;
+    off += dim;
+  }
+}
+
+float QuerySketch::LowerBound(const uint64_t* ow) const {
+  float lb = 0.0f;
+  for (size_t m = 0; m < words.size(); ++m) {
+    if (floors[m] == 0.0f) continue;
+    lb += floors[m] * static_cast<float>(MQA_POPCOUNT64(words[m] ^ ow[m]));
+  }
+  return lb;
+}
+
+}  // namespace mqa

@@ -1,0 +1,99 @@
+#ifndef MQA_VECTOR_SKETCH_H_
+#define MQA_VECTOR_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "vector/vector_types.h"
+
+namespace mqa {
+
+class VectorStore;
+
+/// Per-object bit sketches for the popcount prefilter (the `letterBits`
+/// idiom): one 64-bit word per modality holding the sign bits of up to 64
+/// evenly sampled components. Before a full weighted distance is computed,
+/// the query's words are XOR-popcount-compared against the object's — each
+/// mismatched bit j proves the two vectors lie on opposite sides of zero at
+/// sampled component c_j, hence contributes at least q[c_j]^2 to that
+/// modality's squared L2. Summed with the modality weights this yields a
+/// lower bound on the full weighted distance:
+///
+///   lb(q, o) = sum_m w_m * (min_j q[c_j]^2) * popcount(qw_m ^ ow_m)
+///            <= D(q, o)
+///
+/// so rejecting exactly when lb > bound discards only objects the
+/// incremental-scanning pruning bound would discard anyway — recall is
+/// provably unchanged at the default setting (sketch_scale = 1).
+///
+/// Sketches are append-only alongside the store; ids beyond size() simply
+/// skip the prefilter (fresh inserts are never filtered by a stale sketch).
+/// Not internally synchronized: writers (ingest/compaction) must hold the
+/// same exclusive lock they hold to mutate the store itself.
+class BitSketchIndex {
+ public:
+  static constexpr size_t kBitsPerWord = 64;
+
+  explicit BitSketchIndex(VectorSchema schema);
+
+  /// Sketches one flattened row (schema().TotalDim() floats) and appends it
+  /// as the next id.
+  void Append(const float* row);
+
+  /// Drops all sketches and re-sketches every row of `store` (compaction).
+  void Rebuild(const VectorStore& store);
+
+  /// Number of sketched objects.
+  uint32_t size() const {
+    return static_cast<uint32_t>(words_.size() / words_per_object());
+  }
+
+  /// The object's words, one per modality. Precondition: id < size().
+  const uint64_t* words(uint32_t id) const {
+    return words_.data() + static_cast<size_t>(id) * words_per_object();
+  }
+
+  size_t words_per_object() const { return schema_.num_modalities(); }
+  const VectorSchema& schema() const { return schema_; }
+
+  /// Component index of bit j for a modality of dimension `dim` (even
+  /// sampling; the identity when dim <= 64).
+  static size_t SampledIndex(size_t j, size_t dim) {
+    return dim <= kBitsPerWord ? j : j * dim / kBitsPerWord;
+  }
+
+  /// Number of bits used for a modality of dimension `dim`.
+  static size_t BitsFor(size_t dim) {
+    return dim < kBitsPerWord ? dim : kBitsPerWord;
+  }
+
+  /// Sign-bit word of one modality segment: bit j is set iff x[c_j] > 0.
+  static uint64_t SketchModality(const float* x, size_t dim);
+
+ private:
+  VectorSchema schema_;
+  std::vector<size_t> offsets_;  // modality start offsets in the flat row
+  std::vector<uint64_t> words_;  // size() * words_per_object(), row-major
+};
+
+/// Query-side state for the prefilter, recomputed per query (weights may
+/// change between queries): the query's sketch words plus, per modality,
+/// the guaranteed per-mismatched-bit contribution
+/// `floor_m = w_m * min_j q[c_j]^2`.
+struct QuerySketch {
+  std::vector<uint64_t> words;
+  std::vector<float> floors;
+
+  /// Fills this sketch for flattened query `q` under `weights`.
+  void Prepare(const BitSketchIndex& index, const float* q,
+               const std::vector<float>& weights);
+
+  /// The proven lower bound on the weighted distance to the object with
+  /// sketch words `ow`.
+  float LowerBound(const uint64_t* ow) const;
+};
+
+}  // namespace mqa
+
+#endif  // MQA_VECTOR_SKETCH_H_

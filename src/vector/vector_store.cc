@@ -1,6 +1,9 @@
 #include "vector/vector_store.h"
 
+#include <cmath>
+#include <cstring>
 #include <istream>
+#include <limits>
 #include <ostream>
 
 namespace mqa {
@@ -20,13 +23,28 @@ bool ReadPod(std::istream& in, T* v) {
   return static_cast<bool>(in);
 }
 
+/// Per-thread prefilter state: which computer/query the cached QuerySketch
+/// belongs to. Keyed by both so (a) concurrent searches sharing one
+/// computer each see only their own query's sketch, and (b) a computer
+/// whose BeginQuery was never called on this thread finds a mismatch and
+/// simply skips the prefilter.
+struct ThreadQuerySketch {
+  const void* owner = nullptr;
+  const float* query = nullptr;
+  QuerySketch sketch;
+};
+
+thread_local ThreadQuerySketch t_query_sketch;
+
 }  // namespace
 
 Result<uint32_t> VectorStore::Add(const Vector& flat) {
   if (flat.size() != row_dim()) {
     return Status::InvalidArgument("vector length does not match schema");
   }
-  flat_.insert(flat_.end(), flat.begin(), flat.end());
+  flat_.resize((count_ + 1) * stride_, 0.0f);
+  std::memcpy(flat_.data() + count_ * stride_, flat.data(),
+              flat.size() * sizeof(float));
   return static_cast<uint32_t>(count_++);
 }
 
@@ -42,8 +60,12 @@ Status VectorStore::Save(std::ostream& out) const {
   for (uint32_t d : schema_.dims) WritePod(out, d);
   const uint64_t n = count_;
   WritePod(out, n);
-  out.write(reinterpret_cast<const char*>(flat_.data()),
-            static_cast<std::streamsize>(flat_.size() * sizeof(float)));
+  // Logical rows only: the on-disk format has no padding, so snapshots are
+  // identical to those written by the unpadded layout.
+  for (size_t i = 0; i < count_; ++i) {
+    out.write(reinterpret_cast<const char*>(flat_.data() + i * stride_),
+              static_cast<std::streamsize>(row_dim() * sizeof(float)));
+  }
   if (!out) return Status::IoError("failed to write vector store");
   return Status::OK();
 }
@@ -65,12 +87,41 @@ Result<VectorStore> VectorStore::Load(std::istream& in) {
   uint64_t n = 0;
   if (!ReadPod(in, &n)) return Status::IoError("truncated row count");
   VectorStore store(schema);
-  store.flat_.resize(n * store.row_dim());
-  in.read(reinterpret_cast<char*>(store.flat_.data()),
-          static_cast<std::streamsize>(store.flat_.size() * sizeof(float)));
-  if (!in) return Status::IoError("truncated vector data");
+  store.flat_.resize(n * store.stride_, 0.0f);
+  for (uint64_t i = 0; i < n; ++i) {
+    in.read(reinterpret_cast<char*>(store.flat_.data() + i * store.stride_),
+            static_cast<std::streamsize>(store.row_dim() * sizeof(float)));
+    if (!in) return Status::IoError("truncated vector data");
+  }
   store.count_ = n;
   return store;
+}
+
+void MultiVectorDistanceComputer::BeginQuery(const float* q) {
+  if (sketches_ == nullptr || q == nullptr) return;
+  t_query_sketch.owner = this;
+  t_query_sketch.query = q;
+  t_query_sketch.sketch.Prepare(*sketches_, q, dist_.weights());
+}
+
+float MultiVectorDistanceComputer::DistanceWithBound(const float* q,
+                                                     uint32_t id,
+                                                     float bound) {
+  if (sketches_ != nullptr && t_query_sketch.owner == this &&
+      t_query_sketch.query == q && id < sketches_->size()) {
+    const float lb = t_query_sketch.sketch.LowerBound(sketches_->words(id));
+    if (lb * sketch_scale_ > bound) {
+      ++stats_.pruned_computations;
+      ++stats_.sketch_rejects;
+      // The contract requires a value > bound; lb itself qualifies at the
+      // provable scale of 1 but may not when scale > 1.
+      return lb > bound
+                 ? lb
+                 : std::nextafter(bound, std::numeric_limits<float>::max());
+    }
+  }
+  if (!pruning_) return Distance(q, id);
+  return dist_.Pruned(q, store_->data(id), bound, &stats_);
 }
 
 }  // namespace mqa

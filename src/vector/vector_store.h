@@ -6,17 +6,34 @@
 #include <memory>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/result.h"
 #include "vector/multi_distance.h"
+#include "vector/simd/simd.h"
+#include "vector/sketch.h"
 #include "vector/vector_types.h"
 
 namespace mqa {
 
-/// Row-major flat storage for N fixed-schema (multi-)vectors. Row i occupies
-/// `schema.TotalDim()` consecutive floats. Ids are dense [0, size).
+/// Row-major flat storage for N fixed-schema (multi-)vectors. Ids are dense
+/// [0, size).
+///
+/// Layout: each object's per-modality segments are contiguous (one linear
+/// stream per weighted multi-distance call), rows start 64-byte aligned, and
+/// the in-memory stride is the logical row dimension rounded up to 16 floats
+/// (one cache line) so SIMD kernels and prefetches never straddle rows. The
+/// pad floats are zero and never enter any distance. The *serialized* format
+/// is unchanged — Save/Load write and read logical rows — so snapshots from
+/// the pre-padding layout load bit-identically (guarded by the layout
+/// migration test).
 class VectorStore {
  public:
-  explicit VectorStore(VectorSchema schema) : schema_(std::move(schema)) {}
+  /// In-memory row stride granularity, in floats (64 bytes).
+  static constexpr size_t kRowAlignFloats =
+      kSimdAlignment / sizeof(float);
+
+  explicit VectorStore(VectorSchema schema)
+      : schema_(std::move(schema)), stride_(PaddedDim(schema_.TotalDim())) {}
 
   /// Appends a flattened vector; returns its id. The vector length must be
   /// schema().TotalDim().
@@ -25,12 +42,12 @@ class VectorStore {
   /// Appends a structured multi-vector (flattened internally).
   Result<uint32_t> AddMultiVector(const MultiVector& mv);
 
-  /// Pointer to row `id`. Precondition: id < size().
+  /// Pointer to row `id` (64-byte aligned). Precondition: id < size().
   const float* data(uint32_t id) const {
-    return flat_.data() + static_cast<size_t>(id) * row_dim();
+    return flat_.data() + static_cast<size_t>(id) * stride_;
   }
 
-  /// Copies row `id` out as a Vector.
+  /// Copies row `id` out as a Vector (logical dims only, no padding).
   Vector Row(uint32_t id) const {
     const float* p = data(id);
     return Vector(p, p + row_dim());
@@ -38,17 +55,24 @@ class VectorStore {
 
   uint32_t size() const { return static_cast<uint32_t>(count_); }
   size_t row_dim() const { return schema_.TotalDim(); }
+  /// Floats between consecutive rows in memory (>= row_dim()).
+  size_t row_stride() const { return stride_; }
   const VectorSchema& schema() const { return schema_; }
 
-  void Reserve(size_t n) { flat_.reserve(n * row_dim()); }
+  void Reserve(size_t n) { flat_.reserve(n * stride_); }
 
-  /// Binary serialization (schema + rows).
+  /// Binary serialization (schema + logical rows; padding is not written).
   Status Save(std::ostream& out) const;
   static Result<VectorStore> Load(std::istream& in);
 
  private:
+  static size_t PaddedDim(size_t dim) {
+    return (dim + kRowAlignFloats - 1) / kRowAlignFloats * kRowAlignFloats;
+  }
+
   VectorSchema schema_;
-  std::vector<float> flat_;
+  size_t stride_;
+  AlignedFloatVector flat_;
   size_t count_ = 0;
 };
 
@@ -59,6 +83,14 @@ class DistanceComputer {
  public:
   virtual ~DistanceComputer() = default;
 
+  /// Announces that subsequent Distance* calls on *this thread* use query
+  /// `q`, letting the implementation precompute per-query state (the
+  /// bit-sketch prefilter). Optional: every Distance* call is correct
+  /// without it, just without the prefilter fast path. Thread-local in
+  /// effect, so concurrent searches sharing one computer never observe each
+  /// other's query state.
+  virtual void BeginQuery(const float* q) { (void)q; }
+
   /// Exact distance from query `q` (flattened, row_dim floats) to row `id`.
   virtual float Distance(const float* q, uint32_t id) = 0;
 
@@ -68,6 +100,24 @@ class DistanceComputer {
     (void)bound;
     return Distance(q, id);
   }
+
+  /// Exact distances from `q` to ids[0..n). out[i] corresponds to ids[i].
+  /// Bitwise identical to n Distance() calls — the batch exists to overlap
+  /// each row's memory fetch with the previous row's arithmetic.
+  virtual void DistanceBatch(const float* q, const uint32_t* ids, size_t n,
+                             float* out) {
+    for (size_t i = 0; i < n; ++i) {
+      if (i + 1 < n) Prefetch(ids[i + 1]);
+      out[i] = Distance(q, ids[i]);
+    }
+  }
+
+  /// Hints that row `id` will be scored soon.
+  virtual void Prefetch(uint32_t id) { (void)id; }
+
+  /// True when DistanceWithBound can actually return early (pruning or
+  /// prefiltering); callers may pick exact batch paths when false.
+  virtual bool PrunesWithBound() const { return false; }
 
   /// Exact distance between two stored rows (used at build time).
   virtual float DistanceBetween(uint32_t a, uint32_t b) = 0;
@@ -90,6 +140,11 @@ class FlatDistanceComputer : public DistanceComputer {
     return ComputeDistance(metric_, store_->data(a), store_->data(b),
                            store_->row_dim());
   }
+  void Prefetch(uint32_t id) override {
+    const char* row = reinterpret_cast<const char*>(store_->data(id));
+    const size_t bytes = store_->row_dim() * sizeof(float);
+    for (size_t b = 0; b < bytes; b += kSimdAlignment) PrefetchRead(row + b);
+  }
   size_t dim() const override { return store_->row_dim(); }
   uint32_t size() const override { return store_->size(); }
 
@@ -100,11 +155,21 @@ class FlatDistanceComputer : public DistanceComputer {
 
 /// Weighted multi-vector distance with incremental-scanning pruning — the
 /// MUST path. Accumulates DistanceStats for the pruning ablation.
+///
+/// When a BitSketchIndex is attached (SetSketches), DistanceWithBound first
+/// compares popcount sketches: an object whose proven lower bound already
+/// exceeds the bound is rejected without touching a single float. At the
+/// default sketch_scale of 1 this rejects only objects the pruning bound
+/// would reject anyway, so recall is provably unchanged (see
+/// vector/sketch.h). The prefilter engages only after BeginQuery(q) was
+/// called on the current thread with the same query pointer.
 class MultiVectorDistanceComputer : public DistanceComputer {
  public:
   MultiVectorDistanceComputer(const VectorStore* store,
                               WeightedMultiDistance dist, bool enable_pruning)
       : store_(store), dist_(std::move(dist)), pruning_(enable_pruning) {}
+
+  void BeginQuery(const float* q) override;
 
   float Distance(const float* q, uint32_t id) override {
     float d = dist_.Exact(q, store_->data(id));
@@ -113,17 +178,34 @@ class MultiVectorDistanceComputer : public DistanceComputer {
     return d;
   }
 
-  float DistanceWithBound(const float* q, uint32_t id, float bound) override {
-    if (!pruning_) return Distance(q, id);
-    return dist_.Pruned(q, store_->data(id), bound, &stats_);
-  }
+  float DistanceWithBound(const float* q, uint32_t id, float bound) override;
 
   float DistanceBetween(uint32_t a, uint32_t b) override {
     return dist_.Exact(store_->data(a), store_->data(b));
   }
 
+  void Prefetch(uint32_t id) override {
+    const char* row = reinterpret_cast<const char*>(store_->data(id));
+    const size_t bytes = store_->row_dim() * sizeof(float);
+    for (size_t b = 0; b < bytes; b += kSimdAlignment) PrefetchRead(row + b);
+  }
+
+  bool PrunesWithBound() const override {
+    return pruning_ || sketches_ != nullptr;
+  }
+
   size_t dim() const override { return store_->row_dim(); }
   uint32_t size() const override { return store_->size(); }
+
+  /// Attaches (or detaches, with nullptr) the prefilter sketches. Not
+  /// owned; must outlive this computer or be detached first. `scale`
+  /// multiplies the proven lower bound before the reject comparison: 1 is
+  /// provably recall-neutral, > 1 trades recall for more rejects.
+  void SetSketches(const BitSketchIndex* sketches, float scale = 1.0f) {
+    sketches_ = sketches;
+    sketch_scale_ = scale > 0.0f ? scale : 1.0f;
+  }
+  const BitSketchIndex* sketches() const { return sketches_; }
 
   const DistanceStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
@@ -136,6 +218,8 @@ class MultiVectorDistanceComputer : public DistanceComputer {
   const VectorStore* store_;
   WeightedMultiDistance dist_;
   bool pruning_;
+  const BitSketchIndex* sketches_ = nullptr;
+  float sketch_scale_ = 1.0f;
   DistanceStats stats_;
 };
 

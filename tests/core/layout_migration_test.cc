@@ -1,0 +1,150 @@
+// Layout-migration golden tests: snapshots written by the old contiguous
+// (unpadded) VectorStore layout must load into the padded, SIMD-aligned
+// layout with byte-identical row contents and identical distances. The
+// on-disk format is the contract; the in-memory stride is private.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "common/random.h"
+#include "core/persistence.h"
+#include "core_test_util.h"
+#include "vector/multi_distance.h"
+#include "vector/vector_store.h"
+
+namespace mqa {
+namespace {
+
+using ::mqa::testing::SmallConfig;
+
+template <typename T>
+void WritePod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+/// Serializes rows exactly as the pre-padding VectorStore::Save did:
+/// magic, modality count, dims, row count, then tightly packed float rows
+/// with no alignment padding. This is the golden v2 byte layout.
+std::string LegacyStoreBytes(const VectorSchema& schema,
+                             const std::vector<Vector>& rows) {
+  std::ostringstream out(std::ios::binary);
+  WritePod(out, static_cast<uint32_t>(0x4d514156));  // "MQAV"
+  WritePod(out, static_cast<uint32_t>(schema.num_modalities()));
+  for (uint32_t d : schema.dims) WritePod(out, d);
+  WritePod(out, static_cast<uint64_t>(rows.size()));
+  for (const Vector& row : rows) {
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size() * sizeof(float)));
+  }
+  return out.str();
+}
+
+TEST(LayoutMigrationTest, LegacyBytesLoadIntoPaddedStore) {
+  VectorSchema schema;
+  schema.dims = {5, 11};  // deliberately not multiples of the row stride
+  Rng rng(31);
+  std::vector<Vector> rows;
+  for (int i = 0; i < 37; ++i) {
+    Vector v(schema.TotalDim());
+    for (auto& x : v) x = static_cast<float>(rng.Gaussian());
+    rows.push_back(v);
+  }
+  std::istringstream in(LegacyStoreBytes(schema, rows), std::ios::binary);
+  auto loaded = VectorStore::Load(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  ASSERT_EQ(loaded->size(), rows.size());
+  EXPECT_EQ(loaded->row_dim(), 16u);
+  EXPECT_GE(loaded->row_stride(), loaded->row_dim());
+  for (uint32_t id = 0; id < rows.size(); ++id) {
+    // Byte-identical row contents despite the new in-memory stride.
+    EXPECT_EQ(std::memcmp(loaded->data(id), rows[id].data(),
+                          rows[id].size() * sizeof(float)),
+              0)
+        << "row " << id;
+    // Rows land on the SIMD alignment boundary.
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(loaded->data(id)) %
+                  kSimdAlignment,
+              0u)
+        << "row " << id;
+  }
+
+  // Distances through the padded layout match a store built by Add().
+  VectorStore fresh(schema);
+  for (const Vector& row : rows) ASSERT_TRUE(fresh.Add(row).ok());
+  auto wd = WeightedMultiDistance::Create(schema, {1.0f, 2.0f});
+  const Vector& q = rows[0];
+  for (uint32_t id = 0; id < rows.size(); ++id) {
+    EXPECT_EQ(wd->Exact(q.data(), loaded->data(id)),
+              wd->Exact(q.data(), fresh.data(id)))
+        << "row " << id;
+  }
+}
+
+TEST(LayoutMigrationTest, SaveIsByteIdenticalToLegacyFormat) {
+  VectorSchema schema;
+  schema.dims = {3, 7};
+  Rng rng(32);
+  std::vector<Vector> rows;
+  VectorStore store(schema);
+  for (int i = 0; i < 9; ++i) {
+    Vector v(schema.TotalDim());
+    for (auto& x : v) x = static_cast<float>(rng.Gaussian());
+    rows.push_back(v);
+    ASSERT_TRUE(store.Add(v).ok());
+  }
+  std::ostringstream out(std::ios::binary);
+  ASSERT_TRUE(store.Save(out).ok());
+  // The padded store writes exactly the unpadded legacy bytes: old
+  // binaries can read new snapshots and vice versa.
+  EXPECT_EQ(out.str(), LegacyStoreBytes(schema, rows));
+}
+
+class SystemMigrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mqa_layout_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(SystemMigrationTest, SnapshotRoundTripPreservesDistances) {
+  MqaConfig config = SmallConfig();
+  config.corpus_size = 300;
+  auto original = Coordinator::Create(config);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(SaveSystemState(**original, dir_.string()).ok());
+  auto restored = LoadSystemState(dir_.string());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  const VectorStore& before = (*original)->store();
+  const VectorStore& after = (*restored)->store();
+  ASSERT_EQ(before.size(), after.size());
+  ASSERT_EQ(before.row_dim(), after.row_dim());
+
+  auto wd = WeightedMultiDistance::Create(before.schema(),
+                                          (*original)->weights());
+  const float* q = before.data(0);
+  for (uint32_t id = 0; id < before.size(); ++id) {
+    EXPECT_EQ(std::memcmp(before.data(id), after.data(id),
+                          before.row_dim() * sizeof(float)),
+              0)
+        << "row " << id;
+    EXPECT_EQ(wd->Exact(q, before.data(id)), wd->Exact(q, after.data(id)))
+        << "row " << id;
+  }
+}
+
+}  // namespace
+}  // namespace mqa

@@ -1,0 +1,117 @@
+// End-to-end recall safety for the bit-sketch prefilter: at the default
+// scale of 1 the prefilter composes with the incremental-scanning bound
+// without changing a single retrieval decision, so MUST results with the
+// prefilter on and off must be identical, id for id.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "retrieval/must.h"
+#include "retrieval_test_util.h"
+
+namespace mqa {
+namespace {
+
+using ::mqa::testing::PrepareCorpus;
+using ::mqa::testing::PreparedCorpus;
+
+class PrefilterEquivalenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new PreparedCorpus(PrepareCorpus());
+    ASSERT_NE(corpus_->kb, nullptr);
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+
+  static IndexConfig IndexWithPrefilter(bool enabled) {
+    IndexConfig config;
+    config.algorithm = "mqa-hybrid";
+    config.graph.max_degree = 16;
+    config.sketch_prefilter = enabled;
+    return config;
+  }
+
+  static RetrievalQuery TextQueryFor(uint32_t concept_id, Rng* rng) {
+    const TextQuery q = corpus_->world->MakeTextQuery(concept_id, rng);
+    auto rq = EncodeTextQuery(*corpus_, q.text);
+    EXPECT_TRUE(rq.ok());
+    return std::move(rq).Value();
+  }
+
+  static PreparedCorpus* corpus_;
+};
+
+PreparedCorpus* PrefilterEquivalenceTest::corpus_ = nullptr;
+
+TEST_F(PrefilterEquivalenceTest, MustResultsIdenticalWithAndWithout) {
+  auto with = MustFramework::Create(corpus_->represented.store,
+                                    corpus_->represented.weights,
+                                    IndexWithPrefilter(true));
+  auto without = MustFramework::Create(corpus_->represented.store,
+                                       corpus_->represented.weights,
+                                       IndexWithPrefilter(false));
+  ASSERT_TRUE(with.ok() && without.ok());
+
+  SearchParams params;
+  params.k = 10;
+  params.beam_width = 64;
+  Rng rng(3);
+  for (uint32_t c = 0; c < 8; ++c) {
+    const RetrievalQuery rq = TextQueryFor(c, &rng);
+    auto a = (*with)->Retrieve(rq, params);
+    auto b = (*without)->Retrieve(rq, params);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->neighbors.size(), b->neighbors.size()) << "concept " << c;
+    for (size_t i = 0; i < a->neighbors.size(); ++i) {
+      EXPECT_EQ(a->neighbors[i].id, b->neighbors[i].id)
+          << "concept " << c << " rank " << i;
+      EXPECT_EQ(a->neighbors[i].distance, b->neighbors[i].distance)
+          << "concept " << c << " rank " << i;
+    }
+  }
+}
+
+TEST_F(PrefilterEquivalenceTest, PrefilterSurvivesLiveIngestion) {
+  // Both frameworks share one mutable corpus; the last rows arrive via
+  // live ingestion so the sketch catch-up path is exercised too.
+  const VectorStore& full = *corpus_->represented.store;
+  auto store = std::make_shared<VectorStore>(full.schema());
+  const uint32_t initial = full.size() - 8;
+  for (uint32_t id = 0; id < initial; ++id) {
+    ASSERT_TRUE(store->Add(full.Row(id)).ok());
+  }
+  const IndexConfig config = IndexWithPrefilter(true);
+  auto with = MustFramework::Create(store, corpus_->represented.weights,
+                                    config);
+  auto without = MustFramework::Create(store, corpus_->represented.weights,
+                                       IndexWithPrefilter(false));
+  ASSERT_TRUE(with.ok() && without.ok());
+  for (uint32_t id = initial; id < full.size(); ++id) {
+    ASSERT_TRUE(store->Add(full.Row(id)).ok());
+    ASSERT_TRUE((*with)->IngestAppended(config.graph).ok());
+    ASSERT_TRUE((*without)->IngestAppended(config.graph).ok());
+  }
+
+  SearchParams params;
+  params.k = 10;
+  params.beam_width = 64;
+  Rng rng(4);
+  for (uint32_t c = 0; c < 4; ++c) {
+    const RetrievalQuery rq = TextQueryFor(c, &rng);
+    auto a = (*with)->Retrieve(rq, params);
+    auto b = (*without)->Retrieve(rq, params);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->neighbors.size(), b->neighbors.size()) << "concept " << c;
+    for (size_t i = 0; i < a->neighbors.size(); ++i) {
+      EXPECT_EQ(a->neighbors[i].id, b->neighbors[i].id)
+          << "concept " << c << " rank " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mqa

@@ -1,0 +1,140 @@
+#include "vector/simd/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "vector/distance.h"
+
+namespace mqa {
+namespace {
+
+/// Restores the process-wide dispatch level on scope exit, so these tests
+/// never leak an override into the rest of the suite (which may be pinned
+/// by MQA_SIMD_LEVEL in the CI dispatch matrix).
+class ScopedSimdLevel {
+ public:
+  ScopedSimdLevel() : saved_(ActiveSimdLevel()) {}
+  ~ScopedSimdLevel() { (void)SetSimdLevel(saved_); }
+
+ private:
+  SimdLevel saved_;
+};
+
+TEST(SimdLevelTest, NamesRoundTrip) {
+  for (SimdLevel level :
+       {SimdLevel::kScalar, SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+    auto parsed = SimdLevelFromString(SimdLevelName(level));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, level);
+  }
+}
+
+TEST(SimdLevelTest, ParseIsCaseInsensitiveAndRejectsGarbage) {
+  auto upper = SimdLevelFromString("AVX2");
+  ASSERT_TRUE(upper.ok());
+  EXPECT_EQ(*upper, SimdLevel::kAvx2);
+  EXPECT_FALSE(SimdLevelFromString("sse9").ok());
+  EXPECT_FALSE(SimdLevelFromString("").ok());
+}
+
+TEST(SimdLevelTest, ScalarIsAlwaysSupported) {
+  EXPECT_TRUE(CpuSupports(SimdLevel::kScalar));
+  EXPECT_GE(static_cast<int>(DetectedSimdLevel()),
+            static_cast<int>(SimdLevel::kScalar));
+}
+
+TEST(SimdResolveTest, AutoAndEmptyUseDetected) {
+  std::string note;
+  EXPECT_EQ(ResolveSimdLevel("auto", SimdLevel::kAvx2, &note),
+            SimdLevel::kAvx2);
+  EXPECT_EQ(ResolveSimdLevel("", SimdLevel::kScalar, &note),
+            SimdLevel::kScalar);
+  EXPECT_TRUE(note.empty());
+}
+
+TEST(SimdResolveTest, SupportedRequestIsHonoredSilently) {
+  std::string note;
+  EXPECT_EQ(ResolveSimdLevel("scalar", SimdLevel::kAvx512, &note),
+            SimdLevel::kScalar);
+  EXPECT_EQ(ResolveSimdLevel("avx2", SimdLevel::kAvx2, &note),
+            SimdLevel::kAvx2);
+  EXPECT_TRUE(note.empty());
+}
+
+TEST(SimdResolveTest, UnsupportedRequestClampsWithNote) {
+  std::string note;
+  EXPECT_EQ(ResolveSimdLevel("avx512", SimdLevel::kScalar, &note),
+            SimdLevel::kScalar);
+  EXPECT_NE(note.find("avx512"), std::string::npos);
+  EXPECT_NE(note.find("scalar"), std::string::npos);
+}
+
+TEST(SimdResolveTest, GarbageRequestClampsWithNote) {
+  std::string note;
+  EXPECT_EQ(ResolveSimdLevel("turbo9000", SimdLevel::kAvx2, &note),
+            SimdLevel::kAvx2);
+  EXPECT_FALSE(note.empty());
+}
+
+TEST(SimdDispatchTest, SetLevelRejectsUnsupportedTier) {
+  ScopedSimdLevel restore;
+  if (DetectedSimdLevel() == SimdLevel::kAvx512) {
+    GTEST_SKIP() << "every tier is supported on this CPU";
+  }
+  EXPECT_FALSE(SetSimdLevel(SimdLevel::kAvx512).ok());
+}
+
+TEST(SimdDispatchTest, SetLevelSwitchesActiveKernels) {
+  ScopedSimdLevel restore;
+  ASSERT_TRUE(SetSimdLevel(SimdLevel::kScalar).ok());
+  EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+  EXPECT_EQ(&ActiveKernels(), &KernelsFor(SimdLevel::kScalar));
+  const SimdLevel top = DetectedSimdLevel();
+  ASSERT_TRUE(SetSimdLevel(top).ok());
+  EXPECT_EQ(ActiveSimdLevel(), top);
+}
+
+TEST(SimdDispatchTest, ScalarKernelsComputeKnownValues) {
+  const DistanceKernels& k = KernelsFor(SimdLevel::kScalar);
+  const float a[] = {1, 2, 3, 4, 5};
+  const float b[] = {0, 2, 1, 4, 2};
+  EXPECT_FLOAT_EQ(k.l2sq(a, b, 5), 1.0f + 4.0f + 9.0f);
+  EXPECT_FLOAT_EQ(k.dot(a, b, 5), 0 + 4 + 3 + 16 + 10);
+  EXPECT_FLOAT_EQ(k.l2sq(a, b, 0), 0.0f);
+}
+
+TEST(SimdDispatchTest, EveryTierFallsBackToSomethingExecutable) {
+  // KernelsFor never returns a table the current binary/CPU cannot run:
+  // unsupported tiers degrade (avx512 -> avx2 -> scalar). All tables must
+  // agree closely on a smoke input.
+  Rng rng(11);
+  std::vector<float> a(67), b(67);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<float>(rng.Gaussian());
+    b[i] = static_cast<float>(rng.Gaussian());
+  }
+  const float ref = KernelsFor(SimdLevel::kScalar).l2sq(a.data(), b.data(),
+                                                        a.size());
+  for (SimdLevel level : {SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+    if (!CpuSupports(level)) continue;
+    const float got = KernelsFor(level).l2sq(a.data(), b.data(), a.size());
+    EXPECT_NEAR(got, ref, 1e-4f * std::abs(ref) + 1e-6f)
+        << "level=" << SimdLevelName(level);
+  }
+}
+
+TEST(SimdDispatchTest, PublicEntryPointsUseActiveKernels) {
+  ScopedSimdLevel restore;
+  ASSERT_TRUE(SetSimdLevel(SimdLevel::kScalar).ok());
+  const float a[] = {3, 0, 0, 0};
+  const float b[] = {0, 4, 0, 0};
+  EXPECT_FLOAT_EQ(L2Sq(a, b, 4), 25.0f);
+  EXPECT_FLOAT_EQ(Dot(a, a, 4), 9.0f);
+}
+
+}  // namespace
+}  // namespace mqa

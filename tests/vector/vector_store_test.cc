@@ -116,6 +116,34 @@ TEST(MultiVectorDistanceComputerTest, TracksStatsAndHonorsPruningFlag) {
   EXPECT_EQ(unpruned.stats().pruned_computations, 0u);
 }
 
+TEST(VectorStoreLayoutTest, RowsAreSimdAligned) {
+  VectorStore store(TwoModality());  // row_dim 5, not a stride multiple
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(store.Add({1.0f * i, 2, 3, 4, 5}).ok());
+  }
+  EXPECT_GE(store.row_stride(), store.row_dim());
+  EXPECT_EQ(store.row_stride() % VectorStore::kRowAlignFloats, 0u);
+  for (uint32_t id = 0; id < store.size(); ++id) {
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(store.data(id)) % kSimdAlignment,
+              0u)
+        << "row " << id;
+  }
+}
+
+TEST(VectorStoreLayoutTest, PaddingIsZeroed) {
+  VectorStore store(TwoModality());
+  ASSERT_TRUE(store.Add({1, 2, 3, 4, 5}).ok());
+  ASSERT_TRUE(store.Add({6, 7, 8, 9, 10}).ok());
+  for (uint32_t id = 0; id < store.size(); ++id) {
+    const float* row = store.data(id);
+    for (size_t j = store.row_dim(); j < store.row_stride(); ++j) {
+      EXPECT_EQ(row[j], 0.0f) << "row " << id << " pad " << j;
+    }
+  }
+  // Rows themselves are untouched by the padding.
+  EXPECT_EQ(store.Row(1), (Vector{6, 7, 8, 9, 10}));
+}
+
 TEST(MultiVectorDistanceComputerTest, SetWeightsChangesDistances) {
   VectorStore store(TwoModality());
   ASSERT_TRUE(store.Add({1, 0, 0, 0, 0}).ok());

@@ -3,6 +3,8 @@
 
 Usage:
     bench_check.py --baselines bench/baselines.json BENCH_foo.json ...
+    bench_check.py --baselines bench/baselines.json \\
+        --compare REFERENCE.json CANDIDATE.json
 
 Each report file is the output of a bench binary's --json flag:
 
@@ -19,6 +21,21 @@ A metric listed in the baselines but absent from the report is a failure
 (a silently dropped metric must not pass the gate). Reports whose bench
 has no baselines entry pass with a note. Exit code 0 = all constraints
 hold, 1 = at least one violation (or unreadable input).
+
+Compare mode gates the *ratio* between two runs of the same bench — e.g.
+a scalar-pinned run vs the dispatched SIMD run. The per-bench "ratios"
+baseline block names the ns_per_op metrics and the minimum speedup
+(reference / candidate):
+
+    {"bench_distance_kernels": {
+        "ratios": {
+            "skip_if_equal_config": "simd_level",
+            "metrics": {"bm_l2sq_128/ns_per_op": {"min_speedup": 1.5}}}}}
+
+When `skip_if_equal_config` names a config key that has the same value in
+both reports (e.g. the runner has no AVX2, so both runs resolved to
+scalar), the comparison is skipped with an explicit note instead of
+failing — the ratio would be meaningless noise at 1.0x.
 """
 
 import argparse
@@ -46,6 +63,77 @@ def check_report(report, baseline):
             violations.append(
                 f"{bench}: {name} = {value:g} above ceiling {hi:g}")
     return violations
+
+
+def check_ratios(reference, candidate, ratios, out=sys.stdout):
+    """Gates reference/candidate metric ratios. Returns an exit code."""
+    bench = reference.get("bench", "<unnamed>")
+    if candidate.get("bench") != reference.get("bench"):
+        print(f"FAIL compare: bench mismatch "
+              f"('{bench}' vs '{candidate.get('bench')}')", file=out)
+        return 1
+    skip_key = ratios.get("skip_if_equal_config")
+    if skip_key is not None:
+        ref_val = reference.get("config", {}).get(skip_key)
+        cand_val = candidate.get("config", {}).get(skip_key)
+        if ref_val == cand_val:
+            print(f"SKIP compare: both reports have {skip_key}="
+                  f"'{ref_val}' — ratio gate not meaningful on this host",
+                  file=out)
+            return 0
+    violations = []
+    checked = 0
+    for name, bounds in sorted(ratios.get("metrics", {}).items()):
+        ref_val = reference.get("metrics", {}).get(name)
+        cand_val = candidate.get("metrics", {}).get(name)
+        if ref_val is None or cand_val is None:
+            violations.append(
+                f"{bench}: metric '{name}' missing from "
+                f"{'reference' if ref_val is None else 'candidate'} report")
+            continue
+        if cand_val <= 0:
+            violations.append(
+                f"{bench}: {name} candidate value {cand_val:g} "
+                "is not positive")
+            continue
+        speedup = ref_val / cand_val
+        checked += 1
+        floor = bounds.get("min_speedup")
+        if floor is not None and speedup < floor:
+            violations.append(
+                f"{bench}: {name} speedup {speedup:.2f}x below "
+                f"required {floor:g}x ({ref_val:g} -> {cand_val:g})")
+        else:
+            print(f"  {name}: {speedup:.2f}x "
+                  f"({ref_val:g} -> {cand_val:g})", file=out)
+    if violations:
+        print(f"FAIL compare {bench}:", file=out)
+        for v in violations:
+            print(f"  {v}", file=out)
+        return 1
+    print(f"PASS compare {bench}: {checked} ratio constraint(s) hold",
+          file=out)
+    return 0
+
+
+def run_compare(baselines_path, ref_path, cand_path, out=sys.stdout):
+    """Loads two reports and gates their ratios. Returns an exit code."""
+    try:
+        with open(baselines_path, encoding="utf-8") as f:
+            baselines = json.load(f)
+        with open(ref_path, encoding="utf-8") as f:
+            reference = json.load(f)
+        with open(cand_path, encoding="utf-8") as f:
+            candidate = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"cannot read inputs: {e}", file=out)
+        return 1
+    bench = reference.get("bench", "<unnamed>")
+    ratios = baselines.get(bench, {}).get("ratios")
+    if ratios is None:
+        print(f"SKIP compare: no ratio baselines for '{bench}'", file=out)
+        return 0
+    return check_ratios(reference, candidate, ratios, out=out)
 
 
 def run(baselines_path, report_paths, out=sys.stdout):
@@ -87,9 +175,17 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baselines", required=True,
                         help="path to bench/baselines.json")
+    parser.add_argument("--compare", action="store_true",
+                        help="ratio-gate exactly two reports: "
+                             "REFERENCE CANDIDATE")
     parser.add_argument("reports", nargs="+",
                         help="bench --json output files to gate")
     args = parser.parse_args(argv)
+    if args.compare:
+        if len(args.reports) != 2:
+            parser.error("--compare takes exactly two reports: "
+                         "REFERENCE CANDIDATE")
+        return run_compare(args.baselines, args.reports[0], args.reports[1])
     return run(args.baselines, args.reports)
 
 

@@ -13,6 +13,16 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import bench_check  # noqa: E402  (path set up above)
 
 BASELINES = {
+    "bench_distance_kernels": {
+        "metrics": {},
+        "ratios": {
+            "skip_if_equal_config": "simd_level",
+            "metrics": {
+                "bm_l2sq_128/ns_per_op": {"min_speedup": 1.5},
+                "bm_weightedmultiexact_4/ns_per_op": {"min_speedup": 1.5},
+            },
+        },
+    },
     "bench_qps_recall": {
         "metrics": {
             "must/beam64/qps": {"min": 1000.0},
@@ -124,6 +134,73 @@ class RunTest(unittest.TestCase):
         self.assertEqual(code, 1)
         self.assertIn("unreadable", text)
 
+    def run_compare(self, ref, cand):
+        out = io.StringIO()
+        code = bench_check.run_compare(self.baselines, ref, cand, out=out)
+        return code, out.getvalue()
+
+    def kernels_report(self, level, l2, wme):
+        return {"bench": "bench_distance_kernels",
+                "config": {"simd_level": level},
+                "metrics": {"bm_l2sq_128/ns_per_op": l2,
+                            "bm_weightedmultiexact_4/ns_per_op": wme},
+                "timestamp": 1700000000}
+
+    def test_compare_passes_at_required_speedup(self):
+        ref = self.write("scalar.json",
+                         self.kernels_report("scalar", 24.0, 38.0))
+        cand = self.write("simd.json",
+                          self.kernels_report("avx2", 13.0, 25.0))
+        code, text = self.run_compare(ref, cand)
+        self.assertEqual(code, 0)
+        self.assertIn("PASS compare", text)
+
+    def test_compare_fails_below_required_speedup(self):
+        ref = self.write("scalar.json",
+                         self.kernels_report("scalar", 24.0, 38.0))
+        cand = self.write("simd.json",
+                          self.kernels_report("avx2", 20.0, 36.0))
+        code, text = self.run_compare(ref, cand)
+        self.assertEqual(code, 1)
+        self.assertIn("below required 1.5x", text)
+
+    def test_compare_skips_when_config_equal(self):
+        # A runner without AVX2 resolves both runs to scalar: the ratio is
+        # noise around 1.0x and must be skipped, not failed.
+        ref = self.write("a.json", self.kernels_report("scalar", 24.0, 38.0))
+        cand = self.write("b.json", self.kernels_report("scalar", 23.0, 39.0))
+        code, text = self.run_compare(ref, cand)
+        self.assertEqual(code, 0)
+        self.assertIn("SKIP compare", text)
+        self.assertIn("simd_level", text)
+
+    def test_compare_missing_metric_fails(self):
+        ref = self.write("scalar.json",
+                         self.kernels_report("scalar", 24.0, 38.0))
+        cand_obj = self.kernels_report("avx2", 13.0, 25.0)
+        del cand_obj["metrics"]["bm_weightedmultiexact_4/ns_per_op"]
+        cand = self.write("simd.json", cand_obj)
+        code, text = self.run_compare(ref, cand)
+        self.assertEqual(code, 1)
+        self.assertIn("missing", text)
+
+    def test_compare_bench_mismatch_fails(self):
+        ref = self.write("scalar.json",
+                         self.kernels_report("scalar", 24.0, 38.0))
+        cand = self.write("other.json", report("bench_qps_recall", {}))
+        code, text = self.run_compare(ref, cand)
+        self.assertEqual(code, 1)
+        self.assertIn("mismatch", text)
+
+    def test_compare_without_ratio_baselines_skips(self):
+        a = self.write("a.json", report("bench_qps_recall",
+                                        {"must/beam64/qps": 5000.0}))
+        b = self.write("b.json", report("bench_qps_recall",
+                                        {"must/beam64/qps": 6000.0}))
+        code, text = self.run_compare(a, b)
+        self.assertEqual(code, 0)
+        self.assertIn("no ratio baselines", text)
+
     def test_repo_baselines_file_parses(self):
         # The committed baselines must stay valid JSON with min/max bounds.
         repo_baselines = os.path.join(
@@ -139,6 +216,16 @@ class RunTest(unittest.TestCase):
                 self.assertTrue(
                     set(bounds) <= {"min", "max"},
                     f"{bench}:{name} has unknown bound keys {set(bounds)}")
+            ratios = entry.get("ratios")
+            if ratios is not None:
+                self.assertTrue(
+                    set(ratios) <= {"skip_if_equal_config", "metrics",
+                                    "_comment"},
+                    f"{bench} ratios has unknown keys {set(ratios)}")
+                for name, bounds in ratios.get("metrics", {}).items():
+                    self.assertEqual(
+                        set(bounds), {"min_speedup"},
+                        f"{bench} ratio {name} must set min_speedup only")
 
 
 if __name__ == "__main__":

@@ -32,6 +32,14 @@ Enforced rules (over src/):
               a half-written file where recovery expects a good one.
               Read-only std::ifstream is fine. Escape hatch:
               NOLINT(mqa-durable-write) with a reason.
+  raw-intrinsics
+              no raw SIMD intrinsics header (<immintrin.h> and friends)
+              outside src/vector/simd/: ISA-specific code lives behind the
+              runtime-dispatched kernel table (vector/simd/simd.h) so every
+              call site stays portable and every tier stays testable. Use
+              the dispatch table (ActiveKernels/KernelsFor) or PrefetchRead
+              instead. Escape hatch: NOLINT(mqa-raw-intrinsics) with a
+              reason.
   wait-while-locked
               no blocking call (Clock::SleepForMicros/SleepForMillis,
               ThreadPool::ParallelFor, FaultInjector latency injection)
@@ -89,6 +97,14 @@ DURABLE_LAYER = (
     os.path.join("storage", "durable_file.cc"),
     os.path.join("storage", "wal.cc"),
 )
+
+# raw-intrinsics: ISA-specific intrinsics headers banned outside the
+# dispatch layer in src/vector/simd/.
+RAW_INTRINSICS_RE = re.compile(
+    r"#include\s*<(immintrin|x86intrin|xmmintrin|emmintrin|pmmintrin"
+    r"|tmmintrin|smmintrin|nmmintrin|wmmintrin|avxintrin|avx2intrin"
+    r"|avx512fintrin|arm_neon|arm_sve)\.h>")
+SIMD_LAYER_PREFIX = os.path.join("src", "vector", "simd") + os.sep
 
 # raw-mutex: std synchronization vocabulary banned outside common/sync.h.
 RAW_MUTEX_RE = re.compile(
@@ -390,6 +406,15 @@ def lint_file(root, path, errors, graph):
                     "(storage/durable_file.h) or the WalWriter so a crash "
                     "cannot leave a torn artifact, or mark "
                     "NOLINT(mqa-durable-write) with a reason" % (rel, i))
+
+        if RAW_INTRINSICS_RE.search(code) and not has_nolint:
+            if not rel.startswith(SIMD_LAYER_PREFIX):
+                errors.append(
+                    "%s:%d: [raw-intrinsics] ISA intrinsics header outside "
+                    "src/vector/simd/; call through the dispatched kernel "
+                    "table (vector/simd/simd.h) so call sites stay portable, "
+                    "or mark NOLINT(mqa-raw-intrinsics) with a reason"
+                    % (rel, i))
 
         if (RAW_MUTEX_RE.search(code) and not has_nolint
                 and not is_sync_header(rel)):

@@ -525,6 +525,55 @@ class DurableWriteRuleTest(unittest.TestCase):
             [e for e in errors if "[durable-write]" in e], [])
 
 
+class RawIntrinsicsRuleTest(unittest.TestCase):
+    def test_flags_immintrin_outside_simd_layer(self):
+        errors, _, _ = lint_src({
+            "src/graph/search.cc": """
+                #include <immintrin.h>
+                namespace mqa {
+                }  // namespace mqa
+            """,
+        })
+        flagged = [e for e in errors if "[raw-intrinsics]" in e]
+        self.assertEqual(len(flagged), 1)
+        self.assertIn("src/graph/search.cc:2", flagged[0].replace(os.sep, "/"))
+
+    def test_flags_other_isa_headers(self):
+        errors, _, _ = lint_src({
+            "src/vector/distance.cc": """
+                #include <emmintrin.h>
+                #include <arm_neon.h>
+                namespace mqa {
+                }  // namespace mqa
+            """,
+        })
+        self.assertEqual(
+            len([e for e in errors if "[raw-intrinsics]" in e]), 2)
+
+    def test_simd_layer_is_exempt(self):
+        errors, _, _ = lint_src({
+            "src/vector/simd/kernels_avx2.cc": """
+                #include <immintrin.h>
+                namespace mqa {
+                }  // namespace mqa
+            """,
+        })
+        self.assertEqual(
+            [e for e in errors if "[raw-intrinsics]" in e], [])
+
+    def test_nolint_escape(self):
+        errors, _, _ = lint_src({
+            "src/core/cpuinfo.cc": """
+                namespace mqa {
+                // NOLINT(mqa-raw-intrinsics): startup CPUID probe only
+                #include <immintrin.h>
+                }  // namespace mqa
+            """,
+        })
+        self.assertEqual(
+            [e for e in errors if "[raw-intrinsics]" in e], [])
+
+
 class CompileCommandsDiscoveryTest(unittest.TestCase):
     def test_picks_newest_build_dir(self):
         with tempfile.TemporaryDirectory() as tmp:
